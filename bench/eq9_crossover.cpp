@@ -1,0 +1,107 @@
+// EQ9 — the Strassen/blocked crossover point n = 480*y/z (paper Eq 9,
+// after Wadleigh & Crawford): sweep over platform balances, evaluate the
+// paper's platform, and contrast the formula's prediction with the
+// simulated head-to-head crossover.
+#include "bench_common.hpp"
+#include "capow/blas/cost_model.hpp"
+#include "capow/core/crossover.hpp"
+#include "capow/sim/executor.hpp"
+#include "capow/strassen/cost_model.hpp"
+
+namespace {
+
+using namespace capow;
+
+void print_reproduction() {
+  bench::banner("EQ 9", "Strassen/blocked crossover n = 480*y/z");
+
+  std::printf("\nformula sweep (y MFLOP/s down, z MB/s across):\n");
+  harness::TextTable sweep({"y \\ z", "3200", "12800", "51200", "204800"});
+  for (double y : {10000.0, 60000.0, 86016.0, 200000.0}) {
+    std::vector<std::string> row{harness::fmt(y, 0)};
+    for (double z : {3200.0, 12800.0, 51200.0, 204800.0}) {
+      row.push_back(
+          harness::fmt(core::strassen_crossover_dimension(y, z), 0));
+    }
+    sweep.add_row(row);
+  }
+  std::printf("%s\n", sweep.str().c_str());
+
+  const auto haswell = machine::haswell_e3_1225();
+  const auto quad = machine::haswell_quad_channel();
+  const double n_haswell =
+      core::strassen_crossover_dimension(haswell, blas::kTunedGemmEfficiency);
+  const double n_quad =
+      core::strassen_crossover_dimension(quad, blas::kTunedGemmEfficiency);
+  std::printf("machine-derived crossovers:\n");
+  std::printf("  %-42s n = %7.0f (fits in memory: %s)\n",
+              haswell.name.c_str(), n_haswell,
+              core::crossover_fits_in_memory(haswell, n_haswell) ? "yes"
+                                                                 : "no");
+  std::printf("  %-42s n = %7.0f (fits in memory: %s)\n", quad.name.c_str(),
+              n_quad,
+              core::crossover_fits_in_memory(quad, n_quad) ? "yes" : "no");
+
+  // The *empirical* crossover under the full cost models: smallest
+  // power-of-two n at which simulated Strassen beats blocked DGEMM.
+  std::printf(
+      "\nsimulated head-to-head (4 threads): smallest n where Strassen "
+      "wins:\n");
+  for (const auto* m : {&haswell, &quad}) {
+    std::size_t winner = 0;
+    for (std::size_t n = 512; n <= 65536; n *= 2) {
+      const auto blas_run =
+          sim::simulate(*m, blas::blocked_gemm_profile(n, *m, 4), 4);
+      const auto str_run =
+          sim::simulate(*m, strassen::strassen_profile(n, *m, 4), 4);
+      if (str_run.seconds < blas_run.seconds) {
+        winner = n;
+        break;
+      }
+    }
+    if (winner != 0) {
+      std::printf("  %-42s n = %zu\n", m->name.c_str(), winner);
+    } else {
+      std::printf("  %-42s beyond 65536 — the BOTS base kernel's ~10%%\n"
+                  "  %-42s efficiency pushes the practical crossover far\n"
+                  "  %-42s past Eq 9's tuned-kernel prediction (the paper\n"
+                  "  %-42s saw the same: Strassen lost at every size)\n",
+                  m->name.c_str(), "", "", "");
+    }
+  }
+  std::printf(
+      "\npaper-vs-ours: the paper reports it could not reach the crossover\n"
+      "within 4 GB of memory; Eq 9 with the tuned-GEMM rate predicts\n"
+      "n ~ %.0f for its platform, while the end-to-end models (which account\n"
+      "for the Strassen base kernel's efficiency) agree with the paper's\n"
+      "empirical finding that no measurable size crosses over.\n",
+      n_haswell);
+}
+
+void BM_CrossoverFormula(benchmark::State& state) {
+  double y = 60000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::strassen_crossover_dimension(y, 12800.0));
+    y += 1e-6;
+  }
+}
+BENCHMARK(BM_CrossoverFormula);
+
+void BM_HeadToHeadSimulation(benchmark::State& state) {
+  const auto m = machine::haswell_e3_1225();
+  const std::size_t n = state.range(0);
+  for (auto _ : state) {
+    const auto blas_run =
+        sim::simulate(m, blas::blocked_gemm_profile(n, m, 4), 4);
+    const auto str_run =
+        sim::simulate(m, strassen::strassen_profile(n, m, 4), 4);
+    benchmark::DoNotOptimize(blas_run.seconds - str_run.seconds);
+  }
+}
+BENCHMARK(BM_HeadToHeadSimulation)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return capow::bench::bench_main(argc, argv, print_reproduction);
+}

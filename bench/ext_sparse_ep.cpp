@@ -1,0 +1,143 @@
+// EXT2 — the paper's second Section VIII thread: energy performance
+// scaling of sparse storage techniques. Generates synthetic irregular
+// operators across densities, runs the EP model over the three formats'
+// SpMV profiles, and cross-checks with real instrumented kernels.
+#include "bench_common.hpp"
+#include "capow/core/ep_model.hpp"
+#include "capow/linalg/random.hpp"
+#include "capow/sim/executor.hpp"
+#include "capow/sparse/cost_model.hpp"
+#include "capow/sparse/formats.hpp"
+#include "capow/sparse/spmm.hpp"
+#include "capow/sparse/spmv.hpp"
+
+namespace {
+
+using namespace capow;
+using sparse::Format;
+
+void print_reproduction() {
+  bench::banner("EXT 2 (paper SVIII)",
+                "EP scaling of sparse storage formats (CSR/COO/ELL)");
+  const auto m = machine::haswell_e3_1225();
+  constexpr std::size_t kN = 16384;
+  constexpr std::size_t kIters = 50;  // a solver's SpMV inner loop
+
+  for (double density : {0.001, 0.01}) {
+    const auto csr = sparse::random_sparse(kN, kN, density, 7);
+    const auto shape = sparse::shape_of(csr);
+    std::printf("\nn = %zu, density = %.3f (nnz = %zu, ell width = %zu):\n",
+                kN, density, shape.nnz, shape.ell_width);
+    harness::TextTable table({"format", "bytes", "T@1 (s)", "T@4 (s)",
+                              "W@1", "W@4", "S(4) (Eq 5)", "class"});
+    for (Format f : sparse::kAllFormats) {
+      const auto r1 = sim::simulate(
+          m, sparse::spmv_profile(f, shape, m, 1, kIters), 1);
+      const auto r4 = sim::simulate(
+          m, sparse::spmv_profile(f, shape, m, 4, kIters), 4);
+      const double w1 = r1.avg_power_w(machine::PowerPlane::kPackage);
+      const double w4 = r4.avg_power_w(machine::PowerPlane::kPackage);
+      const std::vector<std::pair<unsigned, double>> samples{
+          {1u, w1 / r1.seconds}, {4u, w4 / r4.seconds}};
+      const auto series = core::scaling_series(samples);
+      double storage = 0.0;
+      switch (f) {
+        case Format::kCsr:
+          storage = static_cast<double>(csr.bytes());
+          break;
+        case Format::kCoo:
+          storage = static_cast<double>(sparse::coo_from_csr(csr).bytes());
+          break;
+        case Format::kEll:
+          storage = static_cast<double>(sparse::ell_from_csr(csr).bytes());
+          break;
+      }
+      table.add_row({sparse::format_name(f), harness::fmt_si(storage, 2),
+                     harness::fmt(r1.seconds, 4), harness::fmt(r4.seconds, 4),
+                     harness::fmt(w1, 1), harness::fmt(w4, 1),
+                     harness::fmt(series.back().s, 2),
+                     core::to_string(core::classify_scaling(series, 0.05))});
+    }
+    std::printf("%s", table.str().c_str());
+  }
+  std::printf(
+      "\nreading: SpMV is bandwidth-bound, so every format's power scaling\n"
+      "is strongly sublinear (the Strassen side of Fig 7, not the OpenBLAS\n"
+      "side). Format choice shifts the *absolute* EP: COO's serial scatter\n"
+      "and extra index stream cost it both time and energy; ELL's padding\n"
+      "burns traffic in proportion to row irregularity.\n");
+
+  // SpMM: widening the right-hand side climbs out of the bandwidth-bound
+  // regime — the sparse analogue of the dense compute/memory divide that
+  // separates Figs 4 and 5.
+  {
+    const auto csr = sparse::random_sparse(kN, kN, 0.01, 7);
+    const auto shape = sparse::shape_of(csr);
+    std::printf("\nSpMM (CSR, %zu RHS sweep, n = %zu, density 0.01):\n",
+                std::size_t{5}, kN);
+    harness::TextTable table({"k (RHS)", "flops/byte", "T@4 (s)", "pkg W",
+                              "GF/s", "S(4) (Eq 5)"});
+    for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+      const auto r1 = sim::simulate(
+          m, sparse::spmm_profile(shape, k, m, 1, kIters), 1);
+      const auto r4 = sim::simulate(
+          m, sparse::spmm_profile(shape, k, m, 4, kIters), 4);
+      const double w1 = r1.avg_power_w(machine::PowerPlane::kPackage);
+      const double w4 = r4.avg_power_w(machine::PowerPlane::kPackage);
+      const std::vector<std::pair<unsigned, double>> samples{
+          {1u, w1 / r1.seconds}, {4u, w4 / r4.seconds}};
+      table.add_row(
+          {std::to_string(k),
+           harness::fmt(sparse::spmm_flops(shape, k) /
+                            sparse::spmm_traffic_bytes(shape, k),
+                        3),
+           harness::fmt(r4.seconds, 4), harness::fmt(w4, 1),
+           harness::fmt(sparse::spmm_flops(shape, k) * kIters /
+                            r4.seconds / 1e9,
+                        2),
+           harness::fmt(core::scaling_series(samples).back().s, 2)});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf(
+        "\nreading: each added right-hand side amortizes the index streams\n"
+        "over more flops; power scaling drifts from sublinear (SpMV-like)\n"
+        "toward the superlinear compute-bound regime as k grows.\n");
+  }
+}
+
+void BM_RealSpmv(benchmark::State& state) {
+  const auto csr = sparse::random_sparse(4096, 4096, 0.01, 3);
+  std::vector<double> x(4096, 1.0), y(4096);
+  const auto coo = sparse::coo_from_csr(csr);
+  const auto ell = sparse::ell_from_csr(csr);
+  for (auto _ : state) {
+    switch (state.range(0)) {
+      case 0:
+        sparse::spmv(csr, x, y);
+        break;
+      case 1:
+        sparse::spmv(coo, x, y);
+        break;
+      default:
+        sparse::spmv(ell, x, y);
+        break;
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * csr.nnz());
+}
+BENCHMARK(BM_RealSpmv)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FormatConversion(benchmark::State& state) {
+  const auto csr = sparse::random_sparse(4096, 4096, 0.01, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::ell_from_csr(csr).values.data());
+  }
+}
+BENCHMARK(BM_FormatConversion);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return capow::bench::bench_main(argc, argv, print_reproduction);
+}

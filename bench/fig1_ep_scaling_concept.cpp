@@ -1,0 +1,75 @@
+// FIG1 — "Ideal and superlinear energy performance scaling" (paper
+// Fig 1): the conceptual illustration of the EP model. We synthesize the
+// two canonical curves the figure sketches and run them through the
+// classifier, then chart them against the linear threshold.
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "capow/core/ep_model.hpp"
+
+namespace {
+
+using namespace capow;
+
+void print_reproduction() {
+  bench::banner("FIG 1", "ideal vs superlinear energy performance scaling");
+
+  // An ideal algorithm: power grows no faster than speedup (S <= p);
+  // a superlinear one: power outgrows the speedup (S > p).
+  std::vector<std::pair<unsigned, double>> ideal;
+  std::vector<std::pair<unsigned, double>> super;
+  for (unsigned p = 1; p <= 8; ++p) {
+    ideal.emplace_back(p, 10.0 * (0.4 + 0.6 * p));     // sublinear EP growth
+    super.emplace_back(p, 10.0 * p * (0.6 + 0.4 * p)); // superlinear
+  }
+  const auto ideal_series = core::scaling_series(ideal);
+  const auto super_series = core::scaling_series(super);
+
+  std::printf("\n  p   linear   ideal-curve S   superlinear-curve S\n");
+  for (std::size_t i = 0; i < ideal_series.size(); ++i) {
+    std::printf("  %u   %6.2f   %13.2f   %19.2f\n",
+                ideal_series[i].parallelism,
+                static_cast<double>(ideal_series[i].parallelism),
+                ideal_series[i].s, super_series[i].s);
+  }
+  std::printf("\n  classifier: ideal-curve -> %s, superlinear-curve -> %s\n",
+              core::to_string(core::classify_scaling(ideal_series)).c_str(),
+              core::to_string(core::classify_scaling(super_series)).c_str());
+
+  std::vector<std::pair<double, double>> chart;
+  for (const auto& pt : super_series) {
+    chart.emplace_back(pt.parallelism, pt.s);
+  }
+  bench::ascii_series("superlinear S(p) (above the # = p line)", chart,
+                      super_series.back().s);
+}
+
+void BM_ScalingSeries(benchmark::State& state) {
+  std::vector<std::pair<unsigned, double>> samples;
+  for (unsigned p = 1; p <= static_cast<unsigned>(state.range(0)); ++p) {
+    samples.emplace_back(p, 3.0 * p);
+  }
+  for (auto _ : state) {
+    auto series = core::scaling_series(samples);
+    benchmark::DoNotOptimize(series.data());
+  }
+}
+BENCHMARK(BM_ScalingSeries)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ClassifyScaling(benchmark::State& state) {
+  std::vector<core::ScalingPoint> series;
+  for (unsigned p = 1; p <= 128; ++p) {
+    series.push_back({p, 1.0 * p, 0.9 * p});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::classify_scaling(series));
+  }
+}
+BENCHMARK(BM_ClassifyScaling);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return capow::bench::bench_main(argc, argv, print_reproduction);
+}

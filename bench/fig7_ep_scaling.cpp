@@ -1,0 +1,73 @@
+// FIG7 — "Energy Performance Scaling": S = EP_p / EP_1 (Eq 5) across
+// degrees of parallelism and problem sizes, against the linear
+// threshold of Fig 1. The paper's headline reading: OpenBLAS is
+// decisively superlinear; the Strassen family sits at or near the
+// linear scale.
+#include "bench_common.hpp"
+#include "capow/core/ep_model.hpp"
+
+namespace {
+
+using namespace capow;
+using harness::Algorithm;
+
+void print_reproduction() {
+  auto& runner = bench::paper_runner();
+  bench::banner("FIG 7", "energy performance scaling S = EP_p / EP_1 (Eq 5)");
+
+  for (std::size_t n : {512u, 1024u, 2048u, 4096u}) {
+    std::printf("\nn = %zu   (linear threshold: S(p) = p)\n", n);
+    harness::TextTable table({"Algorithm", "S(1)", "S(2)", "S(3)", "S(4)",
+                              "class (2% tol)", "class (15% tol)"});
+    for (Algorithm a : harness::kAllAlgorithms) {
+      const auto series = runner.ep_scaling(a, n);
+      std::vector<std::string> row{harness::algorithm_name(a)};
+      for (const auto& pt : series) row.push_back(harness::fmt(pt.s, 2));
+      row.push_back(core::to_string(core::classify_scaling(series, 0.02)));
+      row.push_back(core::to_string(core::classify_scaling(series, 0.15)));
+      table.add_row(row);
+    }
+    std::printf("%s", table.str().c_str());
+  }
+
+  std::printf(
+      "\npaper-vs-ours (qualitative):\n"
+      "  paper: OpenBLAS 'falls well beyond the linear scale'        "
+      "-> ours: S(4) ~ %.1f vs threshold 4 at n=4096\n"
+      "  paper: Strassen/CAPS 'ideal or nearly ideal scaling curves' "
+      "-> ours: Strassen S(4) ~ %.1f, CAPS S(4) ~ %.1f at n=4096\n"
+      "  (see EXPERIMENTS.md for why the paper's own Tables II/III and\n"
+      "   Fig 7 cannot be satisfied simultaneously; ours follow the\n"
+      "   measured power/runtime ratios.)\n",
+      runner.ep_scaling(Algorithm::kOpenBlas, 4096).back().s,
+      runner.ep_scaling(Algorithm::kStrassen, 4096).back().s,
+      runner.ep_scaling(Algorithm::kCaps, 4096).back().s);
+
+  std::printf("\nS(p) at n = 4096:\n");
+  for (Algorithm a : harness::kAllAlgorithms) {
+    std::vector<std::pair<double, double>> xy;
+    for (const auto& pt : runner.ep_scaling(a, 4096)) {
+      xy.emplace_back(pt.parallelism, pt.s);
+    }
+    bench::ascii_series(harness::algorithm_name(a), xy,
+                        runner.ep_scaling(Algorithm::kOpenBlas, 4096)
+                            .back()
+                            .s);
+  }
+}
+
+void BM_FullExperimentMatrix(benchmark::State& state) {
+  // Cost of regenerating the entire 48-configuration matrix from
+  // scratch (cost models -> simulator -> RAPL -> EP).
+  for (auto _ : state) {
+    harness::ExperimentRunner runner{harness::ExperimentConfig{}};
+    benchmark::DoNotOptimize(runner.run().size());
+  }
+}
+BENCHMARK(BM_FullExperimentMatrix)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return capow::bench::bench_main(argc, argv, print_reproduction);
+}

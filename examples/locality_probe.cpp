@@ -1,0 +1,77 @@
+// Cache-locality probe: replay the Strassen and CAPS access structures
+// through the LRU hierarchy simulator and see where each algorithm's
+// traffic actually lands — the microscope behind the paper's
+// communication-avoidance story.
+//
+// Usage: locality_probe [n] [cutoff] [bfs_depth] [machine]
+//        defaults: n = 512, cutoff = 64, bfs_depth = 4, machine haswell
+//        (n must be cutoff * 2^k — the replay does not pad)
+#include <cstdio>
+#include <cstdlib>
+
+#include "capow/cachesim/locality_trace.hpp"
+#include "capow/harness/table.hpp"
+#include "capow/machine/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace capow;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 512;
+  const std::size_t cutoff =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+  const std::size_t bfs_depth =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
+  machine::MachineSpec m = machine::haswell_e3_1225();
+  if (argc > 4) {
+    try {
+      m = machine::preset_by_name(argv[4]);
+    } catch (const std::exception& e) {
+      std::printf("%s\n", e.what());
+      return 1;
+    }
+  }
+
+  std::printf("locality probe — %s\n", m.name.c_str());
+  std::printf("problem: %zu x %zu, base cutoff %zu, CAPS bfs depth %zu\n\n",
+              n, n, cutoff, bfs_depth);
+
+  try {
+    const auto strassen_r = cachesim::strassen_locality(n, cutoff, m);
+    const auto caps_r = cachesim::caps_locality(n, cutoff, bfs_depth, m);
+
+    harness::TextTable table({"algorithm", "logical bytes", "DRAM bytes",
+                              "DRAM %", "L1 miss", "L2 miss", "LLC miss"});
+    const auto add = [&](const char* name,
+                         const cachesim::LocalityReport& r) {
+      std::vector<std::string> row{
+          name,
+          harness::fmt_si(static_cast<double>(r.logical_bytes), 2),
+          harness::fmt_si(static_cast<double>(r.dram_bytes), 2),
+          harness::fmt(r.dram_fraction() * 100.0, 1) + "%"};
+      for (std::size_t l = 0; l < 3; ++l) {
+        row.push_back(
+            l < r.levels.size()
+                ? harness::fmt(r.levels[l].miss_ratio() * 100.0, 1) + "%"
+                : "-");
+      }
+      table.add_row(row);
+    };
+    add("Strassen", strassen_r);
+    add("CAPS", caps_r);
+    std::printf("%s", table.str().c_str());
+
+    std::printf(
+        "\nwhat to try:\n"
+        "  %s 1024          — watch the DRAM column jump once 3n^2 "
+        "doubles\n"
+        "                     no longer fit the LLC\n"
+        "  %s 512 256       — a fat base case thrashes L1 (the blocking\n"
+        "                     the paper's cutoff-64 choice avoids)\n"
+        "  %s 512 64 0      — pure-DFS CAPS: less buffer, different "
+        "reuse\n",
+        argv[0], argv[0], argv[0]);
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

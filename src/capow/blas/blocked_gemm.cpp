@@ -1,0 +1,168 @@
+#include "capow/blas/blocked_gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "capow/blas/gemm_ref.hpp"
+#include "capow/tasking/parallel_for.hpp"
+#include "capow/trace/counters.hpp"
+
+namespace capow::blas {
+
+namespace {
+
+// Packs the mc_cur x kc_cur block of A anchored at (ic, pc) into
+// mr-high row stripes laid out kernel-friendly: stripe-major, then
+// k-index, then row-in-stripe. Edge rows are zero-padded so the kernel
+// never branches on the A side.
+void pack_a(linalg::ConstMatrixView a, std::size_t ic, std::size_t pc,
+            std::size_t mc_cur, std::size_t kc_cur, std::size_t mr,
+            double* buf) {
+  std::size_t out = 0;
+  for (std::size_t ir = 0; ir < mc_cur; ir += mr) {
+    const std::size_t rows = std::min(mr, mc_cur - ir);
+    for (std::size_t p = 0; p < kc_cur; ++p) {
+      for (std::size_t r = 0; r < mr; ++r) {
+        buf[out++] = r < rows ? a(ic + ir + r, pc + p) : 0.0;
+      }
+    }
+  }
+  trace::count_dram_read(mc_cur * kc_cur * sizeof(double));
+}
+
+// Packs the kc_cur x nc_cur panel of B anchored at (pc, jc) into nr-wide
+// column stripes (stripe-major, then k-index, then column-in-stripe),
+// zero-padding edge columns.
+void pack_b(linalg::ConstMatrixView b, std::size_t pc, std::size_t jc,
+            std::size_t kc_cur, std::size_t nc_cur, std::size_t nr,
+            double* buf) {
+  std::size_t out = 0;
+  for (std::size_t jr = 0; jr < nc_cur; jr += nr) {
+    const std::size_t cols = std::min(nr, nc_cur - jr);
+    for (std::size_t p = 0; p < kc_cur; ++p) {
+      const double* brow = b.row(pc + p);
+      for (std::size_t cdx = 0; cdx < nr; ++cdx) {
+        buf[out++] = cdx < cols ? brow[jc + jr + cdx] : 0.0;
+      }
+    }
+  }
+  trace::count_dram_read(kc_cur * nc_cur * sizeof(double));
+}
+
+// mr x nr register-tile microkernel over packed stripes:
+//   Ctile += Astripe(kc x mr) * Bstripe(kc x nr)
+// `rows`/`cols` handle C-edge tiles; the packed stripes are padded so
+// the inner loop is always full-width.
+template <std::size_t MR, std::size_t NR>
+void micro_kernel(const double* astripe, const double* bstripe,
+                  std::size_t kc_cur, linalg::MatrixView c, std::size_t i0,
+                  std::size_t j0, std::size_t rows, std::size_t cols) {
+  double acc[MR][NR] = {};
+  for (std::size_t p = 0; p < kc_cur; ++p) {
+    const double* ap = astripe + p * MR;
+    const double* bp = bstripe + p * NR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const double ar = ap[r];
+      for (std::size_t cdx = 0; cdx < NR; ++cdx) {
+        acc[r][cdx] += ar * bp[cdx];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* crow = c.row(i0 + r) + j0;
+    for (std::size_t cdx = 0; cdx < cols; ++cdx) crow[cdx] += acc[r][cdx];
+  }
+}
+
+struct AlignedScratch {
+  std::vector<double> storage;
+  double* get(std::size_t count) {
+    if (storage.size() < count) storage.resize(count);
+    return storage.data();
+  }
+};
+
+// Multiplies one packed A block against the packed B panel, accumulating
+// into the C tile anchored at (ic, jc).
+void block_multiply(const double* packed_a, const double* packed_b,
+                    std::size_t mc_cur, std::size_t nc_cur,
+                    std::size_t kc_cur, const BlockingParams& bp,
+                    linalg::MatrixView c, std::size_t ic, std::size_t jc) {
+  for (std::size_t jr = 0; jr < nc_cur; jr += bp.nr) {
+    const double* bstripe = packed_b + jr * kc_cur;
+    const std::size_t cols = std::min(bp.nr, nc_cur - jr);
+    for (std::size_t ir = 0; ir < mc_cur; ir += bp.mr) {
+      const double* astripe = packed_a + ir * kc_cur;
+      const std::size_t rows = std::min(bp.mr, mc_cur - ir);
+      micro_kernel<4, 4>(astripe, bstripe, kc_cur, c, ic + ir, jc + jr,
+                         rows, cols);
+    }
+  }
+  // One C tile pass: read + write mc x nc, plus the 2*mc*nc*kc flops.
+  trace::count_dram_read(mc_cur * nc_cur * sizeof(double));
+  trace::count_dram_write(mc_cur * nc_cur * sizeof(double));
+  trace::count_flops(2ull * mc_cur * nc_cur * kc_cur);
+}
+
+}  // namespace
+
+void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                  linalg::MatrixView c, const BlockingParams& bp,
+                  tasking::ThreadPool* pool) {
+  check_gemm_shapes(a, b, c);
+  if (bp.mr != 4 || bp.nr != 4) {
+    throw std::invalid_argument(
+        "blocked_gemm: this build provides a 4x4 microkernel");
+  }
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+
+  c.zero();
+  trace::count_dram_write(m * n * sizeof(double));
+
+  AlignedScratch b_scratch;
+  for (std::size_t jc = 0; jc < n; jc += bp.nc) {
+    const std::size_t nc_cur = std::min(bp.nc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += bp.kc) {
+      const std::size_t kc_cur = std::min(bp.kc, k - pc);
+      const std::size_t padded_nc = ((nc_cur + bp.nr - 1) / bp.nr) * bp.nr;
+      double* packed_b = b_scratch.get(padded_nc * kc_cur);
+      pack_b(b, pc, jc, kc_cur, nc_cur, bp.nr, packed_b);
+
+      const std::size_t mblocks = (m + bp.mc - 1) / bp.mc;
+      auto body = [&](std::size_t blk_lo, std::size_t blk_hi) {
+        AlignedScratch a_scratch;
+        for (std::size_t blk = blk_lo; blk < blk_hi; ++blk) {
+          const std::size_t ic = blk * bp.mc;
+          const std::size_t mc_cur = std::min(bp.mc, m - ic);
+          const std::size_t padded_mc =
+              ((mc_cur + bp.mr - 1) / bp.mr) * bp.mr;
+          double* packed_a = a_scratch.get(padded_mc * kc_cur);
+          pack_a(a, ic, pc, mc_cur, kc_cur, bp.mr, packed_a);
+          block_multiply(packed_a, packed_b, mc_cur, nc_cur, kc_cur, bp, c,
+                         ic, jc);
+        }
+      };
+      if (pool != nullptr && pool->concurrency() > 1 && mblocks > 1) {
+        tasking::parallel_for(*pool, 0, mblocks, body);
+        trace::count_sync();
+      } else {
+        body(0, mblocks);
+      }
+    }
+  }
+}
+
+void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                  linalg::MatrixView c, const machine::MachineSpec& spec,
+                  tasking::ThreadPool* pool) {
+  blocked_gemm(a, b, c, select_blocking(spec), pool);
+}
+
+void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                  linalg::MatrixView c, tasking::ThreadPool* pool) {
+  blocked_gemm(a, b, c, default_blocking(), pool);
+}
+
+}  // namespace capow::blas

@@ -1,0 +1,37 @@
+// Goto-style packed, blocked DGEMM — the paper's "OpenBLAS tuned"
+// baseline (Algorithm 1).
+//
+// Structure: C is swept in nc-wide column panels; for each kc-deep slice
+// the B panel is packed once (LLC-resident), then mc x kc blocks of A are
+// packed (L2-resident) and an mr x nr register microkernel accumulates
+// into C tiles. Parallelism is work-sharing over the mc row blocks, the
+// same loop OpenBLAS threads via OpenMP on the paper's platform.
+//
+// Every pack and C-tile update records its logical streaming traffic via
+// capow::trace so that instrumented runs can be checked against the
+// closed-form cost model (cost_model.hpp) byte-for-byte.
+#pragma once
+
+#include "capow/blas/blocking.hpp"
+#include "capow/linalg/matrix.hpp"
+#include "capow/tasking/thread_pool.hpp"
+
+namespace capow::blas {
+
+/// C = A * B with explicit blocking parameters.
+/// `pool` may be null (serial execution). Shapes are validated.
+void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                  linalg::MatrixView c, const BlockingParams& bp,
+                  tasking::ThreadPool* pool = nullptr);
+
+/// C = A * B with blocking chosen for `spec` via select_blocking().
+void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                  linalg::MatrixView c, const machine::MachineSpec& spec,
+                  tasking::ThreadPool* pool = nullptr);
+
+/// C = A * B with default blocking.
+void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                  linalg::MatrixView c,
+                  tasking::ThreadPool* pool = nullptr);
+
+}  // namespace capow::blas

@@ -1,0 +1,23 @@
+// Reference (naive) GEMM — ground truth for every other multiplier.
+#pragma once
+
+#include "capow/linalg/matrix.hpp"
+
+namespace capow::blas {
+
+/// C = A * B using the ijk triple loop. O(n^3), no blocking, no
+/// instrumentation; exists purely as the correctness oracle.
+/// Throws std::invalid_argument on shape mismatch.
+void gemm_reference(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                    linalg::MatrixView c);
+
+/// C += A * B, reference version.
+void gemm_reference_accumulate(linalg::ConstMatrixView a,
+                               linalg::ConstMatrixView b,
+                               linalg::MatrixView c);
+
+/// Validates shapes for C = A(m x k) * B(k x n); throws on mismatch.
+void check_gemm_shapes(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                       linalg::ConstMatrixView c);
+
+}  // namespace capow::blas

@@ -1,0 +1,121 @@
+#include "capow/cachesim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace capow::cachesim {
+
+void CacheConfig::validate() const {
+  if (capacity_bytes == 0 || associativity == 0 || line_bytes == 0) {
+    throw std::invalid_argument("CacheConfig: zero field");
+  }
+  if (!std::has_single_bit(static_cast<std::uint64_t>(line_bytes))) {
+    throw std::invalid_argument("CacheConfig: line size not a power of 2");
+  }
+  if (capacity_bytes %
+          (static_cast<std::size_t>(associativity) * line_bytes) !=
+      0) {
+    throw std::invalid_argument(
+        "CacheConfig: capacity not divisible into whole sets");
+  }
+}
+
+LruCache::LruCache(CacheConfig config) : config_(config) {
+  config_.validate();
+  num_sets_ = config_.sets();
+  line_shift_ =
+      static_cast<unsigned>(std::countr_zero(
+          static_cast<std::uint64_t>(config_.line_bytes)));
+  ways_.assign(num_sets_ * config_.associativity, Way{});
+}
+
+bool LruCache::access(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::size_t set = set_of(line);
+  Way* base = ways_.data() + set * config_.associativity;
+  ++stats_.accesses;
+  ++clock_;
+
+  Way* victim = base;
+  for (unsigned w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line) {
+      way.last_use = clock_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  victim->tag = line;
+  victim->valid = true;
+  victim->last_use = clock_;
+  return false;
+}
+
+bool LruCache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = addr >> line_shift_;
+  const Way* base = ways_.data() + set_of(line) * config_.associativity;
+  for (unsigned w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == line) return true;
+  }
+  return false;
+}
+
+void LruCache::reset() {
+  ways_.assign(ways_.size(), Way{});
+  clock_ = 0;
+  stats_ = LevelStats{};
+}
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig>& levels) {
+  if (levels.empty()) {
+    throw std::invalid_argument("CacheHierarchy: no levels");
+  }
+  levels_.reserve(levels.size());
+  for (const auto& cfg : levels) levels_.emplace_back(cfg);
+}
+
+CacheHierarchy CacheHierarchy::from_machine(
+    const machine::MachineSpec& spec) {
+  std::vector<CacheConfig> levels;
+  for (const auto& c : spec.caches) {
+    levels.push_back(CacheConfig{
+        .capacity_bytes = c.capacity_bytes,
+        .associativity = 8,
+        .line_bytes = c.line_bytes,
+    });
+  }
+  if (levels.empty()) {
+    throw std::invalid_argument(
+        "CacheHierarchy::from_machine: machine has no caches");
+  }
+  return CacheHierarchy(levels);
+}
+
+void CacheHierarchy::access(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const unsigned line = levels_.front().config().line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + bytes - 1) / line;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    const std::uint64_t a = l * line;
+    for (auto& level : levels_) {
+      if (level.access(a)) break;  // hit: upper levels filled on the way
+    }
+  }
+}
+
+std::uint64_t CacheHierarchy::dram_bytes() const noexcept {
+  const auto& llc = levels_.back();
+  return llc.stats().misses() * llc.config().line_bytes;
+}
+
+void CacheHierarchy::reset() {
+  for (auto& level : levels_) level.reset();
+}
+
+}  // namespace capow::cachesim

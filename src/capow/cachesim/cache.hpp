@@ -1,0 +1,114 @@
+// capow::cachesim — a set-associative LRU cache hierarchy simulator.
+//
+// The cost models classify each algorithm phase's traffic as
+// DRAM-bound or cache-resident with closed-form working-set rules
+// (strassen/caps cost_model.cpp). Those rules are heuristics; this
+// module provides the ground truth they are tested against: replay an
+// algorithm's exact serial access structure through a simulated
+// L1/L2/LLC hierarchy and count what actually misses to DRAM.
+//
+// The simulator is line-granular and demand-driven: an access walks the
+// levels top-down, hits fill upper levels (inclusive allocation), and
+// LLC misses count as DRAM traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "capow/machine/machine.hpp"
+
+namespace capow::cachesim {
+
+/// One cache level's geometry.
+struct CacheConfig {
+  std::size_t capacity_bytes = 0;
+  unsigned associativity = 8;
+  unsigned line_bytes = 64;
+
+  std::size_t sets() const noexcept {
+    return capacity_bytes / (static_cast<std::size_t>(associativity) *
+                             line_bytes);
+  }
+  /// Throws std::invalid_argument for non-power-of-two line size, zero
+  /// fields, or capacity not divisible into whole sets.
+  void validate() const;
+};
+
+/// Hit/miss accounting for one level.
+struct LevelStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+
+  std::uint64_t misses() const noexcept { return accesses - hits; }
+  double miss_ratio() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses()) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// Single-level set-associative LRU cache over 64-bit line addresses.
+class LruCache {
+ public:
+  explicit LruCache(CacheConfig config);
+
+  /// Accesses the line containing `addr`; returns true on hit. On miss
+  /// the line is filled (LRU victim evicted).
+  bool access(std::uint64_t addr);
+
+  /// True when the line is currently resident (no state change).
+  bool contains(std::uint64_t addr) const;
+
+  const CacheConfig& config() const noexcept { return config_; }
+  const LevelStats& stats() const noexcept { return stats_; }
+  void reset();
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  std::size_t set_of(std::uint64_t line) const noexcept {
+    return line % num_sets_;
+  }
+
+  CacheConfig config_;
+  std::size_t num_sets_;
+  unsigned line_shift_;
+  std::vector<Way> ways_;  // num_sets_ * associativity
+  std::uint64_t clock_ = 0;
+  LevelStats stats_;
+};
+
+/// An L1 -> ... -> LLC hierarchy. Accesses walk down on miss; every
+/// LLC miss is DRAM traffic.
+class CacheHierarchy {
+ public:
+  /// Levels ordered L1 first. Throws when empty.
+  explicit CacheHierarchy(const std::vector<CacheConfig>& levels);
+
+  /// Builds the single-core view of a machine's hierarchy (private
+  /// levels at their per-core capacity, the shared LLC in full).
+  static CacheHierarchy from_machine(const machine::MachineSpec& spec);
+
+  /// Touches `bytes` starting at `addr`, line by line.
+  void access(std::uint64_t addr, std::size_t bytes);
+
+  std::size_t level_count() const noexcept { return levels_.size(); }
+  const LevelStats& level_stats(std::size_t i) const {
+    return levels_.at(i).stats();
+  }
+
+  /// Bytes that missed the last level (misses * line size).
+  std::uint64_t dram_bytes() const noexcept;
+
+  void reset();
+
+ private:
+  std::vector<LruCache> levels_;
+};
+
+}  // namespace capow::cachesim

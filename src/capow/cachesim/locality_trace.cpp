@@ -1,0 +1,382 @@
+#include "capow/cachesim/locality_trace.hpp"
+
+#include <stdexcept>
+
+#include "capow/linalg/ops.hpp"
+
+namespace capow::cachesim {
+
+namespace {
+
+constexpr std::uint64_t kWord = sizeof(double);
+
+/// A rectangular window of the traced address space (strided like a
+/// MatrixView: rows of `cols` doubles, `ld` doubles apart).
+struct Region {
+  std::uint64_t addr = 0;  // byte address of element (0, 0)
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t ld = 0;  // row stride in doubles
+
+  Region quadrant(int which) const {
+    const std::size_t hr = rows / 2;
+    const std::size_t hc = cols / 2;
+    Region q{addr, hr, hc, ld};
+    if (which == 1 || which == 3) q.addr += hc * kWord;
+    if (which == 2 || which == 3) q.addr += hr * ld * kWord;
+    return q;
+  }
+  std::size_t elems() const noexcept { return rows * cols; }
+};
+
+/// Bump/stack allocator mirroring the implementations' nested Matrix
+/// lifetimes: child buffers live above their parents and are released
+/// in LIFO order.
+class RegionAllocator {
+ public:
+  explicit RegionAllocator(std::uint64_t base) : top_(base) {}
+
+  Region alloc(std::size_t n) {
+    const std::uint64_t addr = top_;
+    top_ += (n * n * kWord + 63) / 64 * 64;
+    return Region{addr, n, n, n};
+  }
+  std::uint64_t mark() const noexcept { return top_; }
+  void release(std::uint64_t m) noexcept { top_ = m; }
+
+ private:
+  std::uint64_t top_;
+};
+
+/// Shared replay context: the hierarchy plus logical-byte accounting.
+struct Tracer {
+  CacheHierarchy hierarchy;
+  std::uint64_t logical_bytes = 0;
+
+  void touch(const Region& r) {
+    for (std::size_t i = 0; i < r.rows; ++i) {
+      hierarchy.access(r.addr + i * r.ld * kWord, r.cols * kWord);
+    }
+  }
+
+  // Binary elementwise op: read a, read b, write dst (3 words/element).
+  void op3(const Region& a, const Region& b, const Region& dst) {
+    touch(a);
+    touch(b);
+    touch(dst);
+    logical_bytes += 3 * dst.elems() * kWord;
+  }
+  // In-place accumulate: dst read+write plus src read — the same 3
+  // words/element convention the instrumentation uses.
+  void acc(const Region& dst, const Region& src) {
+    touch(src);
+    touch(dst);  // read-modify-write: one walk covers both directions
+    logical_bytes += 3 * dst.elems() * kWord;
+  }
+  void copy2(const Region& src, const Region& dst) {
+    touch(src);
+    touch(dst);
+    logical_bytes += 2 * dst.elems() * kWord;
+  }
+  void zero(const Region& dst) {
+    touch(dst);
+    logical_bytes += dst.elems() * kWord;
+  }
+
+  // Base multiply, real access shape: per output row, stream the A row,
+  // all of B, and the C row. Logical accounting keeps the
+  // instrumentation's 3 b^2 convention.
+  void base_multiply(const Region& a, const Region& b, const Region& c) {
+    for (std::size_t i = 0; i < c.rows; ++i) {
+      hierarchy.access(a.addr + i * a.ld * kWord, a.cols * kWord);
+      touch(b);
+      hierarchy.access(c.addr + i * c.ld * kWord, c.cols * kWord);
+    }
+    logical_bytes += 3 * c.elems() * kWord;
+  }
+};
+
+// ---- classic Strassen replay (mirrors strassen.cpp's serial order).
+
+void strassen_recurse(Tracer& t, RegionAllocator& heap, const Region& a,
+                      const Region& b, const Region& c,
+                      std::size_t cutoff) {
+  const std::size_t n = a.rows;
+  if (n <= cutoff) {
+    t.base_multiply(a, b, c);
+    return;
+  }
+  const std::size_t h = n / 2;
+  const Region a11 = a.quadrant(0), a12 = a.quadrant(1),
+               a21 = a.quadrant(2), a22 = a.quadrant(3);
+  const Region b11 = b.quadrant(0), b12 = b.quadrant(1),
+               b21 = b.quadrant(2), b22 = b.quadrant(3);
+  const Region c11 = c.quadrant(0), c12 = c.quadrant(1),
+               c21 = c.quadrant(2), c22 = c.quadrant(3);
+
+  const std::uint64_t node_mark = heap.mark();
+  Region m[7];
+  for (auto& mi : m) mi = heap.alloc(h);
+
+  const auto product = [&](int i) {
+    const std::uint64_t mark = heap.mark();
+    switch (i) {
+      case 0: {
+        Region ta = heap.alloc(h), tb = heap.alloc(h);
+        t.op3(a11, a22, ta);
+        t.op3(b11, b22, tb);
+        strassen_recurse(t, heap, ta, tb, m[0], cutoff);
+        break;
+      }
+      case 1: {
+        Region ta = heap.alloc(h);
+        t.op3(a21, a22, ta);
+        strassen_recurse(t, heap, ta, b11, m[1], cutoff);
+        break;
+      }
+      case 2: {
+        Region tb = heap.alloc(h);
+        t.op3(b12, b22, tb);
+        strassen_recurse(t, heap, a11, tb, m[2], cutoff);
+        break;
+      }
+      case 3: {
+        Region tb = heap.alloc(h);
+        t.op3(b21, b11, tb);
+        strassen_recurse(t, heap, a22, tb, m[3], cutoff);
+        break;
+      }
+      case 4: {
+        Region ta = heap.alloc(h);
+        t.op3(a11, a12, ta);
+        strassen_recurse(t, heap, ta, b22, m[4], cutoff);
+        break;
+      }
+      case 5: {
+        Region ta = heap.alloc(h), tb = heap.alloc(h);
+        t.op3(a21, a11, ta);
+        t.op3(b11, b12, tb);
+        strassen_recurse(t, heap, ta, tb, m[5], cutoff);
+        break;
+      }
+      case 6: {
+        Region ta = heap.alloc(h), tb = heap.alloc(h);
+        t.op3(a12, a22, ta);
+        t.op3(b21, b22, tb);
+        strassen_recurse(t, heap, ta, tb, m[6], cutoff);
+        break;
+      }
+      default:
+        break;
+    }
+    heap.release(mark);
+  };
+  for (int i = 0; i < 7; ++i) product(i);
+
+  // Combine: C11 = M1+M4-M5+M7, C12 = M3+M5, C21 = M2+M4,
+  // C22 = M1-M2+M3+M6 — 8 ops, as implemented.
+  t.op3(m[0], m[3], c11);
+  t.acc(c11, m[4]);
+  t.acc(c11, m[6]);
+  t.op3(m[2], m[4], c12);
+  t.op3(m[1], m[3], c21);
+  t.op3(m[0], m[1], c22);
+  t.acc(c22, m[2]);
+  t.acc(c22, m[5]);
+  heap.release(node_mark);
+}
+
+// ---- CAPS replay (mirrors caps.cpp's serial order).
+
+void caps_recurse(Tracer& t, RegionAllocator& heap, const Region& a,
+                  const Region& b, const Region& c, std::size_t cutoff,
+                  std::size_t bfs_depth, std::size_t depth) {
+  const std::size_t n = a.rows;
+  if (n <= cutoff) {
+    t.base_multiply(a, b, c);
+    return;
+  }
+  const std::size_t h = n / 2;
+  const Region a11 = a.quadrant(0), a12 = a.quadrant(1),
+               a21 = a.quadrant(2), a22 = a.quadrant(3);
+  const Region b11 = b.quadrant(0), b12 = b.quadrant(1),
+               b21 = b.quadrant(2), b22 = b.quadrant(3);
+  const Region c11 = c.quadrant(0), c12 = c.quadrant(1),
+               c21 = c.quadrant(2), c22 = c.quadrant(3);
+
+  if (depth < bfs_depth) {
+    // BFS: materialize all 14 operands, then the 7 products, then
+    // combine.
+    const std::uint64_t mark = heap.mark();
+    Region la[7], lb[7], q[7];
+    for (int i = 0; i < 7; ++i) la[i] = heap.alloc(h);
+    for (int i = 0; i < 7; ++i) lb[i] = heap.alloc(h);
+    for (int i = 0; i < 7; ++i) q[i] = heap.alloc(h);
+
+    t.op3(a11, a22, la[0]);
+    t.op3(a21, a22, la[1]);
+    t.copy2(a11, la[2]);
+    t.copy2(a22, la[3]);
+    t.op3(a11, a12, la[4]);
+    t.op3(a21, a11, la[5]);
+    t.op3(a12, a22, la[6]);
+    t.op3(b11, b22, lb[0]);
+    t.copy2(b11, lb[1]);
+    t.op3(b12, b22, lb[2]);
+    t.op3(b21, b11, lb[3]);
+    t.copy2(b22, lb[4]);
+    t.op3(b11, b12, lb[5]);
+    t.op3(b21, b22, lb[6]);
+
+    for (int i = 0; i < 7; ++i) {
+      caps_recurse(t, heap, la[i], lb[i], q[i], cutoff, bfs_depth,
+                   depth + 1);
+    }
+
+    t.op3(q[0], q[3], c11);
+    t.acc(c11, q[4]);
+    t.acc(c11, q[6]);
+    t.op3(q[2], q[4], c12);
+    t.op3(q[1], q[3], c21);
+    t.op3(q[0], q[1], c22);
+    t.acc(c22, q[2]);
+    t.acc(c22, q[5]);
+    heap.release(mark);
+    return;
+  }
+
+  // DFS: zero C, one live product buffer, streaming accumulation.
+  t.zero(c);
+  const std::uint64_t mark = heap.mark();
+  Region q = heap.alloc(h);
+  for (int i = 0; i < 7; ++i) {
+    const std::uint64_t pmark = heap.mark();
+    Region lhs, rhs;
+    switch (i) {
+      case 0: {
+        Region ta = heap.alloc(h), tb = heap.alloc(h);
+        t.op3(a11, a22, ta);
+        t.op3(b11, b22, tb);
+        lhs = ta;
+        rhs = tb;
+        break;
+      }
+      case 1: {
+        Region ta = heap.alloc(h);
+        t.op3(a21, a22, ta);
+        lhs = ta;
+        rhs = b11;
+        break;
+      }
+      case 2: {
+        Region tb = heap.alloc(h);
+        t.op3(b12, b22, tb);
+        lhs = a11;
+        rhs = tb;
+        break;
+      }
+      case 3: {
+        Region tb = heap.alloc(h);
+        t.op3(b21, b11, tb);
+        lhs = a22;
+        rhs = tb;
+        break;
+      }
+      case 4: {
+        Region ta = heap.alloc(h);
+        t.op3(a11, a12, ta);
+        lhs = ta;
+        rhs = b22;
+        break;
+      }
+      case 5: {
+        Region ta = heap.alloc(h), tb = heap.alloc(h);
+        t.op3(a21, a11, ta);
+        t.op3(b11, b12, tb);
+        lhs = ta;
+        rhs = tb;
+        break;
+      }
+      case 6: {
+        Region ta = heap.alloc(h), tb = heap.alloc(h);
+        t.op3(a12, a22, ta);
+        t.op3(b21, b22, tb);
+        lhs = ta;
+        rhs = tb;
+        break;
+      }
+      default:
+        break;
+    }
+    caps_recurse(t, heap, lhs, rhs, q, cutoff, bfs_depth, depth + 1);
+    switch (i) {
+      case 0: t.acc(c11, q); t.acc(c22, q); break;
+      case 1: t.acc(c21, q); t.acc(c22, q); break;
+      case 2: t.acc(c12, q); t.acc(c22, q); break;
+      case 3: t.acc(c11, q); t.acc(c21, q); break;
+      case 4: t.acc(c11, q); t.acc(c12, q); break;
+      case 5: t.acc(c22, q); break;
+      case 6: t.acc(c11, q); break;
+      default: break;
+    }
+    heap.release(pmark);
+  }
+  heap.release(mark);
+}
+
+struct Operands {
+  Region a, b, c;
+  std::uint64_t heap_base;
+};
+
+Operands layout(std::size_t n) {
+  const std::uint64_t bytes = n * n * kWord;
+  return Operands{Region{0, n, n, n}, Region{bytes, n, n, n},
+                  Region{2 * bytes, n, n, n}, 3 * bytes};
+}
+
+void validate_args(std::size_t n, std::size_t cutoff) {
+  if (cutoff == 0) {
+    throw std::invalid_argument("locality trace: zero cutoff");
+  }
+  if (linalg::pad_dimension_for_recursion(n, cutoff) != n) {
+    throw std::invalid_argument(
+        "locality trace: n must be base*2^k for the cutoff (no padding)");
+  }
+}
+
+LocalityReport finish(Tracer& t) {
+  LocalityReport r;
+  r.logical_bytes = t.logical_bytes;
+  r.dram_bytes = t.hierarchy.dram_bytes();
+  for (std::size_t i = 0; i < t.hierarchy.level_count(); ++i) {
+    r.levels.push_back(t.hierarchy.level_stats(i));
+  }
+  return r;
+}
+
+}  // namespace
+
+LocalityReport strassen_locality(std::size_t n, std::size_t base_cutoff,
+                                 const machine::MachineSpec& spec) {
+  validate_args(n, base_cutoff);
+  const Operands ops = layout(n);
+  Tracer t{CacheHierarchy::from_machine(spec)};
+  RegionAllocator heap(ops.heap_base);
+  strassen_recurse(t, heap, ops.a, ops.b, ops.c, base_cutoff);
+  return finish(t);
+}
+
+LocalityReport caps_locality(std::size_t n, std::size_t base_cutoff,
+                             std::size_t bfs_cutoff_depth,
+                             const machine::MachineSpec& spec) {
+  validate_args(n, base_cutoff);
+  const Operands ops = layout(n);
+  Tracer t{CacheHierarchy::from_machine(spec)};
+  RegionAllocator heap(ops.heap_base);
+  caps_recurse(t, heap, ops.a, ops.b, ops.c, base_cutoff,
+               bfs_cutoff_depth, 0);
+  return finish(t);
+}
+
+}  // namespace capow::cachesim

@@ -1,0 +1,423 @@
+#include "capow/capsalg/caps.hpp"
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "capow/linalg/ops.hpp"
+#include "capow/linalg/partition.hpp"
+#include "capow/strassen/base_kernel.hpp"
+#include "capow/strassen/counted_ops.hpp"
+#include "capow/tasking/parallel_for.hpp"
+#include "capow/tasking/task_group.hpp"
+#include "capow/trace/counters.hpp"
+
+namespace capow::capsalg {
+
+namespace {
+
+using linalg::ConstMatrixView;
+using linalg::Matrix;
+using linalg::MatrixView;
+using linalg::Quadrants;
+using strassen::counted_add;
+using strassen::counted_add_inplace;
+using strassen::counted_copy;
+using strassen::counted_sub;
+using strassen::counted_sub_inplace;
+
+struct Ctx {
+  CapsOptions opts;
+  tasking::ThreadPool* pool;
+  std::atomic<std::uint64_t> cur_bytes{0};
+  std::atomic<std::uint64_t> peak_bytes{0};
+  std::atomic<std::uint64_t> bfs_nodes{0};
+  std::atomic<std::uint64_t> dfs_nodes{0};
+  std::atomic<std::uint64_t> base_products{0};
+
+  void track_alloc(std::uint64_t bytes) {
+    const std::uint64_t now =
+        cur_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t peak = peak_bytes.load(std::memory_order_relaxed);
+    while (now > peak && !peak_bytes.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  void track_free(std::uint64_t bytes) {
+    cur_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+};
+
+/// An h x h scratch matrix whose allocation is charged against the CAPS
+/// buffer high-water mark (the "additional buffer memory" of BFS).
+class TrackedMatrix {
+ public:
+  TrackedMatrix(Ctx& ctx, std::size_t h)
+      : ctx_(&ctx), bytes_(h * h * sizeof(double)), m_(h, h) {
+    ctx_->track_alloc(bytes_);
+  }
+  ~TrackedMatrix() { ctx_->track_free(bytes_); }
+  TrackedMatrix(const TrackedMatrix&) = delete;
+  TrackedMatrix& operator=(const TrackedMatrix&) = delete;
+
+  MatrixView view() { return m_.view(); }
+  ConstMatrixView cview() const { return m_.view(); }
+
+ private:
+  Ctx* ctx_;
+  std::uint64_t bytes_;
+  Matrix m_;
+};
+
+void recurse(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
+             std::size_t depth);
+
+// Materializes BFS operand i of the A side (classic scheme) into dst.
+void materialize_a(int i, const Quadrants<ConstMatrixView>& qa,
+                   MatrixView dst) {
+  switch (i) {
+    case 0: counted_add(qa.q11, qa.q22, dst); break;
+    case 1: counted_add(qa.q21, qa.q22, dst); break;
+    case 2: counted_copy(qa.q11, dst); break;
+    case 3: counted_copy(qa.q22, dst); break;
+    case 4: counted_add(qa.q11, qa.q12, dst); break;
+    case 5: counted_sub(qa.q21, qa.q11, dst); break;
+    case 6: counted_sub(qa.q12, qa.q22, dst); break;
+    default: break;
+  }
+}
+
+void materialize_b(int i, const Quadrants<ConstMatrixView>& qb,
+                   MatrixView dst) {
+  switch (i) {
+    case 0: counted_add(qb.q11, qb.q22, dst); break;
+    case 1: counted_copy(qb.q11, dst); break;
+    case 2: counted_sub(qb.q12, qb.q22, dst); break;
+    case 3: counted_sub(qb.q21, qb.q11, dst); break;
+    case 4: counted_copy(qb.q22, dst); break;
+    case 5: counted_add(qb.q11, qb.q12, dst); break;
+    case 6: counted_add(qb.q21, qb.q22, dst); break;
+    default: break;
+  }
+}
+
+// ---- BFS level ----------------------------------------------------------
+//
+// All 14 operand combinations are buffered up front, then the 7
+// sub-products run as parallel tasks over disjoint private data, and the
+// quadrants of C are assembled in parallel.
+void bfs_step(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
+              std::size_t depth) {
+  ctx.bfs_nodes.fetch_add(1, std::memory_order_relaxed);
+  const auto qa = linalg::partition(a);
+  const auto qb = linalg::partition(b);
+  const auto qc = linalg::partition(c);
+  const std::size_t h = a.rows() / 2;
+
+  std::array<std::unique_ptr<TrackedMatrix>, 7> la;
+  std::array<std::unique_ptr<TrackedMatrix>, 7> lb;
+  std::array<std::unique_ptr<TrackedMatrix>, 7> q;
+  for (int i = 0; i < 7; ++i) {
+    la[i] = std::make_unique<TrackedMatrix>(ctx, h);
+    lb[i] = std::make_unique<TrackedMatrix>(ctx, h);
+    q[i] = std::make_unique<TrackedMatrix>(ctx, h);
+  }
+
+  const bool parallel = ctx.pool != nullptr && ctx.pool->concurrency() > 1;
+
+  // Stage 1: materialize the 14 private operands.
+  if (parallel) {
+    tasking::TaskGroup group(*ctx.pool);
+    for (int i = 0; i < 7; ++i) {
+      trace::count_task_spawn(2);
+      group.run([&, i] { materialize_a(i, qa, la[i]->view()); });
+      group.run([&, i] { materialize_b(i, qb, lb[i]->view()); });
+    }
+    group.wait();
+    trace::count_sync();
+  } else {
+    for (int i = 0; i < 7; ++i) {
+      materialize_a(i, qa, la[i]->view());
+      materialize_b(i, qb, lb[i]->view());
+    }
+  }
+
+  // Stage 2: the seven sub-products, breadth-first on disjoint workers.
+  if (parallel) {
+    tasking::TaskGroup group(*ctx.pool);
+    for (int i = 0; i < 7; ++i) {
+      trace::count_task_spawn();
+      group.run([&, i] {
+        recurse(la[i]->cview(), lb[i]->cview(), q[i]->view(), ctx,
+                depth + 1);
+      });
+    }
+    group.wait();
+    trace::count_sync();
+  } else {
+    for (int i = 0; i < 7; ++i) {
+      recurse(la[i]->cview(), lb[i]->cview(), q[i]->view(), ctx, depth + 1);
+    }
+  }
+
+  // Stage 3: assemble C (one job per quadrant).
+  const auto combine = [&](int quadrant) {
+    switch (quadrant) {
+      case 0:  // C11 = Q1 + Q4 - Q5 + Q7
+        counted_add(q[0]->cview(), q[3]->cview(), qc.q11);
+        counted_sub_inplace(qc.q11, q[4]->cview());
+        counted_add_inplace(qc.q11, q[6]->cview());
+        break;
+      case 1:  // C12 = Q3 + Q5
+        counted_add(q[2]->cview(), q[4]->cview(), qc.q12);
+        break;
+      case 2:  // C21 = Q2 + Q4
+        counted_add(q[1]->cview(), q[3]->cview(), qc.q21);
+        break;
+      case 3:  // C22 = Q1 - Q2 + Q3 + Q6
+        counted_sub(q[0]->cview(), q[1]->cview(), qc.q22);
+        counted_add_inplace(qc.q22, q[2]->cview());
+        counted_add_inplace(qc.q22, q[5]->cview());
+        break;
+      default:
+        break;
+    }
+  };
+  if (parallel) {
+    tasking::TaskGroup group(*ctx.pool);
+    for (int quad = 0; quad < 4; ++quad) {
+      trace::count_task_spawn();
+      group.run([&combine, quad] { combine(quad); });
+    }
+    group.wait();
+    trace::count_sync();
+  } else {
+    for (int quad = 0; quad < 4; ++quad) combine(quad);
+  }
+}
+
+// ---- DFS level ----------------------------------------------------------
+//
+// The seven sub-products run in sequence; additions are work-shared
+// across all workers when the quadrants are large enough. Only one
+// product buffer is live at a time (the memory the BFS levels trade
+// away), with results streamed into C via in-place accumulation.
+
+// Work-shares a counted binary op over row blocks when profitable.
+template <typename Op>
+void shared_rows(Ctx& ctx, std::size_t rows, Op&& op) {
+  if (ctx.pool != nullptr && ctx.pool->concurrency() > 1 &&
+      rows >= ctx.opts.dfs_parallel_threshold) {
+    tasking::parallel_for(*ctx.pool, 0, rows, op);
+    trace::count_sync();
+  } else {
+    op(0, rows);
+  }
+}
+
+void dfs_add(Ctx& ctx, ConstMatrixView a, ConstMatrixView b,
+             MatrixView dst) {
+  shared_rows(ctx, dst.rows(), [&](std::size_t lo, std::size_t hi) {
+    counted_add(a.block(lo, 0, hi - lo, a.cols()),
+                b.block(lo, 0, hi - lo, b.cols()),
+                dst.block(lo, 0, hi - lo, dst.cols()));
+  });
+}
+
+void dfs_sub(Ctx& ctx, ConstMatrixView a, ConstMatrixView b,
+             MatrixView dst) {
+  shared_rows(ctx, dst.rows(), [&](std::size_t lo, std::size_t hi) {
+    counted_sub(a.block(lo, 0, hi - lo, a.cols()),
+                b.block(lo, 0, hi - lo, b.cols()),
+                dst.block(lo, 0, hi - lo, dst.cols()));
+  });
+}
+
+void dfs_acc(Ctx& ctx, MatrixView dst, ConstMatrixView src, bool negate) {
+  shared_rows(ctx, dst.rows(), [&](std::size_t lo, std::size_t hi) {
+    auto d = dst.block(lo, 0, hi - lo, dst.cols());
+    auto s = src.block(lo, 0, hi - lo, src.cols());
+    if (negate) {
+      counted_sub_inplace(d, s);
+    } else {
+      counted_add_inplace(d, s);
+    }
+  });
+}
+
+void dfs_step(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
+              std::size_t depth) {
+  ctx.dfs_nodes.fetch_add(1, std::memory_order_relaxed);
+  const auto qa = linalg::partition(a);
+  const auto qb = linalg::partition(b);
+  const auto qc = linalg::partition(c);
+  const std::size_t h = a.rows() / 2;
+
+  c.zero();
+  trace::count_dram_write(c.size() * sizeof(double));
+
+  TrackedMatrix q(ctx, h);
+  for (int i = 0; i < 7; ++i) {
+    // Form this product's operands (transient temporaries only).
+    {
+      std::unique_ptr<TrackedMatrix> ta;
+      std::unique_ptr<TrackedMatrix> tb;
+      ConstMatrixView lhs;
+      ConstMatrixView rhs;
+      switch (i) {
+        case 0:
+          ta = std::make_unique<TrackedMatrix>(ctx, h);
+          tb = std::make_unique<TrackedMatrix>(ctx, h);
+          dfs_add(ctx, qa.q11, qa.q22, ta->view());
+          dfs_add(ctx, qb.q11, qb.q22, tb->view());
+          lhs = ta->cview();
+          rhs = tb->cview();
+          break;
+        case 1:
+          ta = std::make_unique<TrackedMatrix>(ctx, h);
+          dfs_add(ctx, qa.q21, qa.q22, ta->view());
+          lhs = ta->cview();
+          rhs = qb.q11;
+          break;
+        case 2:
+          tb = std::make_unique<TrackedMatrix>(ctx, h);
+          dfs_sub(ctx, qb.q12, qb.q22, tb->view());
+          lhs = qa.q11;
+          rhs = tb->cview();
+          break;
+        case 3:
+          tb = std::make_unique<TrackedMatrix>(ctx, h);
+          dfs_sub(ctx, qb.q21, qb.q11, tb->view());
+          lhs = qa.q22;
+          rhs = tb->cview();
+          break;
+        case 4:
+          ta = std::make_unique<TrackedMatrix>(ctx, h);
+          dfs_add(ctx, qa.q11, qa.q12, ta->view());
+          lhs = ta->cview();
+          rhs = qb.q22;
+          break;
+        case 5:
+          ta = std::make_unique<TrackedMatrix>(ctx, h);
+          tb = std::make_unique<TrackedMatrix>(ctx, h);
+          dfs_sub(ctx, qa.q21, qa.q11, ta->view());
+          dfs_add(ctx, qb.q11, qb.q12, tb->view());
+          lhs = ta->cview();
+          rhs = tb->cview();
+          break;
+        case 6:
+          ta = std::make_unique<TrackedMatrix>(ctx, h);
+          tb = std::make_unique<TrackedMatrix>(ctx, h);
+          dfs_sub(ctx, qa.q12, qa.q22, ta->view());
+          dfs_add(ctx, qb.q21, qb.q22, tb->view());
+          lhs = ta->cview();
+          rhs = tb->cview();
+          break;
+        default:
+          break;
+      }
+      recurse(lhs, rhs, q.view(), ctx, depth + 1);
+    }
+    // Stream the product into the C quadrants it contributes to.
+    switch (i) {
+      case 0:  // Q1: +C11 +C22
+        dfs_acc(ctx, qc.q11, q.cview(), false);
+        dfs_acc(ctx, qc.q22, q.cview(), false);
+        break;
+      case 1:  // Q2: +C21 -C22
+        dfs_acc(ctx, qc.q21, q.cview(), false);
+        dfs_acc(ctx, qc.q22, q.cview(), true);
+        break;
+      case 2:  // Q3: +C12 +C22
+        dfs_acc(ctx, qc.q12, q.cview(), false);
+        dfs_acc(ctx, qc.q22, q.cview(), false);
+        break;
+      case 3:  // Q4: +C11 +C21
+        dfs_acc(ctx, qc.q11, q.cview(), false);
+        dfs_acc(ctx, qc.q21, q.cview(), false);
+        break;
+      case 4:  // Q5: -C11 +C12
+        dfs_acc(ctx, qc.q11, q.cview(), true);
+        dfs_acc(ctx, qc.q12, q.cview(), false);
+        break;
+      case 5:  // Q6: +C22
+        dfs_acc(ctx, qc.q22, q.cview(), false);
+        break;
+      case 6:  // Q7: +C11
+        dfs_acc(ctx, qc.q11, q.cview(), false);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void recurse(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
+             std::size_t depth) {
+  const std::size_t n = a.rows();
+  if (n <= ctx.opts.base_cutoff) {
+    ctx.base_products.fetch_add(1, std::memory_order_relaxed);
+    strassen::base_gemm(a, b, c);
+    return;
+  }
+  if (depth < ctx.opts.bfs_cutoff_depth) {
+    bfs_step(a, b, c, ctx, depth);
+  } else {
+    dfs_step(a, b, c, ctx, depth);
+  }
+}
+
+}  // namespace
+
+void caps_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                   const CapsOptions& opts, tasking::ThreadPool* pool,
+                   CapsStats* stats) {
+  if (!a.square() || !b.square() || !c.square() || a.rows() != b.rows() ||
+      a.rows() != c.rows()) {
+    throw std::invalid_argument(
+        "caps_multiply: operands must be square with equal dimension");
+  }
+  if (opts.base_cutoff == 0) {
+    throw std::invalid_argument("caps_multiply: base_cutoff == 0");
+  }
+
+  Ctx ctx{opts, pool};
+  const std::size_t n = a.rows();
+  if (n == 0) {
+    if (stats != nullptr) *stats = CapsStats{};
+    return;
+  }
+
+  if (n <= opts.base_cutoff) {
+    ctx.base_products.fetch_add(1, std::memory_order_relaxed);
+    strassen::base_gemm(a, b, c);
+  } else {
+    const std::size_t padded =
+        linalg::pad_dimension_for_recursion(n, opts.base_cutoff);
+    if (padded == n) {
+      recurse(a, b, c, ctx, 0);
+    } else {
+      Matrix ap(padded, padded), bp(padded, padded), cp(padded, padded);
+      linalg::copy_padded(a, ap.view());
+      linalg::copy_padded(b, bp.view());
+      trace::count_dram_read(2 * n * n * sizeof(double));
+      trace::count_dram_write(2 * padded * padded * sizeof(double));
+      ctx.track_alloc(3 * padded * padded * sizeof(double));
+      recurse(ap.view(), bp.view(), cp.view(), ctx, 0);
+      counted_copy(cp.block(0, 0, n, n), c);
+      ctx.track_free(3 * padded * padded * sizeof(double));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->peak_buffer_bytes =
+        ctx.peak_bytes.load(std::memory_order_relaxed);
+    stats->bfs_nodes = ctx.bfs_nodes.load(std::memory_order_relaxed);
+    stats->dfs_nodes = ctx.dfs_nodes.load(std::memory_order_relaxed);
+    stats->base_products =
+        ctx.base_products.load(std::memory_order_relaxed);
+  }
+}
+
+}  // namespace capow::capsalg

@@ -1,0 +1,60 @@
+// Communication Avoiding Parallel Strassen (CAPS) — paper Section IV-C.
+//
+// CAPS views the Strassen recursion as a tree and decides per level
+// whether to traverse breadth-first (BFS) or depth-first (DFS),
+// following the paper's Algorithm 2:
+//
+//     if DEPTH < CUTOFF_DEPTH then execute Strassen BFS
+//     else                         execute Strassen DFS
+//
+// * BFS level: all fourteen operand quadrant combinations are
+//   materialized into private buffers up front ("requires additional
+//   buffer memory"), then the seven sub-products execute in parallel on
+//   disjoint workers, each owning its private operands — the
+//   shared-memory analogue of CAPS's communication avoidance (no
+//   re-streaming of parent data, no cross-worker working-set
+//   interleaving).
+// * DFS level: the seven sub-products run in sequence, each fully
+//   work-shared across all participating workers.
+//
+// The paper's empirically chosen cutoff depth is 4; with a base cutoff
+// of 64, problems up to 4096^2 run BFS at the top levels and DFS below.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "capow/linalg/matrix.hpp"
+#include "capow/tasking/thread_pool.hpp"
+
+namespace capow::capsalg {
+
+/// Tuning knobs for caps_multiply.
+struct CapsOptions {
+  /// Dense base-kernel cutoff dimension (paper: 64).
+  std::size_t base_cutoff = 64;
+  /// Tree depth below which the traversal switches BFS -> DFS
+  /// (paper: 4).
+  std::size_t bfs_cutoff_depth = 4;
+  /// Minimum quadrant dimension for work-sharing the DFS additions.
+  std::size_t dfs_parallel_threshold = 256;
+};
+
+/// Execution statistics: the memory/communication trade CAPS makes.
+struct CapsStats {
+  std::uint64_t peak_buffer_bytes = 0;  ///< high-water buffer allocation
+  std::uint64_t bfs_nodes = 0;          ///< recursion nodes run as BFS
+  std::uint64_t dfs_nodes = 0;          ///< recursion nodes run as DFS
+  std::uint64_t base_products = 0;      ///< dense base-case multiplies
+};
+
+/// C = A * B for square matrices via CAPS. Padding, validation and
+/// instrumentation conventions match strassen_multiply. `stats` (optional)
+/// receives the traversal statistics. Throws std::invalid_argument for
+/// non-square operands or zero cutoffs.
+void caps_multiply(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                   linalg::MatrixView c, const CapsOptions& opts = {},
+                   tasking::ThreadPool* pool = nullptr,
+                   CapsStats* stats = nullptr);
+
+}  // namespace capow::capsalg

@@ -1,0 +1,264 @@
+#include "capow/capsalg/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "capow/linalg/ops.hpp"
+#include "capow/strassen/cost_model.hpp"
+#include "capow/strassen/strassen.hpp"
+
+namespace capow::capsalg {
+
+namespace {
+
+constexpr double kWord = sizeof(double);
+
+struct Geometry {
+  std::size_t n_input;
+  std::size_t n;
+  std::size_t levels;
+  std::size_t base_dim;
+  bool padded;
+};
+
+Geometry geometry(std::size_t n, std::size_t cutoff) {
+  Geometry g;
+  g.n_input = n;
+  g.n = linalg::pad_dimension_for_recursion(n, cutoff);
+  g.padded = g.n != n;
+  g.levels = strassen::recursion_levels(g.n, cutoff);
+  g.base_dim = g.n >> g.levels;
+  return g;
+}
+
+double pow7(std::size_t l) {
+  double v = 1.0;
+  for (std::size_t i = 0; i < l; ++i) v *= 7.0;
+  return v;
+}
+
+double padding_traffic(const Geometry& g) {
+  if (!g.padded) return 0.0;
+  const double n2 = static_cast<double>(g.n_input) * g.n_input;
+  const double p2 = static_cast<double>(g.n) * g.n;
+  return (2.0 * n2 + 2.0 * p2 + 2.0 * n2) * kWord;
+}
+
+double static_imbalance(double units, unsigned p) {
+  if (units <= 0.0 || p <= 1) return 1.0;
+  const double per = std::ceil(units / p);
+  return std::min(per * p / units, 4.0);
+}
+
+}  // namespace
+
+double caps_total_flops(std::size_t n, const CapsCostOptions& opts) {
+  const Geometry g = geometry(n, opts.base_cutoff);
+  if (g.n <= opts.base_cutoff) {
+    const double d = static_cast<double>(n);
+    return 2.0 * d * d * d;
+  }
+  double flops = 0.0;
+  for (std::size_t l = 0; l < g.levels; ++l) {
+    const double h = static_cast<double>(g.n >> (l + 1));
+    const bool bfs = l < opts.bfs_cutoff_depth;
+    // BFS: 10 operand + 8 combine adds; DFS: 10 operand + 12 accumulate.
+    const double ops = bfs ? 18.0 : 22.0;
+    flops += pow7(l) * ops * h * h;
+  }
+  const double b = static_cast<double>(g.base_dim);
+  flops += pow7(g.levels) * 2.0 * b * b * b;
+  return flops;
+}
+
+double caps_total_traffic_bytes(std::size_t n, const CapsCostOptions& opts) {
+  const Geometry g = geometry(n, opts.base_cutoff);
+  if (g.n <= opts.base_cutoff) {
+    const double d = static_cast<double>(n);
+    return 3.0 * d * d * kWord;
+  }
+  double bytes = padding_traffic(g);
+  for (std::size_t l = 0; l < g.levels; ++l) {
+    const double h = static_cast<double>(g.n >> (l + 1));
+    const bool bfs = l < opts.bfs_cutoff_depth;
+    // BFS: 10 ops * 3 + 4 copies * 2 + 8 combine * 3 = 62 words/elem.
+    // DFS: zero-fill (4) + 10 ops * 3 + 12 accumulates * 3 = 70.
+    const double words = bfs ? 62.0 : 70.0;
+    bytes += pow7(l) * words * h * h * kWord;
+  }
+  const double b = static_cast<double>(g.base_dim);
+  bytes += pow7(g.levels) * 3.0 * b * b * kWord;
+  return bytes;
+}
+
+double caps_peak_buffer_bytes(std::size_t n, const CapsCostOptions& opts) {
+  const Geometry g = geometry(n, opts.base_cutoff);
+  if (g.n <= opts.base_cutoff) return 0.0;
+  double bytes = g.padded ? 3.0 * static_cast<double>(g.n) * g.n * kWord : 0.0;
+  for (std::size_t l = 0; l < g.levels; ++l) {
+    const double h = static_cast<double>(g.n >> (l + 1));
+    const bool bfs = l < opts.bfs_cutoff_depth;
+    // Along one (serial) recursion spine: a BFS node keeps its 21
+    // quadrant buffers (7x LA, LB, Q) live; a DFS node keeps at most 3
+    // (Q plus transient Ta/Tb).
+    bytes += (bfs ? 21.0 : 3.0) * h * h * kWord;
+  }
+  return bytes;
+}
+
+sim::WorkProfile caps_profile(std::size_t n,
+                              const machine::MachineSpec& spec,
+                              unsigned threads,
+                              const CapsCostOptions& opts) {
+  const Geometry g = geometry(n, opts.base_cutoff);
+  const double llc = static_cast<double>(spec.llc_capacity_bytes());
+  const unsigned p_cap = std::min(threads, spec.core_count);
+
+  sim::WorkProfile wp;
+  wp.name = "caps";
+
+  if (g.n <= opts.base_cutoff) {
+    const double d = static_cast<double>(n);
+    wp.add(sim::PhaseCost{
+        .label = "base-gemm",
+        .flops = 2.0 * d * d * d,
+        .dram_bytes = 3.0 * d * d * kWord,
+        .parallelism = 1,
+        .efficiency = strassen::kBotsBaseKernelEfficiency,
+    });
+    return wp;
+  }
+
+  if (g.padded) {
+    wp.add(sim::PhaseCost{
+        .label = "padding",
+        .dram_bytes = padding_traffic(g),
+        .parallelism = 1,
+        .efficiency = 1.0,
+    });
+  }
+
+  // Concurrency of worker-owned tasks at level l: the BFS fan-out above
+  // it, capped by the cores.
+  const auto task_conc = [&](std::size_t l) -> unsigned {
+    const double fan = pow7(std::min(l, opts.bfs_cutoff_depth));
+    return static_cast<unsigned>(
+        std::max(1.0, std::min<double>(fan, p_cap)));
+  };
+
+  // CAPS's BFS levels pin one subtree per worker, so the LLC live window
+  // is exactly the worker count (no untied-task widening — this is the
+  // model's expression of communication avoidance).
+  const unsigned window = threads > 1 ? p_cap : 1u;
+  const auto dram_level = [&](double h, unsigned /*conc*/, bool first) {
+    return (3.0 * h * h * kWord * window > llc) ||
+           (first && 3.0 * static_cast<double>(g.n) * g.n * kWord > llc);
+  };
+
+  const auto add_phase = [&](const std::string& label, double flops,
+                             double traffic, unsigned conc, bool dram,
+                             double units, std::uint64_t syncs,
+                             std::uint64_t spawns) {
+    wp.add(sim::PhaseCost{
+        .label = label,
+        .flops = flops,
+        .dram_bytes = dram ? traffic : 0.0,
+        .cache_bytes = dram ? 0.0 : traffic,
+        .parallelism = conc,
+        .efficiency = strassen::kAddKernelEfficiency,
+        .imbalance = static_imbalance(units, conc),
+        .sync_events = threads > 1 ? syncs : 0,
+        .spawn_events = threads > 1 ? spawns : 0,
+    });
+  };
+
+  // Forward sweep: operand phases per level.
+  for (std::size_t l = 0; l < g.levels; ++l) {
+    const double nodes = pow7(l);
+    const double h = static_cast<double>(g.n >> (l + 1));
+    const double elems = h * h;
+    const bool bfs = l < opts.bfs_cutoff_depth;
+    if (bfs) {
+      const unsigned conc = static_cast<unsigned>(
+          std::max(1.0, std::min<double>(nodes * 14.0, p_cap)));
+      add_phase("bfs-operands@L" + std::to_string(l),
+                nodes * 10.0 * elems,
+                nodes * (10.0 * 3.0 + 4.0 * 2.0) * elems * kWord, conc,
+                dram_level(h, conc, l == 0), nodes * 14.0,
+                static_cast<std::uint64_t>(nodes) * 2,
+                static_cast<std::uint64_t>(nodes) * 21);
+    } else {
+      const unsigned conc = h >= static_cast<double>(opts.dfs_parallel_threshold)
+                                ? p_cap
+                                : task_conc(l);
+      // Includes the node's C zero-fill (4h^2 words, no flops).
+      add_phase("dfs-operands@L" + std::to_string(l),
+                nodes * 10.0 * elems,
+                nodes * (10.0 * 3.0 + 4.0) * elems * kWord, conc,
+                dram_level(h, conc, l == 0), nodes * 10.0,
+                h >= static_cast<double>(opts.dfs_parallel_threshold)
+                    ? static_cast<std::uint64_t>(nodes) * 10
+                    : 0,
+                0);
+    }
+  }
+
+  // Base products.
+  {
+    const double nodes = pow7(g.levels);
+    const double b = static_cast<double>(g.base_dim);
+    const double traffic = nodes * 3.0 * b * b * kWord;
+    const unsigned c = task_conc(g.levels);
+    const bool dram = 3.0 * b * b * kWord * window > llc;
+    wp.add(sim::PhaseCost{
+        .label = "base-products",
+        .flops = nodes * 2.0 * b * b * b,
+        .dram_bytes = dram ? traffic : 0.0,
+        .cache_bytes = dram ? 0.0 : traffic,
+        .parallelism = c,
+        .efficiency = strassen::kBotsBaseKernelEfficiency,
+        .imbalance = static_imbalance(nodes, c),
+        .sync_events =
+            threads > 1 ? static_cast<std::uint64_t>(
+                              pow7(std::min(g.levels, opts.bfs_cutoff_depth)))
+                        : 0,
+        .spawn_events =
+            threads > 1 ? static_cast<std::uint64_t>(
+                              pow7(std::min(g.levels, opts.bfs_cutoff_depth)) * 7)
+                        : 0,
+    });
+  }
+
+  // Unwind sweep: combine phases, innermost first.
+  for (std::size_t l = g.levels; l-- > 0;) {
+    const double nodes = pow7(l);
+    const double h = static_cast<double>(g.n >> (l + 1));
+    const double elems = h * h;
+    const bool bfs = l < opts.bfs_cutoff_depth;
+    if (bfs) {
+      const unsigned conc = static_cast<unsigned>(
+          std::max(1.0, std::min<double>(nodes * 4.0, p_cap)));
+      add_phase("bfs-combine@L" + std::to_string(l),
+                nodes * 8.0 * elems, nodes * 8.0 * 3.0 * elems * kWord,
+                conc, dram_level(h, conc, l == 0), nodes * 4.0,
+                static_cast<std::uint64_t>(nodes),
+                static_cast<std::uint64_t>(nodes) * 4);
+    } else {
+      const unsigned conc = h >= static_cast<double>(opts.dfs_parallel_threshold)
+                                ? p_cap
+                                : task_conc(l);
+      add_phase("dfs-accumulate@L" + std::to_string(l),
+                nodes * 12.0 * elems, nodes * 12.0 * 3.0 * elems * kWord,
+                conc, dram_level(h, conc, l == 0), nodes * 12.0,
+                h >= static_cast<double>(opts.dfs_parallel_threshold)
+                    ? static_cast<std::uint64_t>(nodes) * 12
+                    : 0,
+                0);
+    }
+  }
+
+  return wp;
+}
+
+}  // namespace capow::capsalg

@@ -1,0 +1,48 @@
+// Closed-form cost model for CAPS, mirroring caps.cpp exactly.
+//
+// Per BFS node (half-dimension h): 10 binary operand ops + 4 operand
+// copies (the extra buffering) + 8 combine ops. Per DFS node: a C
+// zero-fill, 10 operand ops and 12 streaming accumulations (DFS keeps
+// only one product buffer live, paying more adds to save memory). Raw
+// totals match the instrumentation byte-for-byte.
+//
+// The communication-avoidance property appears here as the *absence* of
+// the untied-task interleave factor the classic Strassen model pays:
+// BFS levels own disjoint operand buffers per worker, so above-LLC
+// addition traffic streams once.
+#pragma once
+
+#include <cstddef>
+
+#include "capow/capsalg/caps.hpp"
+#include "capow/machine/machine.hpp"
+#include "capow/sim/cost_profile.hpp"
+
+namespace capow::capsalg {
+
+/// Cost-model configuration (mirror of CapsOptions).
+struct CapsCostOptions {
+  std::size_t base_cutoff = 64;
+  std::size_t bfs_cutoff_depth = 4;
+  std::size_t dfs_parallel_threshold = 256;
+};
+
+/// Total flops caps_multiply() executes for dimension n.
+double caps_total_flops(std::size_t n, const CapsCostOptions& opts);
+
+/// Total logical traffic (bytes) the instrumentation counts.
+double caps_total_traffic_bytes(std::size_t n, const CapsCostOptions& opts);
+
+/// Peak tracked buffer bytes caps_multiply() allocates (the BFS
+/// memory-for-communication trade), assuming serial buffer lifetime
+/// along one BFS spine: 21 quadrant buffers per live BFS level plus the
+/// DFS transient set.
+double caps_peak_buffer_bytes(std::size_t n, const CapsCostOptions& opts);
+
+/// Simulator work profile for an n x n CAPS multiply.
+sim::WorkProfile caps_profile(std::size_t n,
+                              const machine::MachineSpec& spec,
+                              unsigned threads,
+                              const CapsCostOptions& opts = {});
+
+}  // namespace capow::capsalg

@@ -1,0 +1,47 @@
+#include "capow/core/comm_bounds.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace capow::core {
+
+double strassen_exponent() noexcept { return std::log2(7.0); }
+
+namespace {
+
+double bound_words(std::size_t n, unsigned p, double m_words,
+                   double omega) {
+  if (n == 0 || p == 0 || m_words <= 0.0) {
+    throw std::invalid_argument(
+        "communication bound: n, P, M must be positive");
+  }
+  const double nd = static_cast<double>(n);
+  const double pd = static_cast<double>(p);
+  const double memory_term =
+      std::pow(nd, omega) / (pd * std::pow(m_words, omega / 2.0 - 1.0));
+  const double bandwidth_term = nd * nd / std::pow(pd, 2.0 / omega);
+  return std::max(memory_term, bandwidth_term);
+}
+
+}  // namespace
+
+double caps_communication_bound_words(std::size_t n, unsigned p,
+                                      double m_words) {
+  return bound_words(n, p, m_words, strassen_exponent());
+}
+
+double classical_communication_bound_words(std::size_t n, unsigned p,
+                                           double m_words) {
+  return bound_words(n, p, m_words, 3.0);
+}
+
+double fast_memory_words_per_core(const machine::MachineSpec& spec) {
+  const double llc = static_cast<double>(spec.llc_capacity_bytes());
+  if (llc <= 0.0 || spec.core_count == 0) {
+    throw std::invalid_argument(
+        "fast_memory_words_per_core: machine has no cache");
+  }
+  return llc / spec.core_count / sizeof(double);
+}
+
+}  // namespace capow::core

@@ -1,0 +1,37 @@
+// Communication lower bounds (paper Eq 8 and the classical comparison).
+//
+// CAPS attains the Strassen communication lower bound
+//
+//   W = max( n^w0 / (P * M^(w0/2 - 1)),  n^2 / P^(2/w0) )
+//
+// with w0 = log2(7), P processing elements, and M words of fast/local
+// memory per element (Ballard et al.). The classical counterpart has
+// exponent 3 (2mn k / (P sqrt(M)) shape). The eq8 bench evaluates both
+// against the measured traffic of our implementations.
+#pragma once
+
+#include <cstddef>
+
+#include "capow/machine/machine.hpp"
+
+namespace capow::core {
+
+/// omega_0 = log2(7), the Strassen exponent.
+double strassen_exponent() noexcept;
+
+/// Eq (8): Strassen communication lower bound in *words*, for an n x n
+/// problem on P elements with M words of fast memory each.
+/// Throws std::invalid_argument for zero n, P, or M.
+double caps_communication_bound_words(std::size_t n, unsigned p,
+                                      double m_words);
+
+/// Classical (cubic) matrix-multiply communication lower bound in words:
+/// max(n^3 / (P * sqrt(M)), n^2 / P^(2/3)).
+double classical_communication_bound_words(std::size_t n, unsigned p,
+                                           double m_words);
+
+/// Words of fast memory per processing element for a machine: the LLC
+/// share of one core in doubles.
+double fast_memory_words_per_core(const machine::MachineSpec& spec);
+
+}  // namespace capow::core

@@ -1,0 +1,32 @@
+#include "capow/core/crossover.hpp"
+
+#include <stdexcept>
+
+namespace capow::core {
+
+double strassen_crossover_dimension(double y_mflops, double z_mbs) {
+  if (y_mflops <= 0.0 || z_mbs <= 0.0) {
+    throw std::invalid_argument(
+        "strassen_crossover_dimension: rates must be > 0");
+  }
+  return 480.0 * y_mflops / z_mbs;
+}
+
+double strassen_crossover_dimension(const machine::MachineSpec& spec,
+                                    double gemm_efficiency) {
+  if (gemm_efficiency <= 0.0 || gemm_efficiency > 1.0) {
+    throw std::invalid_argument(
+        "strassen_crossover_dimension: efficiency outside (0,1]");
+  }
+  const double y_mflops = spec.peak_flops() * gemm_efficiency / 1e6;
+  const double z_mbs = spec.memory.bandwidth_bytes_per_s / 1e6;
+  return strassen_crossover_dimension(y_mflops, z_mbs);
+}
+
+bool crossover_fits_in_memory(const machine::MachineSpec& spec,
+                              double crossover_n) {
+  const double bytes = 3.0 * crossover_n * crossover_n * sizeof(double);
+  return bytes <= static_cast<double>(spec.memory.capacity_bytes);
+}
+
+}  // namespace capow::core

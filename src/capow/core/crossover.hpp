@@ -1,0 +1,34 @@
+// The Strassen/blocked crossover point (paper Eq 9, after Wadleigh &
+// Crawford): the square dimension n at which a Strassen step breaks even
+// with the classical multiply on a platform that computes at y MFLOP/s
+// and moves data at z MB/s:
+//
+//     15 * 32 * (n/2)^2 bytes / (z MB/s)  =  2 * (n/2)^3 flop / (y MFLOP/s)
+//  =>  n = 480 * y / z
+//
+// The paper's platform has a high compute-to-memory ratio, putting the
+// crossover beyond its 4 GB memory capacity — which is why its Table II
+// shows Strassen slower at every measured size. The eq9 bench sweeps
+// y and z to chart where the crossover falls for other balances.
+#pragma once
+
+#include "capow/machine/machine.hpp"
+
+namespace capow::core {
+
+/// Eq (9): n = 480 * y / z with y in MFLOP/s and z in MB/s.
+/// Throws std::invalid_argument for non-positive rates.
+double strassen_crossover_dimension(double y_mflops, double z_mbs);
+
+/// Crossover for a machine model: y is the peak rate scaled by the
+/// tuned-GEMM kernel efficiency, z the memory bandwidth.
+double strassen_crossover_dimension(const machine::MachineSpec& spec,
+                                    double gemm_efficiency);
+
+/// Whether the crossover problem (three n x n double matrices) even
+/// fits in the machine's memory — the paper's reason for never reaching
+/// it experimentally.
+bool crossover_fits_in_memory(const machine::MachineSpec& spec,
+                              double crossover_n);
+
+}  // namespace capow::core

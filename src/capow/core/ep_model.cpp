@@ -1,0 +1,102 @@
+#include "capow/core/ep_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace capow::core {
+
+double energy_performance(double eavg_watts, double t_seconds) {
+  if (t_seconds <= 0.0) {
+    throw std::invalid_argument("energy_performance: time must be > 0");
+  }
+  if (eavg_watts < 0.0) {
+    throw std::invalid_argument("energy_performance: negative power");
+  }
+  return eavg_watts / t_seconds;
+}
+
+double plane_sum(std::span<const double> plane_watts) {
+  double sum = 0.0;
+  for (double w : plane_watts) {
+    if (w < 0.0) {
+      throw std::invalid_argument("plane_sum: negative plane reading");
+    }
+    sum += w;
+  }
+  return sum;
+}
+
+double energy_performance_total(const MixedMeasurement& m) {
+  double max_power = 0.0;
+  double max_time = 0.0;
+  for (const auto& u : m.parallel_units) {
+    max_power = std::max(max_power, u.power());
+    max_time = std::max(max_time, u.t_seconds);
+  }
+  const double power = m.sequential.power() + max_power;
+  const double time = m.sequential.t_seconds + max_time;
+  return energy_performance(power, time);
+}
+
+double scaling_ratio(double ep_p, double ep_1) {
+  if (ep_1 <= 0.0) {
+    throw std::invalid_argument("scaling_ratio: EP_1 must be > 0");
+  }
+  return ep_p / ep_1;
+}
+
+std::vector<ScalingPoint> scaling_series(
+    std::span<const std::pair<unsigned, double>> ep_by_parallelism) {
+  double ep1 = 0.0;
+  for (const auto& [p, ep] : ep_by_parallelism) {
+    if (ep <= 0.0) {
+      throw std::invalid_argument("scaling_series: EP values must be > 0");
+    }
+    if (p == 1) ep1 = ep;
+  }
+  if (ep1 <= 0.0) {
+    throw std::invalid_argument("scaling_series: missing p == 1 sample");
+  }
+  std::vector<ScalingPoint> out;
+  out.reserve(ep_by_parallelism.size());
+  for (const auto& [p, ep] : ep_by_parallelism) {
+    out.push_back(ScalingPoint{p, ep, scaling_ratio(ep, ep1)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScalingPoint& a, const ScalingPoint& b) {
+              return a.parallelism < b.parallelism;
+            });
+  return out;
+}
+
+ScalingClass classify_scaling(std::span<const ScalingPoint> series,
+                              double rtol) {
+  bool any_above = false;
+  bool any_below = false;
+  for (const auto& pt : series) {
+    if (pt.parallelism <= 1) continue;
+    const double threshold = static_cast<double>(pt.parallelism);
+    if (pt.s > threshold * (1.0 + rtol)) {
+      any_above = true;
+    } else {
+      any_below = true;
+    }
+  }
+  if (any_above && any_below) return ScalingClass::kMixed;
+  if (any_above) return ScalingClass::kSuperlinear;
+  return ScalingClass::kIdeal;
+}
+
+std::string to_string(ScalingClass c) {
+  switch (c) {
+    case ScalingClass::kIdeal:
+      return "ideal";
+    case ScalingClass::kSuperlinear:
+      return "superlinear";
+    case ScalingClass::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+}  // namespace capow::core

@@ -1,0 +1,89 @@
+// capow::core — the Energy Performance scaling model (paper Section III).
+//
+// These are the paper's contribution: a small algebra relating average
+// power to parallel runtime so that *algorithms* can be ranked by how
+// their power demand scales with parallelism.
+//
+//   Eq (1)  EP_p  = EAvg_p / T_p
+//   Eq (2)  EP_t  = (EAvg_s + max_p(EAvg_p)) / (T_s + max_p(T_p))
+//   Eq (3)  EAvg  = sum over power planes PPL_f
+//   Eq (4)  Eq (2) with each EAvg term expanded per Eq (3)
+//   Eq (5)  S     = EP_p / EP_1
+//   Eq (6)  Eq (5) fully expanded
+//
+// Following the paper's own measurement methodology, EAvg is the
+// time-averaged power (watts: RAPL energy delta / wall time), T is in
+// seconds, so EP carries units of W/s — the paper's Table IV values are
+// reproduced in exactly these units.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace capow::core {
+
+/// Eq (1): EP_p = EAvg_p / T_p.
+/// Throws std::invalid_argument for non-positive time or negative power.
+double energy_performance(double eavg_watts, double t_seconds);
+
+/// Eq (3): total average power as the sum over measured power planes.
+/// Negative plane readings are rejected.
+double plane_sum(std::span<const double> plane_watts);
+
+/// Measurements of one parallel unit: per-plane average power and the
+/// unit's runtime.
+struct UnitMeasurement {
+  std::vector<double> plane_watts;  ///< PPL_0 .. PPL_F readings
+  double t_seconds = 0.0;
+
+  double power() const { return plane_sum(plane_watts); }
+};
+
+/// A mixed sequential+parallel application measurement (the operands of
+/// Eq (2)/(4)). The sequential component may be absent (t_seconds == 0
+/// and no plane readings), reducing Eq (2) to Eq (1).
+struct MixedMeasurement {
+  UnitMeasurement sequential;
+  std::vector<UnitMeasurement> parallel_units;
+};
+
+/// Eq (2)/(4): EP_t = (EAvg_s + max(EAvg_p)) / (T_s + max(T_p)).
+/// Requires at least one parallel unit or a nonzero sequential part.
+double energy_performance_total(const MixedMeasurement& m);
+
+/// Eq (5): S = EP_p / EP_1. Throws when ep_1 is not positive.
+double scaling_ratio(double ep_p, double ep_1);
+
+/// One point of an energy-performance scaling curve.
+struct ScalingPoint {
+  unsigned parallelism = 1;  ///< degree of parallelism p
+  double ep = 0.0;           ///< EP_p
+  double s = 0.0;            ///< S = EP_p / EP_1
+};
+
+/// Builds the Eq (5) series from (p, EP_p) samples; the p == 1 entry is
+/// the base. Samples are sorted by p. Throws when no p == 1 sample
+/// exists or any EP is non-positive.
+std::vector<ScalingPoint> scaling_series(
+    std::span<const std::pair<unsigned, double>> ep_by_parallelism);
+
+/// Classification against the linear threshold of Fig 1: S(p) <= p is
+/// ideal ("power grows no faster than performance"), S(p) > p is
+/// superlinear (power must outgrow the speedup).
+enum class ScalingClass {
+  kIdeal,        ///< every point at or below the linear threshold
+  kSuperlinear,  ///< every point (p > 1) above the threshold
+  kMixed,        ///< some points above, some below
+};
+
+/// Classifies a scaling series with relative tolerance `rtol` around the
+/// linear threshold (points within tolerance count as ideal).
+ScalingClass classify_scaling(std::span<const ScalingPoint> series,
+                              double rtol = 0.02);
+
+/// Human-readable name for a ScalingClass.
+std::string to_string(ScalingClass c);
+
+}  // namespace capow::core

@@ -1,0 +1,145 @@
+#include "capow/dist/comm.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "capow/trace/counters.hpp"
+
+namespace capow::dist {
+
+World::World(int ranks) : ranks_(ranks), mailboxes_(ranks > 0 ? ranks : 0) {
+  if (ranks <= 0) throw std::invalid_argument("World: ranks must be >= 1");
+}
+
+void World::run(const std::function<void(Communicator&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_);
+  std::mutex emutex;
+  std::exception_ptr first;
+  for (int r = 0; r < ranks_; ++r) {
+    threads.emplace_back([this, r, &body, &emutex, &first] {
+      Communicator comm(*this, r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard lock(emutex);
+        if (!first) first = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first) std::rethrow_exception(first);
+}
+
+void World::post(int dest, Message msg) {
+  Mailbox& box = mailboxes_.at(dest);
+  {
+    std::lock_guard lock(box.mutex);
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Message World::take(int rank, int source, int tag) {
+  Mailbox& box = mailboxes_.at(rank);
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->source == source && it->tag == tag) {
+        Message msg = std::move(*it);
+        box.messages.erase(it);
+        return msg;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void World::barrier_wait() {
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_arrived_ == ranks_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+}
+
+void Communicator::send(int dest, int tag, std::span<const double> data) {
+  if (dest < 0 || dest >= size()) {
+    throw std::out_of_range("send: bad destination rank");
+  }
+  trace::count_message(data.size() * sizeof(double));
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.assign(data.begin(), data.end());
+  world_->post(dest, std::move(msg));
+}
+
+Message Communicator::recv(int source, int tag) {
+  if (source < 0 || source >= size()) {
+    throw std::out_of_range("recv: bad source rank");
+  }
+  return world_->take(rank_, source, tag);
+}
+
+void Communicator::barrier() {
+  trace::count_sync();
+  world_->barrier_wait();
+}
+
+namespace {
+// Collectives use a reserved high tag space to avoid colliding with
+// user point-to-point traffic.
+constexpr int kBcastTag = 1 << 20;
+constexpr int kReduceTag = kBcastTag + 1;
+constexpr int kGatherTag = kBcastTag + 2;
+}  // namespace
+
+void Communicator::broadcast(int root, std::vector<double>& data) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, kBcastTag, data);
+    }
+  } else {
+    data = recv(root, kBcastTag).payload;
+  }
+}
+
+void Communicator::reduce_sum(int root, std::vector<double>& data) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      const Message m = recv(r, kReduceTag);
+      if (m.payload.size() != data.size()) {
+        throw std::invalid_argument("reduce_sum: size mismatch");
+      }
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] += m.payload[i];
+      }
+    }
+  } else {
+    send(root, kReduceTag, data);
+  }
+}
+
+void Communicator::gather(int root, std::span<const double> mine,
+                          std::vector<std::vector<double>>& out) {
+  out.clear();
+  if (rank_ == root) {
+    out.resize(size());
+    out[root].assign(mine.begin(), mine.end());
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      out[r] = recv(r, kGatherTag).payload;
+    }
+  } else {
+    send(root, kGatherTag, mine);
+  }
+}
+
+}  // namespace capow::dist

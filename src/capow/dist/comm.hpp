@@ -1,0 +1,113 @@
+// capow::dist — an in-process message-passing runtime ("mini-MPI").
+//
+// The paper's future work (Section VIII): "we seek to migrate the
+// current implementation to a distributed memory implementation using
+// MPI. Measuring the power performance characteristics of a distributed
+// memory platform shall take into account the power associated with
+// transmitting memory blocks across the interconnect as well as local
+// communication traffic."
+//
+// This module provides that substrate: ranks are threads, messages are
+// real buffer hand-offs through per-rank mailboxes, and every byte sent
+// is instrumented (trace::count_message) so the interconnect energy
+// model can price it. The API follows MPI's shape (rank/size,
+// send/recv with tags, barrier/broadcast/reduce/gather) without
+// pretending to be a full implementation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace capow::dist {
+
+/// A received message: payload plus envelope.
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<double> payload;
+};
+
+class Communicator;
+
+/// A set of ranks sharing mailboxes. Create one World per collective
+/// job; `run` spawns one thread per rank.
+class World {
+ public:
+  /// Creates a world of `ranks` mailboxes. Throws for ranks == 0.
+  explicit World(int ranks);
+
+  int size() const noexcept { return ranks_; }
+
+  /// Runs `body(comm)` on every rank concurrently (one thread per rank)
+  /// and joins. Exceptions from any rank are rethrown (first one wins)
+  /// after all ranks complete or unblock.
+  void run(const std::function<void(Communicator&)>& body);
+
+ private:
+  friend class Communicator;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  void post(int dest, Message msg);
+  Message take(int rank, int source, int tag);
+
+  // Barrier support: generation-counted central barrier.
+  void barrier_wait();
+
+  int ranks_;
+  std::vector<Mailbox> mailboxes_;
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+/// Per-rank handle; valid only inside World::run's body.
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return world_->size(); }
+
+  /// Blocking tagged send (buffered: returns once the payload is copied
+  /// into the destination mailbox). Counts message bytes via trace.
+  void send(int dest, int tag, std::span<const double> data);
+
+  /// Blocking tagged receive from a specific source. Messages from the
+  /// same (source, tag) arrive in send order.
+  Message recv(int source, int tag);
+
+  /// Collective barrier across all ranks.
+  void barrier();
+
+  /// Broadcast `data` from root to every rank; on non-root ranks the
+  /// vector is resized/overwritten.
+  void broadcast(int root, std::vector<double>& data);
+
+  /// Element-wise sum-reduction to root. All ranks pass equally-sized
+  /// vectors; root's vector receives the sum.
+  void reduce_sum(int root, std::vector<double>& data);
+
+  /// Gathers each rank's vector to root in rank order; non-root ranks'
+  /// `out` is left empty.
+  void gather(int root, std::span<const double> mine,
+              std::vector<std::vector<double>>& out);
+
+ private:
+  friend class World;
+  Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+};
+
+}  // namespace capow::dist

@@ -1,0 +1,315 @@
+#include "capow/dist/dist_caps.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+#include "capow/blas/gemm_ref.hpp"
+#include "capow/linalg/ops.hpp"
+#include "capow/linalg/partition.hpp"
+#include "capow/strassen/base_kernel.hpp"
+#include "capow/strassen/counted_ops.hpp"
+
+namespace capow::dist {
+
+namespace {
+
+using linalg::ConstMatrixView;
+using linalg::Matrix;
+using linalg::MatrixView;
+
+// Tag layout: distributed levels are disambiguated by depth (each
+// leader/sub-leader pair exchanges at most one sub-problem per depth).
+constexpr int kOperandTagBase = 100;  // + depth * 16 + subproblem
+constexpr int kResultTagBase = 4000;  // + depth * 16 + subproblem
+constexpr int kScatterTag = 300;
+constexpr int kGatherTag = 302;
+
+std::vector<double> flatten(ConstMatrixView v) {
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.rows(); ++i) {
+    std::memcpy(out.data() + i * v.cols(), v.row(i),
+                v.cols() * sizeof(double));
+  }
+  return out;
+}
+
+void unflatten(std::span<const double> data, MatrixView v) {
+  if (data.size() != v.size()) {
+    throw std::invalid_argument("unflatten: payload size mismatch");
+  }
+  for (std::size_t i = 0; i < v.rows(); ++i) {
+    std::memcpy(v.row(i), data.data() + i * v.cols(),
+                v.cols() * sizeof(double));
+  }
+}
+
+// Leader side: materialize the 14 classic-Strassen operand combinations.
+void materialize_operands(ConstMatrixView a, ConstMatrixView b,
+                          std::array<Matrix, 7>& la,
+                          std::array<Matrix, 7>& lb) {
+  const auto qa = linalg::partition(a);
+  const auto qb = linalg::partition(b);
+  const std::size_t h = a.rows() / 2;
+  for (int i = 0; i < 7; ++i) {
+    la[i] = Matrix(h, h);
+    lb[i] = Matrix(h, h);
+  }
+  using namespace capow::strassen;
+  counted_add(qa.q11, qa.q22, la[0].view());
+  counted_add(qa.q21, qa.q22, la[1].view());
+  counted_copy(qa.q11, la[2].view());
+  counted_copy(qa.q22, la[3].view());
+  counted_add(qa.q11, qa.q12, la[4].view());
+  counted_sub(qa.q21, qa.q11, la[5].view());
+  counted_sub(qa.q12, qa.q22, la[6].view());
+  counted_add(qb.q11, qb.q22, lb[0].view());
+  counted_copy(qb.q11, lb[1].view());
+  counted_sub(qb.q12, qb.q22, lb[2].view());
+  counted_sub(qb.q21, qb.q11, lb[3].view());
+  counted_copy(qb.q22, lb[4].view());
+  counted_add(qb.q11, qb.q12, lb[5].view());
+  counted_add(qb.q21, qb.q22, lb[6].view());
+}
+
+void combine(const std::array<Matrix, 7>& q, MatrixView c) {
+  using namespace capow::strassen;
+  const auto qc = linalg::partition(c);
+  counted_add(q[0].view(), q[3].view(), qc.q11);
+  counted_sub_inplace(qc.q11, q[4].view());
+  counted_add_inplace(qc.q11, q[6].view());
+  counted_add(q[2].view(), q[4].view(), qc.q12);
+  counted_add(q[1].view(), q[3].view(), qc.q21);
+  counted_sub(q[0].view(), q[1].view(), qc.q22);
+  counted_add_inplace(qc.q22, q[2].view());
+  counted_add_inplace(qc.q22, q[5].view());
+}
+
+// A contiguous rank group [lo, hi) whose first rank is the leader.
+struct Group {
+  int lo;
+  int hi;
+
+  int size() const noexcept { return hi - lo; }
+  int leader() const noexcept { return lo; }
+  /// Sub-group i of the 7-way split (sizes balanced by division).
+  Group chunk(int i) const noexcept {
+    return Group{lo + size() * i / 7, lo + size() * (i + 1) / 7};
+  }
+  bool contains(int rank) const noexcept {
+    return rank >= lo && rank < hi;
+  }
+};
+
+// Recursive distributed solve over `group`. Only the group leader holds
+// meaningful (a, b, c) views; every group member must call this. The
+// sub-problem dimension at each depth is deterministic from n, so
+// non-leaders size their buffers without extra messages.
+void solve_group(Communicator& comm, const Group& group,
+                 ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                 std::size_t n, const DistCapsOptions& opts,
+                 std::size_t depth) {
+  const int me = comm.rank();
+  const bool leader = me == group.leader();
+
+  // Termination: solve locally on the leader.
+  if (group.size() == 1 || n <= opts.distribute_threshold || n % 2 != 0 ||
+      depth >= opts.max_distribution_levels) {
+    if (leader) capsalg::caps_multiply(a, b, c, opts.local);
+    return;
+  }
+
+  const std::size_t h = n / 2;
+  const int op_tag = kOperandTagBase + static_cast<int>(depth) * 16;
+  const int res_tag = kResultTagBase + static_cast<int>(depth) * 16;
+
+  if (group.size() < 7) {
+    // Leaf distribution: round-robin the seven sub-products over the
+    // group's ranks; owners solve locally.
+    const auto owner_of = [&](int i) {
+      return group.lo + i % group.size();
+    };
+    if (leader) {
+      std::array<Matrix, 7> la, lb, q;
+      materialize_operands(a, b, la, lb);
+      for (int i = 0; i < 7; ++i) {
+        const int owner = owner_of(i);
+        if (owner == me) continue;
+        comm.send(owner, op_tag + i, flatten(la[i].view()));
+        comm.send(owner, op_tag + i, flatten(lb[i].view()));
+      }
+      for (int i = 0; i < 7; ++i) {
+        q[i] = Matrix(h, h);
+        if (owner_of(i) == me) {
+          capsalg::caps_multiply(la[i].view(), lb[i].view(), q[i].view(),
+                                 opts.local);
+        }
+      }
+      for (int i = 0; i < 7; ++i) {
+        const int owner = owner_of(i);
+        if (owner == me) continue;
+        unflatten(comm.recv(owner, res_tag + i).payload, q[i].view());
+      }
+      combine(q, c);
+    } else {
+      for (int i = 0; i < 7; ++i) {
+        if (owner_of(i) != me) continue;
+        Matrix la(h, h), lb(h, h), q(h, h);
+        unflatten(comm.recv(group.leader(), op_tag + i).payload,
+                  la.view());
+        unflatten(comm.recv(group.leader(), op_tag + i).payload,
+                  lb.view());
+        capsalg::caps_multiply(la.view(), lb.view(), q.view(), opts.local);
+        comm.send(group.leader(), res_tag + i, flatten(q.view()));
+      }
+    }
+    return;
+  }
+
+  // Tree distribution: seven sub-groups, one sub-product each.
+  int my_chunk = -1;
+  for (int i = 0; i < 7; ++i) {
+    if (group.chunk(i).contains(me)) {
+      my_chunk = i;
+      break;
+    }
+  }
+
+  if (leader) {
+    std::array<Matrix, 7> la, lb, q;
+    materialize_operands(a, b, la, lb);
+    // Ship operands to the other sub-group leaders.
+    for (int i = 0; i < 7; ++i) {
+      const int sub_leader = group.chunk(i).leader();
+      if (sub_leader == me) continue;
+      comm.send(sub_leader, op_tag + i, flatten(la[i].view()));
+      comm.send(sub_leader, op_tag + i, flatten(lb[i].view()));
+    }
+    for (int i = 0; i < 7; ++i) q[i] = Matrix(h, h);
+    // Recurse into our own sub-group (the leader leads chunk 0).
+    solve_group(comm, group.chunk(my_chunk), la[my_chunk].view(),
+                lb[my_chunk].view(), q[my_chunk].view(), h, opts,
+                depth + 1);
+    // Collect the six remote results.
+    for (int i = 0; i < 7; ++i) {
+      const int sub_leader = group.chunk(i).leader();
+      if (sub_leader == me) continue;
+      unflatten(comm.recv(sub_leader, res_tag + i).payload, q[i].view());
+    }
+    combine(q, c);
+    return;
+  }
+
+  // Non-leader: participate in our sub-group's solve.
+  const Group sub = group.chunk(my_chunk);
+  Matrix la, lb, q;
+  ConstMatrixView la_v, lb_v;
+  MatrixView q_v;
+  if (me == sub.leader()) {
+    la = Matrix(h, h);
+    lb = Matrix(h, h);
+    q = Matrix(h, h);
+    unflatten(comm.recv(group.leader(), op_tag + my_chunk).payload,
+              la.view());
+    unflatten(comm.recv(group.leader(), op_tag + my_chunk).payload,
+              lb.view());
+    la_v = la.view();
+    lb_v = lb.view();
+    q_v = q.view();
+  }
+  solve_group(comm, sub, la_v, lb_v, q_v, h, opts, depth + 1);
+  if (me == sub.leader()) {
+    comm.send(group.leader(), res_tag + my_chunk, flatten(q.view()));
+  }
+}
+
+}  // namespace
+
+void dist_caps_multiply(Communicator& comm, ConstMatrixView a,
+                        ConstMatrixView b, MatrixView c,
+                        const DistCapsOptions& opts) {
+  if (comm.rank() == 0) {
+    if (!a.square() || !b.square() || !c.square() ||
+        a.rows() != b.rows() || a.rows() != c.rows()) {
+      throw std::invalid_argument(
+          "dist_caps_multiply: operands must be square, equal dimension");
+    }
+  }
+  // Announce the dimension (deterministic buffer sizing everywhere).
+  std::vector<double> shape{0.0};
+  if (comm.rank() == 0) {
+    shape[0] = static_cast<double>(a.rows());
+  }
+  comm.broadcast(0, shape);
+  const std::size_t n = static_cast<std::size_t>(shape.at(0));
+  if (n == 0) return;
+
+  solve_group(comm, Group{0, comm.size()}, a, b, c, n, opts, 0);
+}
+
+void dist_block_gemm(Communicator& comm, ConstMatrixView a,
+                     ConstMatrixView b, MatrixView c) {
+  const int ranks = comm.size();
+  const int rank = comm.rank();
+
+  std::vector<double> dims(3);
+  if (rank == 0) {
+    blas::check_gemm_shapes(a, b, c);
+    dims = {static_cast<double>(a.rows()), static_cast<double>(a.cols()),
+            static_cast<double>(b.cols())};
+  }
+  comm.broadcast(0, dims);
+  const auto m = static_cast<std::size_t>(dims[0]);
+  const auto k = static_cast<std::size_t>(dims[1]);
+  const auto n = static_cast<std::size_t>(dims[2]);
+
+  // Row-block ownership: rank r owns rows [r*m/P, (r+1)*m/P).
+  const auto row_lo = [&](int r) { return m * r / ranks; };
+  const auto row_hi = [&](int r) { return m * (r + 1) / ranks; };
+
+  // Scatter A row blocks; broadcast B.
+  Matrix local_a;
+  std::vector<double> bflat;
+  if (rank == 0) {
+    for (int r = 1; r < ranks; ++r) {
+      if (row_hi(r) > row_lo(r)) {
+        comm.send(r, kScatterTag,
+                  flatten(a.block(row_lo(r), 0, row_hi(r) - row_lo(r), k)));
+      }
+    }
+    local_a = Matrix(row_hi(0), k);
+    linalg::copy(a.block(0, 0, row_hi(0), k), local_a.view());
+    bflat = flatten(b);
+  }
+  comm.broadcast(0, bflat);
+  Matrix local_b(k, n);
+  unflatten(bflat, local_b.view());
+  if (rank != 0) {
+    const std::size_t rows = row_hi(rank) - row_lo(rank);
+    local_a = Matrix(rows, k);
+    if (rows > 0) {
+      unflatten(comm.recv(0, kScatterTag).payload, local_a.view());
+    }
+  }
+
+  // Local compute.
+  Matrix local_c(local_a.rows(), n);
+  if (local_a.rows() > 0) {
+    strassen::base_gemm(local_a.view(), local_b.view(), local_c.view());
+  }
+
+  // Gather C row blocks.
+  if (rank == 0) {
+    linalg::copy(local_c.view(), c.block(0, 0, local_c.rows(), n));
+    for (int r = 1; r < ranks; ++r) {
+      const std::size_t rows = row_hi(r) - row_lo(r);
+      if (rows == 0) continue;
+      unflatten(comm.recv(r, kGatherTag).payload,
+                c.block(row_lo(r), 0, rows, n));
+    }
+  } else if (local_c.rows() > 0) {
+    comm.send(0, kGatherTag, flatten(local_c.view()));
+  }
+}
+
+}  // namespace capow::dist

@@ -1,0 +1,59 @@
+#include "capow/dist/energy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace capow::dist {
+
+void DistMachineSpec::validate() const {
+  node.validate();
+  if (link_bandwidth_bytes_per_s <= 0.0 || link_latency_s < 0.0 ||
+      link_energy_per_byte_nj < 0.0 || nic_static_w < 0.0) {
+    throw std::invalid_argument("DistMachineSpec: bad link parameters");
+  }
+}
+
+DistRunEstimate estimate_distributed_run(const DistMachineSpec& spec,
+                                         unsigned ranks,
+                                         double max_rank_flops,
+                                         double efficiency,
+                                         double total_message_bytes,
+                                         std::uint64_t messages) {
+  spec.validate();
+  if (ranks == 0) {
+    throw std::invalid_argument("estimate_distributed_run: ranks == 0");
+  }
+  if (efficiency <= 0.0 || efficiency > 1.0) {
+    throw std::invalid_argument(
+        "estimate_distributed_run: efficiency outside (0,1]");
+  }
+  if (max_rank_flops < 0.0 || total_message_bytes < 0.0) {
+    throw std::invalid_argument(
+        "estimate_distributed_run: negative cost");
+  }
+
+  const double compute_s =
+      max_rank_flops / (spec.node.per_core_peak_flops() * efficiency);
+  const double comm_s =
+      total_message_bytes / spec.link_bandwidth_bytes_per_s +
+      static_cast<double>(messages) * spec.link_latency_s;
+  DistRunEstimate est;
+  est.seconds = std::max(compute_s, comm_s);
+  if (est.seconds <= 0.0) return est;
+
+  // One busy core per node, the rest idle-but-clocked; statics always.
+  const auto& core = spec.node.core;
+  const double u = compute_s / est.seconds;
+  const double busy = (1.0 - u) * core.stall_power_w +
+                      u * core.active_power_w(efficiency);
+  const double node_power = spec.node.power.pp0_static_w +
+                            spec.node.power.uncore_static_w + busy +
+                            (spec.node.core_count - 1) * core.idle_power_w;
+  est.node_energy_j = ranks * node_power * est.seconds;
+  est.link_energy_j =
+      total_message_bytes * spec.link_energy_per_byte_nj * 1e-9 +
+      ranks * spec.nic_static_w * est.seconds;
+  return est;
+}
+
+}  // namespace capow::dist

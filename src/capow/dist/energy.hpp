@@ -1,0 +1,56 @@
+// Interconnect-aware energy model for distributed runs (paper §VIII:
+// the distributed EP model "shall take into account the power associated
+// with transmitting memory blocks across the interconnect as well as
+// local communication traffic").
+#pragma once
+
+#include <cstdint>
+
+#include "capow/machine/machine.hpp"
+
+namespace capow::dist {
+
+/// A cluster of identical nodes joined by a commodity link.
+struct DistMachineSpec {
+  machine::MachineSpec node = machine::haswell_e3_1225();
+  /// Sustained link bandwidth per node (default: 10 GbE).
+  double link_bandwidth_bytes_per_s = 1.25e9;
+  /// Per-message latency (software + wire).
+  double link_latency_s = 5e-6;
+  /// Interconnect energy per byte moved (NIC + switch + serdes).
+  double link_energy_per_byte_nj = 5.0;
+  /// Always-on NIC/link power per node.
+  double nic_static_w = 4.0;
+
+  /// Throws std::invalid_argument on non-positive rates.
+  void validate() const;
+};
+
+/// Aggregate estimate for one distributed run.
+struct DistRunEstimate {
+  double seconds = 0.0;
+  double node_energy_j = 0.0;  ///< sum over nodes (package plane)
+  double link_energy_j = 0.0;  ///< interconnect transfer + NIC static
+  double total_energy_j() const noexcept {
+    return node_energy_j + link_energy_j;
+  }
+  double avg_power_w() const noexcept {
+    return seconds > 0.0 ? total_energy_j() / seconds : 0.0;
+  }
+};
+
+/// Models a bulk-synchronous distributed run: per-node compute of
+/// `max_rank_flops` at `efficiency` overlapped against serialized root
+/// communication of `total_message_bytes` across `messages` messages.
+/// One core per node computes (the local solves here are serial);
+/// remaining cores idle.
+/// Throws std::invalid_argument for ranks == 0, efficiency outside
+/// (0,1], or negative costs.
+DistRunEstimate estimate_distributed_run(const DistMachineSpec& spec,
+                                         unsigned ranks,
+                                         double max_rank_flops,
+                                         double efficiency,
+                                         double total_message_bytes,
+                                         std::uint64_t messages);
+
+}  // namespace capow::dist

@@ -1,0 +1,270 @@
+#include "capow/dist/summa.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "capow/blas/gemm_ref.hpp"
+#include "capow/linalg/ops.hpp"
+#include "capow/strassen/base_kernel.hpp"
+
+namespace capow::dist {
+
+namespace {
+
+using linalg::ConstMatrixView;
+using linalg::Matrix;
+using linalg::MatrixView;
+
+constexpr int kScatterA = 500;
+constexpr int kScatterB = 501;
+constexpr int kGatherC = 502;
+constexpr int kRowBcastBase = 1000;  // + step
+constexpr int kColBcastBase = 2000;  // + step
+constexpr int kReplicateA = 3000;
+constexpr int kReplicateB = 3001;
+constexpr int kLayerReduce = 3002;
+
+struct RankCoord {
+  int i;      // grid row
+  int j;      // grid column
+  int layer;  // replication layer
+};
+
+RankCoord coord_of(int rank, const GridSpec& g) {
+  const int per_layer = g.rows * g.cols;
+  return RankCoord{(rank % per_layer) / g.cols, rank % g.cols,
+                   rank / per_layer};
+}
+
+int rank_of(int i, int j, int layer, const GridSpec& g) {
+  return (layer * g.rows + i) * g.cols + j;
+}
+
+std::vector<double> flatten(ConstMatrixView v) {
+  std::vector<double> out(v.size());
+  for (std::size_t r = 0; r < v.rows(); ++r) {
+    std::memcpy(out.data() + r * v.cols(), v.row(r),
+                v.cols() * sizeof(double));
+  }
+  return out;
+}
+
+void unflatten(std::span<const double> data, MatrixView v) {
+  if (data.size() != v.size()) {
+    throw std::invalid_argument("summa: payload size mismatch");
+  }
+  for (std::size_t r = 0; r < v.rows(); ++r) {
+    std::memcpy(v.row(r), data.data() + r * v.cols(),
+                v.cols() * sizeof(double));
+  }
+}
+
+// Root scatters the (i, j) blocks of `m` to layer-0 ranks; returns this
+// rank's block. `nb` is the block dimension.
+Matrix scatter_blocks(Communicator& comm, const GridSpec& g,
+                      ConstMatrixView m, std::size_t nb, int tag) {
+  const RankCoord me = coord_of(comm.rank(), g);
+  Matrix mine(nb, nb);
+  if (comm.rank() == 0) {
+    for (int i = 0; i < g.rows; ++i) {
+      for (int j = 0; j < g.cols; ++j) {
+        auto block = m.block(i * nb, j * nb, nb, nb);
+        const int dest = rank_of(i, j, 0, g);
+        if (dest == 0) {
+          linalg::copy(block, mine.view());
+        } else {
+          comm.send(dest, tag, flatten(block));
+        }
+      }
+    }
+  } else if (me.layer == 0) {
+    unflatten(comm.recv(0, tag).payload, mine.view());
+  }
+  return mine;
+}
+
+void gather_blocks(Communicator& comm, const GridSpec& g,
+                   ConstMatrixView mine, MatrixView out, std::size_t nb) {
+  const RankCoord me = coord_of(comm.rank(), g);
+  if (comm.rank() == 0) {
+    for (int i = 0; i < g.rows; ++i) {
+      for (int j = 0; j < g.cols; ++j) {
+        auto block = out.block(i * nb, j * nb, nb, nb);
+        const int src = rank_of(i, j, 0, g);
+        if (src == 0) {
+          linalg::copy(mine, block);
+        } else {
+          unflatten(comm.recv(src, kGatherC).payload, block);
+        }
+      }
+    }
+  } else if (me.layer == 0) {
+    comm.send(0, kGatherC, flatten(mine));
+  }
+}
+
+// One SUMMA k-step inside a layer: the step's owner column/row
+// broadcasts its A/B block along its grid row/column, everyone
+// accumulates.
+void summa_step(Communicator& comm, const GridSpec& g, const RankCoord& me,
+                int step, ConstMatrixView a_own, ConstMatrixView b_own,
+                Matrix& a_panel, Matrix& b_panel, MatrixView c_acc) {
+  // A broadcast along the row.
+  if (me.j == step) {
+    for (int j = 0; j < g.cols; ++j) {
+      if (j == me.j) continue;
+      comm.send(rank_of(me.i, j, me.layer, g), kRowBcastBase + step,
+                flatten(a_own));
+    }
+    linalg::copy(a_own, a_panel.view());
+  } else {
+    unflatten(
+        comm.recv(rank_of(me.i, step, me.layer, g), kRowBcastBase + step)
+            .payload,
+        a_panel.view());
+  }
+  // B broadcast along the column.
+  if (me.i == step) {
+    for (int i = 0; i < g.rows; ++i) {
+      if (i == me.i) continue;
+      comm.send(rank_of(i, me.j, me.layer, g), kColBcastBase + step,
+                flatten(b_own));
+    }
+    linalg::copy(b_own, b_panel.view());
+  } else {
+    unflatten(
+        comm.recv(rank_of(step, me.j, me.layer, g), kColBcastBase + step)
+            .payload,
+        b_panel.view());
+  }
+  strassen::base_gemm_accumulate(a_panel.view(), b_panel.view(), c_acc);
+}
+
+bool root_operands_valid(ConstMatrixView a, ConstMatrixView b,
+                         ConstMatrixView c, const GridSpec& g) {
+  return a.square() && b.square() && c.square() && a.rows() == b.rows() &&
+         a.rows() == c.rows() && a.rows() > 0 && a.rows() % g.rows == 0;
+}
+
+// Rank 0 validates and announces the dimension; 0 means "abort", which
+// every rank turns into the same exception. Validating *before* any
+// point-to-point traffic is what keeps a bad root call from deadlocking
+// the other ranks in recv().
+std::size_t negotiate_dim(Communicator& comm, ConstMatrixView a,
+                          ConstMatrixView b, ConstMatrixView c,
+                          const GridSpec& g) {
+  std::vector<double> dims(1, 0.0);
+  if (comm.rank() == 0 && root_operands_valid(a, b, c, g)) {
+    dims[0] = static_cast<double>(a.rows());
+  }
+  comm.broadcast(0, dims);
+  if (dims[0] == 0.0) {
+    throw std::invalid_argument(
+        "summa: root operands must be square, equal, nonempty, and "
+        "divisible by the grid dimension");
+  }
+  return static_cast<std::size_t>(dims[0]);
+}
+
+}  // namespace
+
+void GridSpec::validate() const {
+  if (rows <= 0 || cols <= 0 || layers <= 0) {
+    throw std::invalid_argument("GridSpec: non-positive dimension");
+  }
+  if (rows != cols) {
+    throw std::invalid_argument("GridSpec: this implementation requires a "
+                                "square in-plane grid");
+  }
+  if (rows % layers != 0) {
+    throw std::invalid_argument(
+        "GridSpec: layers must divide the grid dimension");
+  }
+}
+
+void summa_multiply(Communicator& comm, const GridSpec& grid,
+                    ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  grid.validate();
+  if (grid.layers != 1) {
+    throw std::invalid_argument("summa_multiply: layers must be 1");
+  }
+  if (comm.size() != grid.ranks()) {
+    throw std::invalid_argument("summa_multiply: comm size != grid ranks");
+  }
+
+  const std::size_t n = negotiate_dim(comm, a, b, c, grid);
+  const std::size_t nb = n / grid.rows;
+  const RankCoord me = coord_of(comm.rank(), grid);
+
+  Matrix a_own = scatter_blocks(comm, grid, a, nb, kScatterA);
+  Matrix b_own = scatter_blocks(comm, grid, b, nb, kScatterB);
+  Matrix c_acc = Matrix::zeros(nb);
+  Matrix a_panel(nb, nb), b_panel(nb, nb);
+
+  for (int step = 0; step < grid.rows; ++step) {
+    summa_step(comm, grid, me, step, a_own.view(), b_own.view(), a_panel,
+               b_panel, c_acc.view());
+  }
+  gather_blocks(comm, grid, c_acc.view(), c, nb);
+}
+
+void multiply_25d(Communicator& comm, const GridSpec& grid,
+                  ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  grid.validate();
+  if (comm.size() != grid.ranks()) {
+    throw std::invalid_argument("multiply_25d: comm size != grid ranks");
+  }
+
+  const std::size_t n = negotiate_dim(comm, a, b, c, grid);
+  const std::size_t nb = n / grid.rows;
+  const RankCoord me = coord_of(comm.rank(), grid);
+
+  // Layer 0 holds the initial distribution...
+  Matrix a_own = scatter_blocks(comm, grid, a, nb, kScatterA);
+  Matrix b_own = scatter_blocks(comm, grid, b, nb, kScatterB);
+
+  // ...and replicates it to the other layers (the c-fold memory cost
+  // that buys the communication reduction).
+  if (me.layer == 0) {
+    for (int l = 1; l < grid.layers; ++l) {
+      comm.send(rank_of(me.i, me.j, l, grid), kReplicateA,
+                flatten(a_own.view()));
+      comm.send(rank_of(me.i, me.j, l, grid), kReplicateB,
+                flatten(b_own.view()));
+    }
+  } else {
+    unflatten(comm.recv(rank_of(me.i, me.j, 0, grid), kReplicateA).payload,
+              a_own.view());
+    unflatten(comm.recv(rank_of(me.i, me.j, 0, grid), kReplicateB).payload,
+              b_own.view());
+  }
+
+  // Each layer runs its disjoint slice of the k-steps.
+  Matrix c_acc = Matrix::zeros(nb);
+  Matrix a_panel(nb, nb), b_panel(nb, nb);
+  const int steps_per_layer = grid.rows / grid.layers;
+  const int first = me.layer * steps_per_layer;
+  for (int s = 0; s < steps_per_layer; ++s) {
+    summa_step(comm, grid, me, first + s, a_own.view(), b_own.view(),
+               a_panel, b_panel, c_acc.view());
+  }
+
+  // Sum-reduce partial C blocks onto layer 0.
+  if (me.layer == 0) {
+    for (int l = 1; l < grid.layers; ++l) {
+      const auto part =
+          comm.recv(rank_of(me.i, me.j, l, grid), kLayerReduce).payload;
+      Matrix tmp(nb, nb);
+      unflatten(part, tmp.view());
+      linalg::add_inplace(c_acc.view(), tmp.view());
+    }
+  } else {
+    comm.send(rank_of(me.i, me.j, 0, grid), kLayerReduce,
+              flatten(c_acc.view()));
+  }
+
+  gather_blocks(comm, grid, c_acc.view(), c, nb);
+}
+
+}  // namespace capow::dist

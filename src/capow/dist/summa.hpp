@@ -1,0 +1,52 @@
+// SUMMA and 2.5D classical distributed matrix multiplication.
+//
+// The paper positions CAPS against the classical communication-avoiding
+// line of work (its ref [16], Solomonik & Demmel's 2.5D algorithms).
+// These are the comparators: SUMMA on a sqrt(P) x sqrt(P) grid (the
+// standard O(n^2/sqrt(P)) per-rank communication pattern) and its 2.5D
+// generalization with c-fold replication (cutting communication by
+// sqrt(c) at c-fold memory cost — the classical analogue of CAPS's
+// BFS memory-for-communication trade).
+//
+// Data placement follows this module's root-centric convention: rank 0
+// holds A, B, C; scatter/gather frames the algorithm's *internal*
+// communication pattern, which is what the instrumentation measures and
+// the eq8 bench compares.
+#pragma once
+
+#include "capow/dist/comm.hpp"
+#include "capow/linalg/matrix.hpp"
+
+namespace capow::dist {
+
+/// Process-grid geometry: ranks = rows * cols * layers. SUMMA uses
+/// layers == 1; 2.5D replicates the grid over `layers` copies.
+struct GridSpec {
+  int rows = 1;
+  int cols = 1;
+  int layers = 1;
+
+  int ranks() const noexcept { return rows * cols * layers; }
+  /// Throws std::invalid_argument when degenerate or (for this
+  /// implementation) non-square in the plane.
+  void validate() const;
+};
+
+/// Collective SUMMA: C = A * B on a rows x cols grid (layers must be 1).
+/// Rank 0 passes the operands; n must be divisible by grid.rows and
+/// grid.cols. Every rank of `comm` must call it; comm.size() must equal
+/// grid.ranks().
+void summa_multiply(Communicator& comm, const GridSpec& grid,
+                    linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                    linalg::MatrixView c);
+
+/// Collective 2.5D multiply: the rows x cols grid is replicated
+/// `layers` times; each layer computes a disjoint slice of the k-steps
+/// and the result is sum-reduced across layers. Requires
+/// grid.rows == grid.cols, layers dividing grid.rows, and n divisible
+/// by grid.rows.
+void multiply_25d(Communicator& comm, const GridSpec& grid,
+                  linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                  linalg::MatrixView c);
+
+}  // namespace capow::dist

@@ -1,0 +1,144 @@
+#include "capow/harness/experiment.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "capow/blas/cost_model.hpp"
+#include "capow/rapl/papi.hpp"
+#include "capow/sim/executor.hpp"
+
+namespace capow::harness {
+
+const char* algorithm_name(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kOpenBlas:
+      return "OpenBLAS";
+    case Algorithm::kStrassen:
+      return "Strassen";
+    case Algorithm::kCaps:
+      return "CAPS";
+  }
+  return "?";
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(std::move(config)) {
+  config_.machine.validate();
+  if (config_.sizes.empty() || config_.thread_counts.empty()) {
+    throw std::invalid_argument(
+        "ExperimentRunner: empty size or thread list");
+  }
+}
+
+const std::vector<ResultRecord>& ExperimentRunner::run() {
+  if (ran_) return results_;
+  results_.reserve(3 * config_.sizes.size() * config_.thread_counts.size());
+  for (Algorithm a : kAllAlgorithms) {
+    for (std::size_t n : config_.sizes) {
+      for (unsigned t : config_.thread_counts) {
+        results_.push_back(run_one(a, n, t));
+      }
+    }
+  }
+  ran_ = true;
+  return results_;
+}
+
+ResultRecord ExperimentRunner::run_one(Algorithm a, std::size_t n,
+                                       unsigned threads) {
+  sim::WorkProfile profile;
+  switch (a) {
+    case Algorithm::kOpenBlas:
+      profile = blas::blocked_gemm_profile(n, config_.machine, threads);
+      break;
+    case Algorithm::kStrassen:
+      profile = strassen::strassen_profile(n, config_.machine, threads,
+                                           config_.strassen_options);
+      break;
+    case Algorithm::kCaps:
+      profile = capsalg::caps_profile(n, config_.machine, threads,
+                                      config_.caps_options);
+      break;
+  }
+
+  // Full measurement path: quiesce, latch RAPL baselines through the
+  // PAPI-style event set, run, read the deltas — the sequence the
+  // paper's instrumented test driver executes.
+  rapl::SimulatedMsrDevice msr;
+  if (config_.quiesce_seconds > 0.0) {
+    sim::simulate_idle(config_.machine, config_.quiesce_seconds, msr);
+  }
+  rapl::EventSet events(msr);
+  events.add_event(rapl::kEventPackageEnergy);
+  events.add_event(rapl::kEventPp0Energy);
+  events.start();
+  const sim::RunResult run = sim::simulate(config_.machine, profile,
+                                           threads, &msr);
+  const auto nj = events.stop();
+
+  ResultRecord r;
+  r.algorithm = a;
+  r.n = n;
+  r.threads = threads;
+  r.seconds = run.seconds;
+  r.package_energy_j = static_cast<double>(nj[0]) * 1e-9;
+  r.package_watts = r.seconds > 0.0 ? r.package_energy_j / r.seconds : 0.0;
+  r.pp0_watts =
+      r.seconds > 0.0 ? static_cast<double>(nj[1]) * 1e-9 / r.seconds : 0.0;
+  r.ep = core::energy_performance(r.package_watts, r.seconds);
+  return r;
+}
+
+const ResultRecord& ExperimentRunner::find(Algorithm a, std::size_t n,
+                                           unsigned threads) const {
+  for (const auto& r : results_) {
+    if (r.algorithm == a && r.n == n && r.threads == threads) return r;
+  }
+  throw std::out_of_range(
+      "ExperimentRunner::find: no record for " +
+      std::string(algorithm_name(a)) + " n=" + std::to_string(n) +
+      " t=" + std::to_string(threads) + " (did you call run()?)");
+}
+
+double ExperimentRunner::average_slowdown(Algorithm a, std::size_t n) const {
+  double sum = 0.0;
+  for (unsigned t : config_.thread_counts) {
+    sum += find(a, n, t).seconds /
+           find(Algorithm::kOpenBlas, n, t).seconds;
+  }
+  return sum / static_cast<double>(config_.thread_counts.size());
+}
+
+double ExperimentRunner::average_power(Algorithm a, unsigned threads) const {
+  double sum = 0.0;
+  for (std::size_t n : config_.sizes) {
+    sum += find(a, n, threads).package_watts;
+  }
+  return sum / static_cast<double>(config_.sizes.size());
+}
+
+double ExperimentRunner::average_ep(Algorithm a, std::size_t n) const {
+  double sum = 0.0;
+  for (unsigned t : config_.thread_counts) {
+    sum += find(a, n, t).ep;
+  }
+  return sum / static_cast<double>(config_.thread_counts.size());
+}
+
+std::vector<core::ScalingPoint> ExperimentRunner::ep_scaling(
+    Algorithm a, std::size_t n) const {
+  std::vector<std::pair<unsigned, double>> samples;
+  samples.reserve(config_.thread_counts.size());
+  for (unsigned t : config_.thread_counts) {
+    samples.emplace_back(t, find(a, n, t).ep);
+  }
+  return core::scaling_series(samples);
+}
+
+core::ScalingClass ExperimentRunner::scaling_class(Algorithm a,
+                                                   std::size_t n) const {
+  const auto series = ep_scaling(a, n);
+  return core::classify_scaling(series);
+}
+
+}  // namespace capow::harness

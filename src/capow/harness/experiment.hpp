@@ -1,0 +1,101 @@
+// Experiment harness: the paper's Section VI evaluation methodology.
+//
+// The paper runs all three algorithms over sizes {512, 1024, 2048, 4096}
+// and thread counts {1, 2, 3, 4} — 48 result sets — measuring runtime and
+// PAPI/RAPL package+PP0 power per run, with a 60 s quiesce sleep between
+// tests. ExperimentRunner reproduces that matrix end to end: each
+// configuration's work profile (from the algorithm cost models) is
+// executed by the simulator, which deposits energy into a simulated MSR
+// device; measurement happens through the PAPI-style EventSet exactly as
+// the paper's test driver reads RAPL; the EP model then derives Tables
+// II-IV and Figures 3-7.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "capow/capsalg/cost_model.hpp"
+#include "capow/core/ep_model.hpp"
+#include "capow/machine/machine.hpp"
+#include "capow/strassen/cost_model.hpp"
+
+namespace capow::harness {
+
+/// The three algorithms of the paper's Section IV.
+enum class Algorithm { kOpenBlas = 0, kStrassen = 1, kCaps = 2 };
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kOpenBlas, Algorithm::kStrassen, Algorithm::kCaps};
+
+/// Display name ("OpenBLAS", "Strassen", "CAPS").
+const char* algorithm_name(Algorithm a) noexcept;
+
+/// Full experiment-matrix configuration.
+struct ExperimentConfig {
+  std::vector<std::size_t> sizes{512, 1024, 2048, 4096};
+  std::vector<unsigned> thread_counts{1, 2, 3, 4};
+  machine::MachineSpec machine = machine::haswell_e3_1225();
+  /// Quiesce sleep between tests (the paper uses 60 s); modeled as
+  /// static-power idle time deposited into the MSR device.
+  double quiesce_seconds = 60.0;
+  strassen::StrassenCostOptions strassen_options{};
+  capsalg::CapsCostOptions caps_options{};
+};
+
+/// One of the 48 result sets.
+struct ResultRecord {
+  Algorithm algorithm{};
+  std::size_t n = 0;
+  unsigned threads = 0;
+  double seconds = 0.0;
+  double package_watts = 0.0;  ///< RAPL PACKAGE energy / wall time
+  double pp0_watts = 0.0;      ///< RAPL PP0 energy / wall time
+  double package_energy_j = 0.0;
+  double ep = 0.0;  ///< Eq (1): package_watts / seconds
+};
+
+/// Runs the evaluation matrix and answers the paper's table/figure
+/// queries.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentConfig config);
+
+  /// Executes every (algorithm, size, threads) configuration (cached;
+  /// repeated calls are free). Returns all records.
+  const std::vector<ResultRecord>& run();
+
+  const ExperimentConfig& config() const noexcept { return config_; }
+
+  /// Record for one configuration; throws std::out_of_range when the
+  /// configuration is not part of the matrix.
+  const ResultRecord& find(Algorithm a, std::size_t n,
+                           unsigned threads) const;
+
+  /// Table II: average slowdown of `a` vs OpenBLAS at size n, averaged
+  /// over thread counts.
+  double average_slowdown(Algorithm a, std::size_t n) const;
+
+  /// Table III: average power (package watts) of `a` at `threads`,
+  /// averaged over problem sizes.
+  double average_power(Algorithm a, unsigned threads) const;
+
+  /// Table IV: average EP of `a` at size n, averaged over thread counts.
+  double average_ep(Algorithm a, std::size_t n) const;
+
+  /// Fig 7: the Eq (5) scaling series of `a` at size n across the
+  /// configured thread counts.
+  std::vector<core::ScalingPoint> ep_scaling(Algorithm a,
+                                             std::size_t n) const;
+
+  /// Fig 1-style classification of a configuration's EP scaling.
+  core::ScalingClass scaling_class(Algorithm a, std::size_t n) const;
+
+ private:
+  ResultRecord run_one(Algorithm a, std::size_t n, unsigned threads);
+
+  ExperimentConfig config_;
+  std::vector<ResultRecord> results_;
+  bool ran_ = false;
+};
+
+}  // namespace capow::harness

@@ -1,0 +1,94 @@
+#include "capow/harness/measured.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "capow/blas/blocked_gemm.hpp"
+#include "capow/blas/cost_model.hpp"
+#include "capow/blas/gemm_ref.hpp"
+#include "capow/capsalg/caps.hpp"
+#include "capow/linalg/ops.hpp"
+#include "capow/linalg/random.hpp"
+#include "capow/strassen/cost_model.hpp"
+#include "capow/strassen/strassen.hpp"
+#include "capow/tasking/thread_pool.hpp"
+#include "capow/trace/counters.hpp"
+
+namespace capow::harness {
+
+MeasuredRecord run_measured(Algorithm a, std::size_t n, unsigned threads,
+                            const machine::MachineSpec& machine_spec) {
+  if (n == 0) throw std::invalid_argument("run_measured: n == 0");
+
+  const linalg::Matrix ma = linalg::random_square(n, 1);
+  const linalg::Matrix mb = linalg::random_square(n, 2);
+  linalg::Matrix mc(n, n);
+
+  auto rec = std::make_unique<trace::Recorder>();
+  tasking::ThreadPool pool(threads > 1 ? threads : 0);
+  double efficiency = 0.0;
+  {
+    trace::RecordingScope scope(*rec);
+    switch (a) {
+      case Algorithm::kOpenBlas:
+        blas::blocked_gemm(ma.view(), mb.view(), mc.view(), machine_spec,
+                           threads > 1 ? &pool : nullptr);
+        efficiency = blas::kTunedGemmEfficiency;
+        break;
+      case Algorithm::kStrassen: {
+        strassen::strassen_multiply(ma.view(), mb.view(), mc.view(), {},
+                                    threads > 1 ? &pool : nullptr);
+        efficiency = strassen::kBotsBaseKernelEfficiency;
+        break;
+      }
+      case Algorithm::kCaps: {
+        capsalg::caps_multiply(ma.view(), mb.view(), mc.view(), {},
+                               threads > 1 ? &pool : nullptr);
+        efficiency = strassen::kBotsBaseKernelEfficiency;
+        break;
+      }
+    }
+  }
+
+  MeasuredRecord out;
+  out.algorithm = a;
+  out.n = n;
+  out.threads = threads;
+  const auto totals = rec->total();
+  out.measured_flops = static_cast<double>(totals.flops);
+  out.measured_bytes = static_cast<double>(totals.dram_bytes());
+
+  // Verify numerics against the reference multiplier (keeps the
+  // measured path honest about *what* it measured).
+  linalg::Matrix expect(n, n);
+  blas::gemm_reference(ma.view(), mb.view(), expect.view());
+  out.numerically_verified =
+      linalg::allclose(mc.view(), expect.view(), 1e-9, 1e-9);
+
+  const auto measured_profile = sim::profile_from_recorder(
+      *rec, std::string(algorithm_name(a)) + "-measured", efficiency);
+  out.projected =
+      sim::simulate(machine_spec, measured_profile,
+                    threads == 0 ? 1 : threads);
+
+  sim::WorkProfile analytic;
+  switch (a) {
+    case Algorithm::kOpenBlas:
+      analytic = blas::blocked_gemm_profile(n, machine_spec,
+                                            threads == 0 ? 1 : threads);
+      break;
+    case Algorithm::kStrassen:
+      analytic = strassen::strassen_profile(n, machine_spec,
+                                            threads == 0 ? 1 : threads);
+      break;
+    case Algorithm::kCaps:
+      analytic = capsalg::caps_profile(n, machine_spec,
+                                       threads == 0 ? 1 : threads);
+      break;
+  }
+  out.analytic = sim::simulate(machine_spec, analytic,
+                               threads == 0 ? 1 : threads);
+  return out;
+}
+
+}  // namespace capow::harness

@@ -1,0 +1,107 @@
+#include "capow/harness/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace capow::harness {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable: no headers");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument(
+        "TextTable: row has " + std::to_string(cells.size()) +
+        " cells, expected " + std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      if (c == 0) {
+        out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        out << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::csv() const {
+  const auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << quote(row[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string fmt_si(double value, int precision) {
+  static constexpr struct {
+    double scale;
+    const char* suffix;
+  } kUnits[] = {{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+                {1.0, ""},   {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}};
+  const double mag = std::fabs(value);
+  if (mag == 0.0) return fmt(0.0, precision);
+  for (const auto& u : kUnits) {
+    if (mag >= u.scale || (u.scale == 1e-9)) {
+      return fmt(value / u.scale, precision) + u.suffix;
+    }
+  }
+  return fmt(value, precision);
+}
+
+}  // namespace capow::harness

@@ -1,0 +1,41 @@
+// Plain-text table and CSV formatting for benches and examples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace capow::harness {
+
+/// Fixed-width ASCII table builder. Columns auto-size to their widest
+/// cell; the first column is left-aligned, the rest right-aligned
+/// (numeric convention).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; throws std::invalid_argument when the cell count does
+  /// not match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header separator line.
+  std::string str() const;
+
+  /// Renders as CSV (no padding, comma-separated, quoted when needed).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` fractional digits.
+std::string fmt(double value, int precision = 2);
+
+/// Formats a double in engineering style with an SI suffix
+/// (e.g. 12.8G, 61.0u) — used for bandwidth/energy readouts.
+std::string fmt_si(double value, int precision = 2);
+
+}  // namespace capow::harness

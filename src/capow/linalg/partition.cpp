@@ -1,0 +1,34 @@
+#include "capow/linalg/partition.hpp"
+
+#include <stdexcept>
+
+namespace capow::linalg {
+
+namespace {
+
+void check_even(std::size_t rows, std::size_t cols) {
+  if (rows % 2 != 0 || cols % 2 != 0 || rows == 0 || cols == 0) {
+    throw std::invalid_argument(
+        "partition: dimensions must be even and nonzero");
+  }
+}
+
+}  // namespace
+
+Quadrants<MatrixView> partition(MatrixView m) {
+  check_even(m.rows(), m.cols());
+  const std::size_t hr = m.rows() / 2;
+  const std::size_t hc = m.cols() / 2;
+  return {m.block(0, 0, hr, hc), m.block(0, hc, hr, hc),
+          m.block(hr, 0, hr, hc), m.block(hr, hc, hr, hc)};
+}
+
+Quadrants<ConstMatrixView> partition(ConstMatrixView m) {
+  check_even(m.rows(), m.cols());
+  const std::size_t hr = m.rows() / 2;
+  const std::size_t hc = m.cols() / 2;
+  return {m.block(0, 0, hr, hc), m.block(0, hc, hr, hc),
+          m.block(hr, 0, hr, hc), m.block(hr, hc, hr, hc)};
+}
+
+}  // namespace capow::linalg

@@ -1,0 +1,46 @@
+#include "capow/machine/dvfs.hpp"
+
+#include <stdexcept>
+
+namespace capow::machine {
+
+MachineSpec scale_frequency(MachineSpec spec, double factor) {
+  if (factor < kMinFrequencyScale || factor > kMaxFrequencyScale) {
+    throw std::invalid_argument(
+        "scale_frequency: factor outside the P-state range");
+  }
+  const double p = factor * factor * factor;
+  spec.core.frequency_hz *= factor;
+  spec.core.busy_power_w *= p;
+  spec.core.fma_power_w *= p;
+  spec.core.stall_power_w *= p;
+  spec.core.idle_power_w *= p;
+  return spec;
+}
+
+double max_frequency_scale_under_cap(const MachineSpec& spec,
+                                     double efficiency,
+                                     double package_watts_cap,
+                                     double overhead_watts) {
+  if (efficiency <= 0.0 || efficiency > 1.0) {
+    throw std::invalid_argument(
+        "max_frequency_scale_under_cap: efficiency outside (0,1]");
+  }
+  if (overhead_watts < 0.0) {
+    throw std::invalid_argument(
+        "max_frequency_scale_under_cap: negative overhead");
+  }
+  for (int i = static_cast<int>(kMaxFrequencyScale * 100);
+       i >= static_cast<int>(kMinFrequencyScale * 100); --i) {
+    const double s = i / 100.0;
+    const MachineSpec scaled = scale_frequency(spec, s);
+    const double watts = scaled.power.pp0_static_w +
+                         scaled.power.uncore_static_w + overhead_watts +
+                         scaled.core_count *
+                             scaled.core.active_power_w(efficiency);
+    if (watts <= package_watts_cap) return s;
+  }
+  return 0.0;
+}
+
+}  // namespace capow::machine

@@ -1,0 +1,37 @@
+// Dynamic voltage/frequency scaling over the machine model.
+//
+// The paper's Section II surveys DVFS and power capping as the
+// *established* power-management levers and proposes algorithmic choice
+// as a third axis. To compare the axes quantitatively we model the
+// first one here: scaling core frequency by a factor s scales compute
+// throughput by s and dynamic core power by ~s^3 (P ~ f V^2 with V
+// tracking f in the DVFS operating range); static power and the memory
+// subsystem are unaffected.
+#pragma once
+
+#include "capow/machine/machine.hpp"
+
+namespace capow::machine {
+
+/// Lowest/highest frequency multiplier the model accepts — the usual
+/// P-state range of a desktop part relative to nominal.
+inline constexpr double kMinFrequencyScale = 0.4;
+inline constexpr double kMaxFrequencyScale = 1.2;
+
+/// Returns `spec` with core frequency scaled by `factor` and dynamic
+/// core powers (busy, FMA, stall, idle) scaled by factor^3.
+/// Throws std::invalid_argument for factors outside the P-state range.
+MachineSpec scale_frequency(MachineSpec spec, double factor);
+
+/// Largest frequency scale (within the P-state range, 0.01 resolution)
+/// at which an all-cores compute-bound kernel of the given efficiency
+/// stays under `package_watts_cap`, after reserving `overhead_watts`
+/// for non-core package consumers (memory controller, LLC traffic —
+/// callers can measure these from an uncapped simulation). Returns 0
+/// when even the lowest P-state exceeds the cap.
+double max_frequency_scale_under_cap(const MachineSpec& spec,
+                                     double efficiency,
+                                     double package_watts_cap,
+                                     double overhead_watts = 0.0);
+
+}  // namespace capow::machine

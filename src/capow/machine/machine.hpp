@@ -1,0 +1,149 @@
+// capow::machine — parameterized SMP machine description.
+//
+// Substitute for the paper's physical test platform (Lenovo TS140,
+// Intel E3-1225 "Haswell", 4 cores @ 3.2 GHz, 8 MB LLC, one DDR3-1600
+// DIMM). The model captures exactly the quantities the paper's analysis
+// depends on:
+//   * peak per-core compute throughput (for roofline compute time),
+//   * memory bandwidth (for roofline memory time; the quantity `z` in the
+//     crossover equation Eq 9),
+//   * cache capacities (used by the blocked-DGEMM blocking selection and
+//     by the CAPS communication bound's M term in Eq 8),
+//   * power coefficients per plane (static/uncore, per-core active and
+//     stall power, DRAM energy-per-byte) from which the simulator derives
+//     the PKG and PP0 RAPL planes.
+//
+// Power coefficients for the Haswell preset were calibrated so a
+// compute-bound kernel's package power tracks the paper's OpenBLAS
+// measurements (≈20 W at 1 thread to ≈49 W at 4, Table III); all other
+// behaviours (Strassen/CAPS power saturation, EP scaling shapes) emerge
+// from the roofline-with-contention model rather than per-algorithm
+// tuning.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace capow::machine {
+
+/// One level of the cache hierarchy.
+struct CacheLevelSpec {
+  std::string name;            ///< "L1d", "L2", "L3"
+  std::size_t capacity_bytes;  ///< per-core for private levels, total for shared
+  bool shared;                 ///< true when shared by all cores (LLC)
+  unsigned line_bytes;         ///< cache line size
+  double energy_per_byte_nj;   ///< access energy, nanojoules per byte
+};
+
+/// Main-memory subsystem.
+struct MemorySpec {
+  double bandwidth_bytes_per_s;  ///< sustained streaming bandwidth
+  double latency_s;              ///< idle access latency
+  double energy_per_byte_nj;     ///< controller+DRAM I/O energy per byte
+  std::size_t capacity_bytes;    ///< installed capacity
+};
+
+/// Per-core compute and power characteristics.
+///
+/// Dynamic power of one core is modeled as
+///   P = (1-u)*stall_power_w + u*(busy_power_w + fma_power_w*efficiency)
+/// where u is the non-memory-stalled fraction of time and `efficiency`
+/// the fraction of the peak FP datapath the running kernel exercises.
+/// This separation is what lets a low-efficiency kernel (e.g. the BOTS
+/// Strassen base case) run busy yet draw far less power than a tuned
+/// SIMD GEMM — the effect behind the paper's Figs 4-6.
+struct CoreSpec {
+  double frequency_hz;     ///< nominal core clock
+  double flops_per_cycle;  ///< peak double-precision flops per cycle
+  double busy_power_w;     ///< fetch/issue/LS power of a busy core (no FP)
+  double fma_power_w;      ///< additional power at full FP-datapath use
+  double stall_power_w;    ///< power of a memory-stalled core
+  /// Power of an idle-but-clocking core. The paper disables the BIOS
+  /// power-saving features, so unused cores never frequency-scale down;
+  /// they keep drawing this floor while other cores work.
+  double idle_power_w;
+
+  /// Power of a core running a kernel of the given efficiency flat out.
+  double active_power_w(double efficiency = 1.0) const noexcept {
+    return busy_power_w + fma_power_w * efficiency;
+  }
+};
+
+/// Static (always-on while measuring) power split between RAPL planes.
+struct PowerSpec {
+  double pp0_static_w;     ///< core-plane static/leakage power
+  double uncore_static_w;  ///< package-minus-cores static power
+};
+
+/// RAPL-style power planes the simulator integrates energy into.
+/// The paper reads PACKAGE and PP0; DRAM is modeled for the distributed
+/// extension (interconnect/DIMM energy) and reported where available.
+enum class PowerPlane { kPackage = 0, kPP0 = 1, kDram = 2 };
+inline constexpr std::size_t kPowerPlaneCount = 3;
+
+/// Human-readable plane name ("PACKAGE", "PP0", "DRAM").
+const char* power_plane_name(PowerPlane p) noexcept;
+
+/// Complete machine description.
+struct MachineSpec {
+  std::string name;
+  unsigned core_count = 1;
+  CoreSpec core{};
+  std::vector<CacheLevelSpec> caches;  ///< ordered L1 -> LLC
+  MemorySpec memory{};
+  PowerSpec power{};
+  double task_spawn_overhead_s = 2e-7;  ///< cost of creating one task
+  double sync_overhead_s = 1e-6;        ///< cost of one barrier/join
+
+  /// Peak double-precision throughput of one core (flops/s).
+  double per_core_peak_flops() const noexcept {
+    return core.frequency_hz * core.flops_per_cycle;
+  }
+  /// Peak throughput of the whole socket.
+  double peak_flops() const noexcept {
+    return per_core_peak_flops() * core_count;
+  }
+  /// Capacity of the last-level cache in bytes (0 when no caches).
+  std::size_t llc_capacity_bytes() const noexcept {
+    return caches.empty() ? 0 : caches.back().capacity_bytes;
+  }
+  /// Capacity of the given level (0-indexed from L1).
+  std::size_t cache_capacity_bytes(std::size_t level) const;
+
+  /// Machine balance in flops per DRAM byte — high values mean
+  /// compute-rich/bandwidth-poor, the regime the paper's platform is in
+  /// ("relatively high compute-to-memory ratio").
+  double flops_per_byte() const noexcept {
+    return peak_flops() / memory.bandwidth_bytes_per_s;
+  }
+
+  /// Throws std::invalid_argument when the spec is inconsistent
+  /// (no cores, non-positive rates, unordered cache capacities, ...).
+  void validate() const;
+};
+
+/// The paper's platform: Intel E3-1225 v3 (Haswell), 4 cores @ 3.2 GHz,
+/// 32 KB L1d + 256 KB L2 per core, 8 MB shared LLC, one DDR3-1600 DIMM
+/// (12.8 GB/s), power-saving features disabled (fixed frequency).
+MachineSpec haswell_e3_1225();
+
+/// A bandwidth-rich variant used by crossover/ablation studies: same
+/// cores, 4x the memory bandwidth (quad-channel). Lowers the machine
+/// balance, moving the Strassen crossover point (Eq 9) to smaller n.
+MachineSpec haswell_quad_channel();
+
+/// A small low-power core preset (2 cores, narrow SIMD) used in tests to
+/// verify model behaviour is not tied to one calibration.
+MachineSpec compact_dual_core();
+
+/// Preset lookup by name ("haswell", "quad", "compact") — the registry
+/// the CLI and scripts resolve against. Throws std::invalid_argument
+/// for unknown names.
+MachineSpec preset_by_name(const std::string& name);
+
+/// Names accepted by preset_by_name.
+std::vector<std::string> preset_names();
+
+}  // namespace capow::machine

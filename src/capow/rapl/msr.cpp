@@ -1,0 +1,144 @@
+#include "capow/rapl/msr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace capow::rapl {
+
+namespace {
+
+constexpr std::uint64_t kWrap = 1ull << 32;
+
+std::size_t plane_index(machine::PowerPlane p) {
+  return static_cast<std::size_t>(p);
+}
+
+}  // namespace
+
+SimulatedMsrDevice::SimulatedMsrDevice(unsigned energy_status_unit)
+    : esu_(energy_status_unit),
+      joules_per_count_(1.0 / static_cast<double>(1ull << esu_)) {
+  if (esu_ > 31) {
+    throw std::invalid_argument("SimulatedMsrDevice: ESU out of range");
+  }
+}
+
+std::uint64_t SimulatedMsrDevice::read(std::uint32_t addr) const {
+  switch (addr) {
+    case kMsrRaplPowerUnit: {
+      // [3:0] power units (1/2^PU W), [12:8] energy status units,
+      // [19:16] time units. We encode PU=3 (1/8 W) and TU=10 like
+      // Haswell parts; only ESU matters to energy clients.
+      const std::uint64_t pu = 3;
+      const std::uint64_t tu = 10;
+      return pu | (static_cast<std::uint64_t>(esu_) << 8) | (tu << 16);
+    }
+    case kMsrPkgPowerLimit: {
+      std::lock_guard lock(mutex_);
+      return power_limit_raw_;
+    }
+    case kMsrPkgEnergyStatus:
+      return energy_status_raw(machine::PowerPlane::kPackage);
+    case kMsrPp0EnergyStatus:
+      return energy_status_raw(machine::PowerPlane::kPP0);
+    case kMsrDramEnergyStatus:
+      return energy_status_raw(machine::PowerPlane::kDram);
+    default:
+      throw std::out_of_range("SimulatedMsrDevice: unmapped MSR 0x" +
+                              std::to_string(addr));
+  }
+}
+
+std::uint32_t SimulatedMsrDevice::energy_status_raw(
+    machine::PowerPlane plane) const {
+  std::lock_guard lock(mutex_);
+  const double counts = joules_[plane_index(plane)] / joules_per_count_;
+  const auto wide = static_cast<std::uint64_t>(std::floor(counts));
+  return static_cast<std::uint32_t>(wide % kWrap);
+}
+
+void SimulatedMsrDevice::write(std::uint32_t addr, std::uint64_t value) {
+  if (addr != kMsrPkgPowerLimit) {
+    throw std::out_of_range("SimulatedMsrDevice: register not writable");
+  }
+  std::lock_guard lock(mutex_);
+  power_limit_raw_ = value;
+}
+
+namespace {
+// MSR_PKG_POWER_LIMIT PL1 layout: [14:0] power in 1/2^PU W (PU = 3
+// here), [15] enable.
+constexpr std::uint64_t kPl1Mask = 0x7FFF;
+constexpr std::uint64_t kPl1Enable = 1ull << 15;
+constexpr double kWattsPerUnit = 0.125;  // PU = 3
+}  // namespace
+
+void SimulatedMsrDevice::set_package_power_limit(double watts) {
+  if (watts <= 0.0) {
+    write(kMsrPkgPowerLimit, 0);
+    return;
+  }
+  const auto units = static_cast<std::uint64_t>(watts / kWattsPerUnit);
+  write(kMsrPkgPowerLimit, (units & kPl1Mask) | kPl1Enable);
+}
+
+double SimulatedMsrDevice::package_power_limit_w() const {
+  const std::uint64_t raw = read(kMsrPkgPowerLimit);
+  if ((raw & kPl1Enable) == 0) return -1.0;
+  return static_cast<double>(raw & kPl1Mask) * kWattsPerUnit;
+}
+
+void SimulatedMsrDevice::deposit(machine::PowerPlane plane, double joules) {
+  if (joules < 0.0) {
+    throw std::invalid_argument("SimulatedMsrDevice: negative deposit");
+  }
+  std::lock_guard lock(mutex_);
+  joules_[plane_index(plane)] += joules;
+}
+
+double SimulatedMsrDevice::total_joules(machine::PowerPlane plane) const {
+  std::lock_guard lock(mutex_);
+  return joules_[plane_index(plane)];
+}
+
+void SimulatedMsrDevice::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& j : joules_) j = 0.0;
+}
+
+RaplReader::RaplReader(const SimulatedMsrDevice& dev)
+    : dev_(&dev), unit_j_(dev.joules_per_count()) {
+  reset();
+}
+
+void RaplReader::reset() {
+  for (std::size_t i = 0; i < machine::kPowerPlaneCount; ++i) {
+    last_raw_[i] = read_raw(static_cast<machine::PowerPlane>(i));
+    accumulated_j_[i] = 0.0;
+  }
+}
+
+std::uint32_t RaplReader::read_raw(machine::PowerPlane plane) const {
+  switch (plane) {
+    case machine::PowerPlane::kPackage:
+      return static_cast<std::uint32_t>(dev_->read(kMsrPkgEnergyStatus));
+    case machine::PowerPlane::kPP0:
+      return static_cast<std::uint32_t>(dev_->read(kMsrPp0EnergyStatus));
+    case machine::PowerPlane::kDram:
+      return static_cast<std::uint32_t>(dev_->read(kMsrDramEnergyStatus));
+  }
+  throw std::invalid_argument("RaplReader: bad plane");
+}
+
+double RaplReader::energy_joules(machine::PowerPlane plane) {
+  const std::size_t i = static_cast<std::size_t>(plane);
+  const std::uint32_t now = read_raw(plane);
+  // Unsigned subtraction folds a single wrap automatically.
+  const std::uint32_t delta = now - last_raw_[i];
+  last_raw_[i] = now;
+  accumulated_j_[i] += static_cast<double>(delta) * unit_j_;
+  return accumulated_j_[i];
+}
+
+}  // namespace capow::rapl

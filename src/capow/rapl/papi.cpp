@@ -1,0 +1,54 @@
+#include "capow/rapl/papi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace capow::rapl {
+
+machine::PowerPlane plane_for_event(const std::string& event_name) {
+  if (event_name == kEventPackageEnergy) {
+    return machine::PowerPlane::kPackage;
+  }
+  if (event_name == kEventPp0Energy) return machine::PowerPlane::kPP0;
+  if (event_name == kEventDramEnergy) return machine::PowerPlane::kDram;
+  throw std::invalid_argument("unknown rapl event: " + event_name);
+}
+
+EventSet::EventSet(const SimulatedMsrDevice& dev)
+    : dev_(&dev), reader_(dev) {}
+
+std::size_t EventSet::add_event(const std::string& name) {
+  if (running_) {
+    throw std::logic_error("EventSet: cannot add events while running");
+  }
+  planes_.push_back(plane_for_event(name));  // validates first
+  names_.push_back(name);
+  return names_.size() - 1;
+}
+
+void EventSet::start() {
+  if (running_) throw std::logic_error("EventSet: already running");
+  if (names_.empty()) throw std::logic_error("EventSet: no events added");
+  reader_.reset();
+  frozen_nj_.assign(names_.size(), 0);
+  running_ = true;
+}
+
+std::vector<long long> EventSet::read() {
+  if (!running_) return frozen_nj_;
+  std::vector<long long> out(names_.size());
+  for (std::size_t i = 0; i < planes_.size(); ++i) {
+    const double joules = reader_.energy_joules(planes_[i]);
+    out[i] = static_cast<long long>(std::llround(joules * 1e9));
+  }
+  return out;
+}
+
+std::vector<long long> EventSet::stop() {
+  if (!running_) throw std::logic_error("EventSet: not running");
+  frozen_nj_ = read();
+  running_ = false;
+  return frozen_nj_;
+}
+
+}  // namespace capow::rapl

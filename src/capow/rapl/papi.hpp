@@ -1,0 +1,68 @@
+// PAPI-style component interface over the simulated RAPL device.
+//
+// The paper's test driver embeds PAPI configured "to read the values from
+// the entire package and the primary power plane (PP0)". This header
+// reproduces that client surface: named events
+// ("rapl:::PACKAGE_ENERGY:PACKAGE0", ...), an EventSet with
+// start/stop/read semantics, and values reported in nanojoules exactly as
+// PAPI's rapl component reports them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capow/rapl/msr.hpp"
+
+namespace capow::rapl {
+
+/// Canonical PAPI rapl event names for socket 0.
+inline constexpr const char* kEventPackageEnergy =
+    "rapl:::PACKAGE_ENERGY:PACKAGE0";
+inline constexpr const char* kEventPp0Energy = "rapl:::PP0_ENERGY:PACKAGE0";
+inline constexpr const char* kEventDramEnergy = "rapl:::DRAM_ENERGY:PACKAGE0";
+
+/// Maps an event name to its power plane; throws std::invalid_argument
+/// for unknown names.
+machine::PowerPlane plane_for_event(const std::string& event_name);
+
+/// PAPI-like event set bound to one simulated MSR device.
+///
+/// Lifecycle mirrors PAPI: add events while stopped, start() latches
+/// baselines, read() reports nanojoules accumulated since start() in
+/// event-addition order, stop() freezes the values.
+class EventSet {
+ public:
+  explicit EventSet(const SimulatedMsrDevice& dev);
+
+  /// Registers an event; returns its index in read() results.
+  /// Throws std::logic_error when called while running,
+  /// std::invalid_argument for an unknown event name.
+  std::size_t add_event(const std::string& name);
+
+  /// Names in result order.
+  const std::vector<std::string>& events() const noexcept { return names_; }
+
+  /// Latches baselines and begins accumulation.
+  /// Throws std::logic_error when already running or no events added.
+  void start();
+
+  /// Freezes values; returns the final reading (nanojoules per event).
+  std::vector<long long> stop();
+
+  /// Current accumulated nanojoules per event. Valid while running
+  /// (live values) or after stop() (frozen values).
+  std::vector<long long> read();
+
+  bool running() const noexcept { return running_; }
+
+ private:
+  const SimulatedMsrDevice* dev_;
+  RaplReader reader_;
+  std::vector<std::string> names_;
+  std::vector<machine::PowerPlane> planes_;
+  std::vector<long long> frozen_nj_;
+  bool running_ = false;
+};
+
+}  // namespace capow::rapl

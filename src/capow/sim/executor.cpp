@@ -1,0 +1,216 @@
+#include "capow/sim/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace capow::sim {
+
+namespace {
+
+constexpr std::size_t kPkg =
+    static_cast<std::size_t>(machine::PowerPlane::kPackage);
+constexpr std::size_t kPp0 =
+    static_cast<std::size_t>(machine::PowerPlane::kPP0);
+constexpr std::size_t kDram =
+    static_cast<std::size_t>(machine::PowerPlane::kDram);
+
+void validate_phase(const PhaseCost& ph) {
+  if (ph.flops < 0 || ph.dram_bytes < 0 || ph.cache_bytes < 0) {
+    throw std::invalid_argument("simulate: negative phase cost in '" +
+                                ph.label + "'");
+  }
+  if (ph.efficiency <= 0.0 || ph.efficiency > 1.0) {
+    throw std::invalid_argument("simulate: efficiency outside (0,1] in '" +
+                                ph.label + "'");
+  }
+  if (ph.imbalance < 1.0) {
+    throw std::invalid_argument("simulate: imbalance < 1 in '" + ph.label +
+                                "'");
+  }
+  if (ph.parallelism == 0) {
+    throw std::invalid_argument("simulate: zero parallelism in '" +
+                                ph.label + "'");
+  }
+}
+
+PhaseResult simulate_phase(const machine::MachineSpec& spec,
+                           const PhaseCost& ph, unsigned threads) {
+  validate_phase(ph);
+  PhaseResult r;
+  r.label = ph.label;
+  const unsigned p =
+      std::min({ph.parallelism, threads, spec.core_count});
+  r.active_cores = p;
+
+  const double per_core = spec.per_core_peak_flops() * ph.efficiency;
+  r.compute_seconds =
+      ph.flops > 0.0 ? ph.flops * ph.imbalance / (per_core * p) : 0.0;
+  r.memory_seconds =
+      ph.dram_bytes > 0.0
+          ? ph.dram_bytes / spec.memory.bandwidth_bytes_per_s
+          : 0.0;
+  r.overhead_seconds =
+      static_cast<double>(ph.sync_events) * spec.sync_overhead_s +
+      static_cast<double>(ph.spawn_events) * spec.task_spawn_overhead_s;
+
+  const double work = std::max(r.compute_seconds, r.memory_seconds);
+  r.seconds = work + r.overhead_seconds;
+  if (r.seconds <= 0.0) {
+    r.utilization = 0.0;
+    return r;
+  }
+  r.utilization = std::clamp(r.compute_seconds / r.seconds, 0.0, 1.0);
+
+  const auto& core = spec.core;
+  const double per_core_dyn =
+      (1.0 - r.utilization) * core.stall_power_w +
+      r.utilization * core.active_power_w(ph.efficiency);
+  // Unused cores keep clocking (power saving is disabled on the modeled
+  // platform) and draw the idle floor.
+  const double idle = (spec.core_count - p) * core.idle_power_w;
+  const double pp0 = spec.power.pp0_static_w + p * per_core_dyn + idle;
+
+  const double mem_w =
+      ph.dram_bytes / r.seconds * spec.memory.energy_per_byte_nj * 1e-9;
+  const double llc_nj =
+      spec.caches.empty() ? 0.0 : spec.caches.back().energy_per_byte_nj;
+  const double cache_w = ph.cache_bytes / r.seconds * llc_nj * 1e-9;
+
+  r.power_w[kPp0] = pp0;
+  r.power_w[kPkg] = pp0 + spec.power.uncore_static_w + mem_w + cache_w;
+  r.power_w[kDram] = mem_w;
+  for (std::size_t i = 0; i < machine::kPowerPlaneCount; ++i) {
+    r.energy_j[i] = r.power_w[i] * r.seconds;
+  }
+  return r;
+}
+
+}  // namespace
+
+RunResult simulate(const machine::MachineSpec& spec,
+                   const WorkProfile& profile, unsigned threads,
+                   rapl::SimulatedMsrDevice* msr) {
+  if (threads == 0) {
+    throw std::invalid_argument("simulate: threads must be >= 1");
+  }
+  spec.validate();
+
+  RunResult run;
+  run.phases.reserve(profile.phases.size());
+  for (const auto& ph : profile.phases) {
+    PhaseResult pr = simulate_phase(spec, ph, threads);
+    run.seconds += pr.seconds;
+    for (std::size_t i = 0; i < machine::kPowerPlaneCount; ++i) {
+      run.energy_j[i] += pr.energy_j[i];
+    }
+    if (msr != nullptr) {
+      msr->deposit(machine::PowerPlane::kPackage, pr.energy_j[kPkg]);
+      msr->deposit(machine::PowerPlane::kPP0, pr.energy_j[kPp0]);
+      msr->deposit(machine::PowerPlane::kDram, pr.energy_j[kDram]);
+    }
+    run.phases.push_back(std::move(pr));
+  }
+  return run;
+}
+
+RunResult simulate_capped(const machine::MachineSpec& spec,
+                          const WorkProfile& profile, unsigned threads,
+                          double cap_watts,
+                          rapl::SimulatedMsrDevice* msr) {
+  if (cap_watts <= 0.0) {
+    throw std::invalid_argument("simulate_capped: cap must be > 0");
+  }
+  RunResult run = simulate(spec, profile, threads, nullptr);
+  RunResult capped;
+  capped.phases.reserve(run.phases.size());
+  for (PhaseResult pr : run.phases) {
+    if (pr.power_w[kPkg] > cap_watts && pr.seconds > 0.0) {
+      // Static floor of this phase: plane statics plus idle cores.
+      const double idle =
+          (spec.core_count - pr.active_cores) * spec.core.idle_power_w;
+      const double static_pkg = spec.power.pp0_static_w +
+                                spec.power.uncore_static_w + idle;
+      if (cap_watts <= static_pkg) {
+        throw std::invalid_argument(
+            "simulate_capped: cap below the static power floor");
+      }
+      const double t_old = pr.seconds;
+      const double dyn_energy =
+          (pr.power_w[kPkg] - static_pkg) * t_old;
+      const double t_new = dyn_energy / (cap_watts - static_pkg);
+      const double dyn_scale = t_old / t_new;
+      const double static_pp0 = spec.power.pp0_static_w + idle;
+      pr.power_w[kPkg] = cap_watts;
+      pr.power_w[kPp0] =
+          static_pp0 + (pr.power_w[kPp0] - static_pp0) * dyn_scale;
+      pr.power_w[kDram] *= dyn_scale;
+      pr.seconds = t_new;
+      for (std::size_t i = 0; i < machine::kPowerPlaneCount; ++i) {
+        pr.energy_j[i] = pr.power_w[i] * t_new;
+      }
+    }
+    capped.seconds += pr.seconds;
+    for (std::size_t i = 0; i < machine::kPowerPlaneCount; ++i) {
+      capped.energy_j[i] += pr.energy_j[i];
+    }
+    if (msr != nullptr) {
+      msr->deposit(machine::PowerPlane::kPackage, pr.energy_j[kPkg]);
+      msr->deposit(machine::PowerPlane::kPP0, pr.energy_j[kPp0]);
+      msr->deposit(machine::PowerPlane::kDram, pr.energy_j[kDram]);
+    }
+    capped.phases.push_back(std::move(pr));
+  }
+  return capped;
+}
+
+void simulate_idle(const machine::MachineSpec& spec, double seconds,
+                   rapl::SimulatedMsrDevice& msr) {
+  if (seconds < 0.0) {
+    throw std::invalid_argument("simulate_idle: negative duration");
+  }
+  const double pp0 = spec.power.pp0_static_w * seconds;
+  const double pkg = pp0 + spec.power.uncore_static_w * seconds;
+  msr.deposit(machine::PowerPlane::kPP0, pp0);
+  msr.deposit(machine::PowerPlane::kPackage, pkg);
+}
+
+std::vector<PowerSample> simulate_with_sampling(
+    const machine::MachineSpec& spec, const WorkProfile& profile,
+    unsigned threads, double dt, RunResult* result) {
+  if (dt <= 0.0) {
+    throw std::invalid_argument("simulate_with_sampling: dt must be > 0");
+  }
+  RunResult run = simulate(spec, profile, threads, nullptr);
+
+  rapl::SimulatedMsrDevice msr;
+  rapl::RaplReader reader(msr);
+  std::vector<PowerSample> samples;
+  double t = 0.0;
+  double prev_pkg = 0.0;
+  double prev_pp0 = 0.0;
+  for (const auto& ph : run.phases) {
+    double remaining = ph.seconds;
+    while (remaining > 0.0) {
+      const double step = std::min(dt, remaining);
+      msr.deposit(machine::PowerPlane::kPackage, ph.power_w[kPkg] * step);
+      msr.deposit(machine::PowerPlane::kPP0, ph.power_w[kPp0] * step);
+      msr.deposit(machine::PowerPlane::kDram, ph.power_w[kDram] * step);
+      t += step;
+      remaining -= step;
+      const double pkg_j = reader.energy_joules(machine::PowerPlane::kPackage);
+      const double pp0_j = reader.energy_joules(machine::PowerPlane::kPP0);
+      samples.push_back(PowerSample{
+          .t_seconds = t,
+          .package_w = (pkg_j - prev_pkg) / step,
+          .pp0_w = (pp0_j - prev_pp0) / step,
+      });
+      prev_pkg = pkg_j;
+      prev_pp0 = pp0_j;
+    }
+  }
+  if (result != nullptr) *result = std::move(run);
+  return samples;
+}
+
+}  // namespace capow::sim

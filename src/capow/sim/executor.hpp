@@ -1,0 +1,110 @@
+// The roofline-with-contention execution model.
+//
+// For each phase of a WorkProfile, running with `threads` workers on a
+// MachineSpec:
+//
+//   p      = min(phase.parallelism, threads, cores)
+//   Tcomp  = flops * imbalance / (p * per_core_peak * efficiency)
+//   Tmem   = dram_bytes / memory_bandwidth          (shared resource!)
+//   Twork  = max(Tcomp, Tmem)                        (overlap roofline)
+//   T      = Twork + sync/spawn overheads
+//   u      = Tcomp / T                               (core utilization)
+//
+// Power while the phase runs:
+//
+//   core    = (1-u)*stall_w + u*(busy_w + fma_w*efficiency)
+//   PP0     = pp0_static + p * core
+//   PACKAGE = PP0 + uncore_static + cache_power + memory_power
+//   DRAM    = memory_power (DIMM-side estimate)
+//
+// where memory_power = dram_bytes / T * energy_per_byte.
+//
+// This is where the paper's qualitative results come from: a
+// compute-bound kernel keeps u ~= 1, so each added worker raises PP0 by
+// the full active_w (near-linear power growth — the OpenBLAS curves in
+// Fig 4 and its superlinear EP scaling in Fig 7); a bandwidth-bound
+// phase's Tmem does not shrink with p, so utilization falls as workers
+// are added and power saturates (the Strassen/CAPS curves of Figs 5-6).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "capow/machine/machine.hpp"
+#include "capow/rapl/msr.hpp"
+#include "capow/sim/cost_profile.hpp"
+
+namespace capow::sim {
+
+/// Per-phase simulation outcome.
+struct PhaseResult {
+  std::string label;
+  double seconds = 0.0;
+  double compute_seconds = 0.0;   ///< Tcomp (per-core critical path)
+  double memory_seconds = 0.0;    ///< Tmem
+  double overhead_seconds = 0.0;  ///< spawn + sync
+  double utilization = 0.0;       ///< u in [0, 1]
+  unsigned active_cores = 0;      ///< p
+  std::array<double, machine::kPowerPlaneCount> power_w{};
+  std::array<double, machine::kPowerPlaneCount> energy_j{};
+};
+
+/// Whole-run simulation outcome.
+struct RunResult {
+  double seconds = 0.0;
+  std::array<double, machine::kPowerPlaneCount> energy_j{};
+  std::vector<PhaseResult> phases;
+
+  double energy(machine::PowerPlane p) const noexcept {
+    return energy_j[static_cast<std::size_t>(p)];
+  }
+  /// Time-averaged power on a plane over the run — the EAvg term of
+  /// Eq (1) as the paper measures it (energy delta / wall time).
+  double avg_power_w(machine::PowerPlane p) const noexcept {
+    return seconds > 0.0 ? energy(p) / seconds : 0.0;
+  }
+};
+
+/// Simulates `profile` with `threads` workers on `spec`. When `msr` is
+/// non-null, each phase's plane energies are deposited into it so that
+/// RAPL clients observe the run. Throws std::invalid_argument for
+/// threads == 0 or an invalid spec/profile (negative costs,
+/// efficiency outside (0, 1], imbalance < 1).
+RunResult simulate(const machine::MachineSpec& spec,
+                   const WorkProfile& profile, unsigned threads,
+                   rapl::SimulatedMsrDevice* msr = nullptr);
+
+/// Simulates under a RAPL-style package power cap: phases whose package
+/// power would exceed `cap_watts` are throttled — their dynamic energy
+/// is spread over a longer interval so that average package power sits
+/// exactly at the cap (first-order RAPL PL1 behaviour). Static power
+/// keeps burning during the stretched time, so capping *costs energy*
+/// as well as time. Throws std::invalid_argument when the cap is not
+/// above the phase's static floor.
+RunResult simulate_capped(const machine::MachineSpec& spec,
+                          const WorkProfile& profile, unsigned threads,
+                          double cap_watts,
+                          rapl::SimulatedMsrDevice* msr = nullptr);
+
+/// Deposits `seconds` of idle (static power only) energy — the harness
+/// uses this to model the paper's 60 s quiesce sleep between tests.
+void simulate_idle(const machine::MachineSpec& spec, double seconds,
+                   rapl::SimulatedMsrDevice& msr);
+
+/// One timestamped power sample.
+struct PowerSample {
+  double t_seconds;
+  double package_w;
+  double pp0_w;
+};
+
+/// Replays `profile` in `dt`-sized steps, depositing energy into a fresh
+/// MSR device and sampling it through a RaplReader after each step —
+/// i.e. exactly the measurement loop a PAPI-based power monitor runs.
+/// Returns the sampled trace; `result` (optional) receives the aggregate.
+std::vector<PowerSample> simulate_with_sampling(
+    const machine::MachineSpec& spec, const WorkProfile& profile,
+    unsigned threads, double dt, RunResult* result = nullptr);
+
+}  // namespace capow::sim

@@ -1,0 +1,99 @@
+#include "capow/sparse/cost_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace capow::sparse {
+
+const char* format_name(Format f) noexcept {
+  switch (f) {
+    case Format::kCsr:
+      return "CSR";
+    case Format::kCoo:
+      return "COO";
+    case Format::kEll:
+      return "ELL";
+  }
+  return "?";
+}
+
+SpmvShape shape_of(const CsrMatrix& m) {
+  m.validate();
+  SpmvShape s;
+  s.rows = m.rows;
+  s.cols = m.cols;
+  s.nnz = m.nnz();
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    s.ell_width = std::max<std::size_t>(s.ell_width,
+                                        m.row_ptr[r + 1] - m.row_ptr[r]);
+  }
+  return s;
+}
+
+double spmv_flops(Format f, const SpmvShape& s) {
+  switch (f) {
+    case Format::kCsr:
+    case Format::kCoo:
+      return 2.0 * static_cast<double>(s.nnz);
+    case Format::kEll:
+      return 2.0 * static_cast<double>(s.rows) * s.ell_width;
+  }
+  throw std::invalid_argument("spmv_flops: bad format");
+}
+
+double spmv_traffic_bytes(Format f, const SpmvShape& s) {
+  const double rows = static_cast<double>(s.rows);
+  const double nnz = static_cast<double>(s.nnz);
+  switch (f) {
+    case Format::kCsr:
+      // row_ptr walk + col/value/x-gather streams + y writes + row_ptr[0].
+      return 4.0 * rows + 20.0 * nnz + 4.0 + 8.0 * rows;
+    case Format::kCoo:
+      // triplets + x gathers + y read-modify-write + y zero-fill.
+      return 32.0 * nnz + 8.0 * nnz + 8.0 * rows;
+    case Format::kEll: {
+      const double slots = rows * static_cast<double>(s.ell_width);
+      return 20.0 * slots + 8.0 * rows;
+    }
+  }
+  throw std::invalid_argument("spmv_traffic_bytes: bad format");
+}
+
+sim::WorkProfile spmv_profile(Format f, const SpmvShape& s,
+                              const machine::MachineSpec& spec,
+                              unsigned threads, std::size_t iterations) {
+  if (iterations == 0) {
+    throw std::invalid_argument("spmv_profile: zero iterations");
+  }
+  const double traffic =
+      spmv_traffic_bytes(f, s) * static_cast<double>(iterations);
+  const double flops = spmv_flops(f, s) * static_cast<double>(iterations);
+  const unsigned p =
+      f == Format::kCoo ? 1u : std::min(threads, spec.core_count);
+
+  // The matrix stream misses the LLC whenever the operand exceeds it;
+  // the x vector (gathers) stays resident when it fits.
+  const double matrix_bytes =
+      f == Format::kEll
+          ? 12.0 * static_cast<double>(s.rows) * s.ell_width
+          : (f == Format::kCoo ? 16.0 : 12.0) * static_cast<double>(s.nnz);
+  const bool streams_dram =
+      matrix_bytes + 8.0 * static_cast<double>(s.cols) >
+      static_cast<double>(spec.llc_capacity_bytes());
+
+  sim::WorkProfile wp;
+  wp.name = std::string("spmv-") + format_name(f);
+  wp.add(sim::PhaseCost{
+      .label = wp.name,
+      .flops = flops,
+      .dram_bytes = streams_dram ? traffic : 0.0,
+      .cache_bytes = streams_dram ? 0.0 : traffic,
+      .parallelism = p,
+      .efficiency = kSpmvEfficiency,
+      .sync_events = (p > 1) ? iterations : 0,
+  });
+  return wp;
+}
+
+}  // namespace capow::sparse

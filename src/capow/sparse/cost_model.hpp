@@ -1,0 +1,49 @@
+// Cost model for SpMV across storage formats, mirroring spmv.cpp's
+// instrumentation exactly — the input to the sparse EP-scaling study.
+#pragma once
+
+#include <cstddef>
+
+#include "capow/machine/machine.hpp"
+#include "capow/sim/cost_profile.hpp"
+#include "capow/sparse/formats.hpp"
+
+namespace capow::sparse {
+
+enum class Format { kCsr = 0, kCoo = 1, kEll = 2 };
+inline constexpr Format kAllFormats[] = {Format::kCsr, Format::kCoo,
+                                         Format::kEll};
+
+/// "CSR", "COO", "ELL".
+const char* format_name(Format f) noexcept;
+
+/// Structural summary of a sparse operand.
+struct SpmvShape {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t nnz = 0;
+  std::size_t ell_width = 0;  ///< max row population (ELL padding driver)
+};
+
+/// Shape of a CSR matrix (ell_width = max row length).
+SpmvShape shape_of(const CsrMatrix& m);
+
+/// Useful flops (2 per stored multiply-add lane; ELL counts pad lanes,
+/// matching its kernel's regular-lane execution).
+double spmv_flops(Format f, const SpmvShape& s);
+
+/// Logical traffic in bytes for one SpMV, identical to what the
+/// instrumented kernels count (serial execution).
+double spmv_traffic_bytes(Format f, const SpmvShape& s);
+
+/// Simulator profile for `iterations` repeated SpMVs (the usual solver
+/// inner loop). COO is serial (scatter accumulation); CSR/ELL
+/// parallelize over rows. SpMV is gather-limited, hence the low
+/// efficiency constant.
+inline constexpr double kSpmvEfficiency = 0.04;
+
+sim::WorkProfile spmv_profile(Format f, const SpmvShape& s,
+                              const machine::MachineSpec& spec,
+                              unsigned threads, std::size_t iterations = 1);
+
+}  // namespace capow::sparse

@@ -1,0 +1,191 @@
+#include "capow/sparse/formats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "capow/linalg/random.hpp"
+
+namespace capow::sparse {
+
+std::size_t CsrMatrix::bytes() const noexcept {
+  return row_ptr.size() * sizeof(std::uint32_t) +
+         col_idx.size() * sizeof(std::uint32_t) +
+         values.size() * sizeof(double);
+}
+
+void CsrMatrix::validate() const {
+  if (row_ptr.size() != rows + 1) {
+    throw std::invalid_argument("csr: row_ptr size != rows + 1");
+  }
+  if (col_idx.size() != values.size()) {
+    throw std::invalid_argument("csr: col_idx/values size mismatch");
+  }
+  if (row_ptr.front() != 0 || row_ptr.back() != values.size()) {
+    throw std::invalid_argument("csr: row_ptr endpoints inconsistent");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) {
+      throw std::invalid_argument("csr: row_ptr not monotone");
+    }
+    for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] >= cols) {
+        throw std::invalid_argument("csr: column index out of range");
+      }
+      if (k > row_ptr[r] && col_idx[k] <= col_idx[k - 1]) {
+        throw std::invalid_argument("csr: columns not strictly ascending");
+      }
+    }
+  }
+}
+
+std::size_t CooMatrix::bytes() const noexcept {
+  return (row_idx.size() + col_idx.size()) * sizeof(std::uint32_t) +
+         values.size() * sizeof(double);
+}
+
+void CooMatrix::validate() const {
+  if (row_idx.size() != values.size() || col_idx.size() != values.size()) {
+    throw std::invalid_argument("coo: triplet arrays size mismatch");
+  }
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    if (row_idx[k] >= rows || col_idx[k] >= cols) {
+      throw std::invalid_argument("coo: index out of range");
+    }
+    if (k > 0 && (row_idx[k] < row_idx[k - 1] ||
+                  (row_idx[k] == row_idx[k - 1] &&
+                   col_idx[k] <= col_idx[k - 1]))) {
+      throw std::invalid_argument("coo: not row-major sorted");
+    }
+  }
+}
+
+std::size_t EllMatrix::nnz() const noexcept {
+  std::size_t count = 0;
+  for (std::uint32_t c : col_idx) {
+    if (c != kEllPad) ++count;
+  }
+  return count;
+}
+
+std::size_t EllMatrix::bytes() const noexcept {
+  return col_idx.size() * sizeof(std::uint32_t) +
+         values.size() * sizeof(double);
+}
+
+void EllMatrix::validate() const {
+  if (col_idx.size() != rows * width || values.size() != rows * width) {
+    throw std::invalid_argument("ell: array sizes != rows * width");
+  }
+  for (std::uint32_t c : col_idx) {
+    if (c != kEllPad && c >= cols) {
+      throw std::invalid_argument("ell: column index out of range");
+    }
+  }
+}
+
+CsrMatrix csr_from_dense(linalg::ConstMatrixView dense) {
+  CsrMatrix m;
+  m.rows = dense.rows();
+  m.cols = dense.cols();
+  m.row_ptr.reserve(m.rows + 1);
+  m.row_ptr.push_back(0);
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      const double v = dense(i, j);
+      if (v != 0.0) {
+        m.col_idx.push_back(static_cast<std::uint32_t>(j));
+        m.values.push_back(v);
+      }
+    }
+    m.row_ptr.push_back(static_cast<std::uint32_t>(m.values.size()));
+  }
+  return m;
+}
+
+linalg::Matrix csr_to_dense(const CsrMatrix& m) {
+  m.validate();
+  linalg::Matrix dense = linalg::Matrix::zeros(m.rows, m.cols);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    for (std::uint32_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      dense(r, m.col_idx[k]) = m.values[k];
+    }
+  }
+  return dense;
+}
+
+CooMatrix coo_from_csr(const CsrMatrix& m) {
+  m.validate();
+  CooMatrix out;
+  out.rows = m.rows;
+  out.cols = m.cols;
+  out.row_idx.reserve(m.nnz());
+  out.col_idx = m.col_idx;
+  out.values = m.values;
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    for (std::uint32_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      out.row_idx.push_back(static_cast<std::uint32_t>(r));
+    }
+  }
+  return out;
+}
+
+EllMatrix ell_from_csr(const CsrMatrix& m) {
+  m.validate();
+  EllMatrix out;
+  out.rows = m.rows;
+  out.cols = m.cols;
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    out.width = std::max<std::size_t>(out.width,
+                                      m.row_ptr[r + 1] - m.row_ptr[r]);
+  }
+  out.col_idx.assign(out.rows * out.width, EllMatrix::kEllPad);
+  out.values.assign(out.rows * out.width, 0.0);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    std::size_t slot = 0;
+    for (std::uint32_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k, ++slot) {
+      out.col_idx[r * out.width + slot] = m.col_idx[k];
+      out.values[r * out.width + slot] = m.values[k];
+    }
+  }
+  return out;
+}
+
+CsrMatrix random_sparse(std::size_t rows, std::size_t cols, double density,
+                        std::uint64_t seed) {
+  if (density <= 0.0 || density > 1.0) {
+    throw std::invalid_argument("random_sparse: density outside (0, 1]");
+  }
+  if (cols == 0) {
+    throw std::invalid_argument("random_sparse: zero columns");
+  }
+  linalg::Xoshiro256 rng(seed);
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.reserve(rows + 1);
+  m.row_ptr.push_back(0);
+  // Rows are deliberately irregular (0.5x to 1.5x the mean population):
+  // real sparse operators are, and the irregularity is what makes the
+  // format comparison non-trivial (ELL pays padding to the widest row).
+  const double mean_per_row = density * static_cast<double>(cols);
+  std::set<std::uint32_t> row_cols;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t per_row = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(mean_per_row * rng.uniform(0.5, 1.5))));
+    row_cols.clear();
+    while (row_cols.size() < std::min(per_row, cols)) {
+      row_cols.insert(static_cast<std::uint32_t>(rng.uniform_u64(cols)));
+    }
+    for (std::uint32_t c : row_cols) {
+      m.col_idx.push_back(c);
+      m.values.push_back(rng.uniform(-1.0, 1.0));
+    }
+    m.row_ptr.push_back(static_cast<std::uint32_t>(m.values.size()));
+  }
+  return m;
+}
+
+}  // namespace capow::sparse

@@ -1,0 +1,80 @@
+// capow::sparse — sparse matrix storage formats (paper Section VIII).
+//
+// The paper's second future-work thread: "we shall also address the
+// energy performance scaling properties of the various sparse matrix
+// (vector) storage techniques." This module provides the three classic
+// formats (CSR, COO, ELLPACK) with conversions, a deterministic sparse
+// workload generator, and per-format traffic accounting so the EP model
+// can rank the *storage formats* by energy-performance scaling just as
+// the core paper ranks dense algorithms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "capow/linalg/matrix.hpp"
+
+namespace capow::sparse {
+
+/// Compressed Sparse Row: row_ptr (n+1), col_idx/values (nnz).
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> row_ptr;  ///< size rows + 1
+  std::vector<std::uint32_t> col_idx;  ///< size nnz, ascending per row
+  std::vector<double> values;          ///< size nnz
+
+  std::size_t nnz() const noexcept { return values.size(); }
+  /// Storage footprint in bytes (index + value arrays).
+  std::size_t bytes() const noexcept;
+  /// Throws std::invalid_argument when the structure is inconsistent
+  /// (bad pointer monotonicity, column out of range, size mismatches).
+  void validate() const;
+};
+
+/// Coordinate format: parallel row/col/value triplets, row-major sorted.
+struct CooMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> row_idx;
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> values;
+
+  std::size_t nnz() const noexcept { return values.size(); }
+  std::size_t bytes() const noexcept;
+  void validate() const;
+};
+
+/// ELLPACK: fixed width = max row population; zero-padded slots carry
+/// column index kEllPad. Regular layout (SIMD/vector-friendly) at the
+/// cost of padding storage and traffic.
+struct EllMatrix {
+  static constexpr std::uint32_t kEllPad = 0xFFFFFFFFu;
+
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t width = 0;               ///< entries stored per row
+  std::vector<std::uint32_t> col_idx;  ///< rows * width, kEllPad when unused
+  std::vector<double> values;          ///< rows * width
+
+  std::size_t nnz() const noexcept;  ///< non-pad entries
+  std::size_t bytes() const noexcept;
+  void validate() const;
+};
+
+/// Builds CSR from a dense matrix (entries with |v| > 0 are kept).
+CsrMatrix csr_from_dense(linalg::ConstMatrixView dense);
+/// Dense reconstruction (for tests).
+linalg::Matrix csr_to_dense(const CsrMatrix& m);
+
+CooMatrix coo_from_csr(const CsrMatrix& m);
+EllMatrix ell_from_csr(const CsrMatrix& m);
+
+/// Deterministic random sparse matrix: each row receives approximately
+/// `density * cols` uniformly placed nonzeros (at least 1), values in
+/// [-1, 1). Throws for density outside (0, 1].
+CsrMatrix random_sparse(std::size_t rows, std::size_t cols, double density,
+                        std::uint64_t seed);
+
+}  // namespace capow::sparse

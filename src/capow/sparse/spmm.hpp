@@ -1,0 +1,40 @@
+// Sparse-times-dense matrix multiplication (SpMM): C = A_sparse * B.
+//
+// The paper's Section VIII names "sparse matrix multiplication
+// techniques" alongside SpMV; SpMM is the kernel that generalizes the
+// EP-scaling question to block workloads (multiple right-hand sides),
+// where the dense operand's reuse changes the traffic balance: each
+// stored nonzero now amortizes its index overhead over `k` columns.
+#pragma once
+
+#include "capow/linalg/matrix.hpp"
+#include "capow/machine/machine.hpp"
+#include "capow/sim/cost_profile.hpp"
+#include "capow/sparse/cost_model.hpp"
+#include "capow/sparse/formats.hpp"
+#include "capow/tasking/thread_pool.hpp"
+
+namespace capow::sparse {
+
+/// C = A * B with A sparse CSR (m x n), B dense (n x k), C dense
+/// (m x k). Parallel over row blocks when `pool` is given. Instrumented:
+/// per row block, the CSR streams are read once and each nonzero gathers
+/// a k-wide row of B; C rows are written once.
+/// Throws std::invalid_argument on dimension mismatch.
+void spmm(const CsrMatrix& a, linalg::ConstMatrixView b,
+          linalg::MatrixView c, tasking::ThreadPool* pool = nullptr);
+
+/// Flops of one SpMM sweep: 2 * nnz * k.
+double spmm_flops(const SpmvShape& shape, std::size_t k);
+
+/// Logical traffic in bytes, mirroring the instrumentation exactly.
+double spmm_traffic_bytes(const SpmvShape& shape, std::size_t k);
+
+/// Simulator profile for `iterations` SpMM sweeps with k right-hand
+/// sides. Arithmetic intensity grows with k, so wide SpMM climbs out of
+/// the bandwidth-bound regime SpMV lives in.
+sim::WorkProfile spmm_profile(const SpmvShape& shape, std::size_t k,
+                              const machine::MachineSpec& spec,
+                              unsigned threads, std::size_t iterations = 1);
+
+}  // namespace capow::sparse

@@ -1,0 +1,38 @@
+// Sparse matrix-vector multiply kernels per storage format, instrumented
+// with format-specific traffic so the EP model can rank the formats.
+//
+// Traffic conventions (mirrored exactly by the cost model):
+//   CSR: read row_ptr (4(n+1) B), col_idx (4nnz), values (8nnz), x
+//        gathers (8nnz), write y (8n).
+//   COO: read triplets (16nnz), x gathers (8nnz), y read+write per
+//        element touched (16nnz) — the scatter-accumulate penalty.
+//   ELL: read col_idx + values over rows*width including padding
+//        (12*rows*width), x gathers (8*rows*width), write y (8n).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "capow/sparse/formats.hpp"
+#include "capow/tasking/thread_pool.hpp"
+
+namespace capow::sparse {
+
+/// y = A * x (CSR). Parallel over rows when `pool` is given.
+/// Throws std::invalid_argument on dimension mismatch.
+void spmv(const CsrMatrix& a, std::span<const double> x,
+          std::span<double> y, tasking::ThreadPool* pool = nullptr);
+
+/// y = A * x (COO). Serial (scatter-accumulate is order-dependent).
+void spmv(const CooMatrix& a, std::span<const double> x,
+          std::span<double> y);
+
+/// y = A * x (ELL). Parallel over rows when `pool` is given.
+void spmv(const EllMatrix& a, std::span<const double> x,
+          std::span<double> y, tasking::ThreadPool* pool = nullptr);
+
+/// Reference: dense y = A * x used by tests.
+std::vector<double> dense_mv(linalg::ConstMatrixView a,
+                             std::span<const double> x);
+
+}  // namespace capow::sparse

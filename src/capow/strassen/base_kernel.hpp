@@ -1,0 +1,26 @@
+// Dense base-case solver for the Strassen family.
+//
+// Models the BOTS suite's manually-unrolled dense kernel that the
+// recursion reverts to "when the sub-matrix Nth dimension is less than or
+// equal to 64" (paper, Section IV-B). It is a straightforward
+// register-unrolled ikj kernel — deliberately *not* the packed Goto
+// kernel, because the whole point of the paper's comparison is that the
+// Strassen implementations run on a far less efficient base multiplier
+// than the tuned OpenBLAS path (see kBotsBaseKernelEfficiency).
+#pragma once
+
+#include "capow/linalg/matrix.hpp"
+
+namespace capow::strassen {
+
+/// C = A * B for small square-ish blocks. Instrumented: counts
+/// 2*m*n*k flops, 2 operand reads and one result write of logical
+/// traffic. Shapes validated.
+void base_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+               linalg::MatrixView c);
+
+/// C += A * B variant (used by the distributed extension's local stage).
+void base_gemm_accumulate(linalg::ConstMatrixView a,
+                          linalg::ConstMatrixView b, linalg::MatrixView c);
+
+}  // namespace capow::strassen

@@ -1,0 +1,227 @@
+#include "capow/strassen/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "capow/linalg/ops.hpp"
+#include "capow/strassen/strassen.hpp"
+
+namespace capow::strassen {
+
+namespace {
+
+constexpr double kWord = sizeof(double);
+
+struct Geometry {
+  std::size_t n_input;   ///< caller's dimension
+  std::size_t n;         ///< padded dimension actually recursed on
+  std::size_t levels;    ///< recursion levels
+  std::size_t base_dim;  ///< dimension of base-case products
+  bool padded;
+};
+
+Geometry geometry(std::size_t n, std::size_t cutoff) {
+  Geometry g;
+  g.n_input = n;
+  g.n = linalg::pad_dimension_for_recursion(n, cutoff);
+  g.padded = g.n != n;
+  g.levels = recursion_levels(g.n, cutoff);
+  g.base_dim = g.n >> g.levels;
+  return g;
+}
+
+std::size_t operand_ops(bool winograd) { return winograd ? 8u : 10u; }
+std::size_t combine_ops(bool winograd) { return winograd ? 7u : 8u; }
+
+double pow7(std::size_t l) {
+  double v = 1.0;
+  for (std::size_t i = 0; i < l; ++i) v *= 7.0;
+  return v;
+}
+
+double padding_traffic(const Geometry& g) {
+  if (!g.padded) return 0.0;
+  const double n2 = static_cast<double>(g.n_input) * g.n_input;
+  const double p2 = static_cast<double>(g.n) * g.n;
+  // Pad A and B (read n^2 each, write padded^2 each) plus the counted
+  // copy-back of the n^2 result block (read + write).
+  return (2.0 * n2 + 2.0 * p2 + 2.0 * n2) * kWord;
+}
+
+// Worst-per-worker over evenly distributed units: ceil(u/p)*p/u.
+double static_imbalance(double units, unsigned p) {
+  if (units <= 0.0 || p <= 1) return 1.0;
+  const double per = std::ceil(units / p);
+  return std::min(per * p / units, 4.0);
+}
+
+}  // namespace
+
+double strassen_total_flops(std::size_t n, const StrassenCostOptions& opts) {
+  const Geometry g = geometry(n, opts.base_cutoff);
+  if (g.n <= opts.base_cutoff) {
+    const double d = static_cast<double>(n);
+    return 2.0 * d * d * d;
+  }
+  const std::size_t ops = operand_ops(opts.winograd) + combine_ops(opts.winograd);
+  double flops = 0.0;
+  for (std::size_t l = 0; l < g.levels; ++l) {
+    const double h = static_cast<double>(g.n >> (l + 1));
+    flops += pow7(l) * static_cast<double>(ops) * h * h;
+  }
+  const double b = static_cast<double>(g.base_dim);
+  flops += pow7(g.levels) * 2.0 * b * b * b;
+  return flops;
+}
+
+double strassen_total_traffic_bytes(std::size_t n,
+                                    const StrassenCostOptions& opts) {
+  const Geometry g = geometry(n, opts.base_cutoff);
+  if (g.n <= opts.base_cutoff) {
+    const double d = static_cast<double>(n);
+    return 3.0 * d * d * kWord;  // base_gemm: read A, B; write C
+  }
+  const std::size_t ops = operand_ops(opts.winograd) + combine_ops(opts.winograd);
+  double bytes = padding_traffic(g);
+  for (std::size_t l = 0; l < g.levels; ++l) {
+    const double h = static_cast<double>(g.n >> (l + 1));
+    bytes += pow7(l) * static_cast<double>(ops) * 3.0 * h * h * kWord;
+  }
+  const double b = static_cast<double>(g.base_dim);
+  bytes += pow7(g.levels) * 3.0 * b * b * kWord;
+  return bytes;
+}
+
+sim::WorkProfile strassen_profile(std::size_t n,
+                                  const machine::MachineSpec& spec,
+                                  unsigned threads,
+                                  const StrassenCostOptions& opts) {
+  const Geometry g = geometry(n, opts.base_cutoff);
+  const double llc = static_cast<double>(spec.llc_capacity_bytes());
+  const unsigned p_cap = std::min(threads, spec.core_count);
+
+  sim::WorkProfile wp;
+  wp.name = opts.winograd ? "strassen-winograd" : "strassen";
+
+  // Number of quadrant working sets competing for the LLC at once:
+  // one per worker when execution is pinned, kUntiedLiveWindow per
+  // worker under untied-task interleaving. Serial runs traverse
+  // depth-first with perfect producer-consumer locality (window 1).
+  const unsigned window =
+      (threads > 1 && opts.untied_task_interleaving)
+          ? kUntiedLiveWindow * p_cap
+          : (threads > 1 ? p_cap : 1u);
+
+  const auto add_phase = [&](const std::string& label, double op_count,
+                             double h, unsigned concurrency,
+                             bool first_level) {
+    if (op_count <= 0.0) return;
+    const double elems = h * h;
+    const double flops = op_count * elems;
+    const double traffic = op_count * 3.0 * elems * kWord;
+    const unsigned c = std::min<unsigned>(concurrency, p_cap);
+    // Addition traffic reaches DRAM when the windowed live quadrant
+    // working sets overflow the LLC (always true at the first level when
+    // the whole problem does not fit).
+    const bool dram =
+        (3.0 * elems * kWord * window > llc) ||
+        (first_level &&
+         3.0 * static_cast<double>(g.n) * g.n * kWord > llc);
+    wp.add(sim::PhaseCost{
+        .label = label,
+        .flops = flops,
+        .dram_bytes = dram ? traffic : 0.0,
+        .cache_bytes = dram ? 0.0 : traffic,
+        .parallelism = c,
+        .efficiency = kAddKernelEfficiency,
+        .imbalance = static_imbalance(op_count, c),
+    });
+  };
+
+  if (g.n <= opts.base_cutoff) {
+    const double d = static_cast<double>(n);
+    wp.add(sim::PhaseCost{
+        .label = "base-gemm",
+        .flops = 2.0 * d * d * d,
+        .dram_bytes = 3.0 * d * d * kWord,
+        .parallelism = 1,
+        .efficiency = kBotsBaseKernelEfficiency,
+    });
+    return wp;
+  }
+
+  if (g.padded) {
+    wp.add(sim::PhaseCost{
+        .label = "padding",
+        .flops = 0.0,
+        .dram_bytes = padding_traffic(g),
+        .parallelism = 1,
+        .efficiency = 1.0,
+    });
+  }
+
+  // Operand-sum phases, outermost level first. Classic Strassen computes
+  // each product's operands inside the spawned child task (concurrency =
+  // children of this level); Winograd forms S/T in the parent node.
+  for (std::size_t l = 0; l < g.levels; ++l) {
+    const double nodes = pow7(l);
+    const double h = static_cast<double>(g.n >> (l + 1));
+    const double conc_d = opts.winograd ? nodes : nodes * 7.0;
+    const unsigned conc = static_cast<unsigned>(
+        std::min<double>(conc_d, spec.core_count));
+    add_phase("operands@L" + std::to_string(l),
+              nodes * static_cast<double>(operand_ops(opts.winograd)), h,
+              std::max(conc, 1u), l == 0);
+  }
+
+  // Base products: 7^L multiplies of base_dim^3. Their operands were
+  // just written by the deepest operand phase; whether those reads hit
+  // DRAM follows the same working-set rule.
+  {
+    const double nodes = pow7(g.levels);
+    const double b = static_cast<double>(g.base_dim);
+    const double traffic = nodes * 3.0 * b * b * kWord;
+    const unsigned c =
+        static_cast<unsigned>(std::min<double>(nodes, p_cap));
+    const bool dram = 3.0 * b * b * kWord * window > llc;
+    std::uint64_t spawns = 0;
+    std::uint64_t syncs = 0;
+    if (threads > 1) {
+      // Mirror of the implementation: 7 tasks spawned per node down to
+      // task_spawn_depth levels (3), one taskgroup join per spawning node.
+      const std::size_t spawn_levels = std::min<std::size_t>(3, g.levels);
+      for (std::size_t l = 0; l < spawn_levels; ++l) {
+        spawns += static_cast<std::uint64_t>(pow7(l)) * 7;
+        syncs += static_cast<std::uint64_t>(pow7(l));
+      }
+    }
+    wp.add(sim::PhaseCost{
+        .label = "base-products",
+        .flops = nodes * 2.0 * b * b * b,
+        .dram_bytes = dram ? traffic : 0.0,
+        .cache_bytes = dram ? 0.0 : traffic,
+        .parallelism = std::max(c, 1u),
+        .efficiency = kBotsBaseKernelEfficiency,
+        .imbalance = static_imbalance(nodes, std::max(c, 1u)),
+        .sync_events = syncs,
+        .spawn_events = spawns,
+    });
+  }
+
+  // Combine phases, innermost level first (the order the recursion
+  // unwinds). Executed in the owning node's task: concurrency = nodes.
+  for (std::size_t l = g.levels; l-- > 0;) {
+    const double nodes = pow7(l);
+    const double h = static_cast<double>(g.n >> (l + 1));
+    const unsigned conc = static_cast<unsigned>(
+        std::min<double>(std::max(nodes, 1.0), spec.core_count));
+    add_phase("combine@L" + std::to_string(l),
+              nodes * static_cast<double>(combine_ops(opts.winograd)), h,
+              std::max(conc, 1u), l == 0);
+  }
+
+  return wp;
+}
+
+}  // namespace capow::strassen

@@ -1,0 +1,67 @@
+// Closed-form cost model for task-parallel Strassen.
+//
+// Mirrors strassen.cpp's recursion exactly: per level l (7^l nodes of
+// dimension n/2^l), classic Strassen performs 10 operand additions and 8
+// combine additions per node on (n/2^(l+1))^2 quadrants (Winograd: 8+7),
+// then 7^L base products of the cutoff dimension. Raw flop and traffic
+// totals match the instrumentation byte-for-byte (tests assert equality);
+// the DRAM-vs-cache split and the phase list feed the simulator.
+#pragma once
+
+#include <cstddef>
+
+#include "capow/machine/machine.hpp"
+#include "capow/sim/cost_profile.hpp"
+
+namespace capow::strassen {
+
+/// Fraction of per-core peak the BOTS-style base kernel attains. The
+/// BOTS dense solver is manually unrolled C (no packing, no FMA
+/// intrinsics); ~5 GF/s/core on the paper's part, i.e. ~10% of the
+/// 51.2 GF/s machine peak. This single constant (together with the
+/// roofline) reproduces the paper's ~2.9x average Strassen slowdown.
+inline constexpr double kBotsBaseKernelEfficiency = 0.10;
+
+/// Effective FP efficiency of the O(n^2) addition passes: one flop per
+/// three words moved means the adds run at load/store speed, a few
+/// GF/s/core even from cache.
+inline constexpr double kAddKernelEfficiency = 0.06;
+
+/// Live-window multiplier for the *untied-task* Strassen: with task
+/// stealing, each worker interleaves roughly this many generations of
+/// sibling subtrees, so the set of quadrant buffers competing for the
+/// shared LLC at once is ~kUntiedLiveWindow x threads rather than 1 per
+/// worker. Addition traffic whose windowed working set overflows the LLC
+/// is re-streamed from DRAM. CAPS's BFS levels pin one subtree per
+/// worker (window = threads) — the shared-memory analogue of its
+/// communication avoidance.
+inline constexpr unsigned kUntiedLiveWindow = 3;
+
+/// Cost-model configuration (mirror of StrassenOptions plus scheduling
+/// behaviour flags).
+struct StrassenCostOptions {
+  std::size_t base_cutoff = 64;
+  bool winograd = false;
+  /// Classic BOTS scheduling: untied tasks interleave subtrees, widening
+  /// the LLC live window by kUntiedLiveWindow per worker in multi-thread
+  /// runs. The CAPS cost model reuses this machinery with the flag off.
+  bool untied_task_interleaving = true;
+};
+
+/// Total flops strassen_multiply() executes for dimension n (including
+/// zero-padding effects when n is not base*2^k).
+double strassen_total_flops(std::size_t n, const StrassenCostOptions& opts);
+
+/// Total logical traffic (bytes) the instrumentation counts for
+/// strassen_multiply() at dimension n, including padding copies.
+double strassen_total_traffic_bytes(std::size_t n,
+                                    const StrassenCostOptions& opts);
+
+/// Simulator work profile for an n x n Strassen multiply with `threads`
+/// workers on `spec`.
+sim::WorkProfile strassen_profile(std::size_t n,
+                                  const machine::MachineSpec& spec,
+                                  unsigned threads,
+                                  const StrassenCostOptions& opts = {});
+
+}  // namespace capow::strassen

@@ -1,0 +1,59 @@
+// Instrumented wrappers over the linalg elementwise ops.
+//
+// The Strassen-family algorithms account every O(n^2) add/sub/copy they
+// perform: each op of s elements reads its operands and writes its
+// result (3 words moved per element for a binary op, 2 for a copy) and
+// executes s flops for an add/sub. The cost models replicate these exact
+// conventions, which is what lets tests assert instrumented == analytic
+// with zero tolerance.
+#pragma once
+
+#include "capow/linalg/ops.hpp"
+#include "capow/trace/counters.hpp"
+
+namespace capow::strassen {
+
+inline void counted_add(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                        linalg::MatrixView dst) {
+  linalg::add(a, b, dst);
+  const std::uint64_t s = dst.size();
+  trace::count_flops(s);
+  trace::count_dram_read(2 * s * sizeof(double));
+  trace::count_dram_write(s * sizeof(double));
+}
+
+inline void counted_sub(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                        linalg::MatrixView dst) {
+  linalg::sub(a, b, dst);
+  const std::uint64_t s = dst.size();
+  trace::count_flops(s);
+  trace::count_dram_read(2 * s * sizeof(double));
+  trace::count_dram_write(s * sizeof(double));
+}
+
+inline void counted_add_inplace(linalg::MatrixView dst,
+                                linalg::ConstMatrixView src) {
+  linalg::add_inplace(dst, src);
+  const std::uint64_t s = dst.size();
+  trace::count_flops(s);
+  trace::count_dram_read(2 * s * sizeof(double));
+  trace::count_dram_write(s * sizeof(double));
+}
+
+inline void counted_sub_inplace(linalg::MatrixView dst,
+                                linalg::ConstMatrixView src) {
+  linalg::sub_inplace(dst, src);
+  const std::uint64_t s = dst.size();
+  trace::count_flops(s);
+  trace::count_dram_read(2 * s * sizeof(double));
+  trace::count_dram_write(s * sizeof(double));
+}
+
+inline void counted_copy(linalg::ConstMatrixView src, linalg::MatrixView dst) {
+  linalg::copy(src, dst);
+  const std::uint64_t s = dst.size();
+  trace::count_dram_read(s * sizeof(double));
+  trace::count_dram_write(s * sizeof(double));
+}
+
+}  // namespace capow::strassen

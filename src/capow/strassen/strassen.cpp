@@ -1,0 +1,264 @@
+#include "capow/strassen/strassen.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "capow/linalg/ops.hpp"
+#include "capow/linalg/partition.hpp"
+#include "capow/strassen/base_kernel.hpp"
+#include "capow/strassen/counted_ops.hpp"
+#include "capow/tasking/task_group.hpp"
+#include "capow/trace/counters.hpp"
+
+namespace capow::strassen {
+
+namespace {
+
+using linalg::ConstMatrixView;
+using linalg::Matrix;
+using linalg::MatrixView;
+using linalg::Quadrants;
+
+struct Ctx {
+  StrassenOptions opts;
+  tasking::ThreadPool* pool;
+};
+
+void recurse(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+             const Ctx& ctx, std::size_t depth);
+
+// Computes product i of the classic scheme (corrected Eq 7) into `out`:
+//   M1=(A11+A22)(B11+B22)  M2=(A21+A22)B11   M3=A11(B12-B22)
+//   M4=A22(B21-B11)        M5=(A11+A12)B22   M6=(A21-A11)(B11+B12)
+//   M7=(A12-A22)(B21+B22)
+void classic_product(int i, const Quadrants<ConstMatrixView>& qa,
+                     const Quadrants<ConstMatrixView>& qb, MatrixView out,
+                     const Ctx& ctx, std::size_t depth) {
+  const std::size_t h = out.rows();
+  switch (i) {
+    case 0: {
+      Matrix ta(h, h), tb(h, h);
+      counted_add(qa.q11, qa.q22, ta.view());
+      counted_add(qb.q11, qb.q22, tb.view());
+      recurse(ta.view(), tb.view(), out, ctx, depth + 1);
+      break;
+    }
+    case 1: {
+      Matrix ta(h, h);
+      counted_add(qa.q21, qa.q22, ta.view());
+      recurse(ta.view(), qb.q11, out, ctx, depth + 1);
+      break;
+    }
+    case 2: {
+      Matrix tb(h, h);
+      counted_sub(qb.q12, qb.q22, tb.view());
+      recurse(qa.q11, tb.view(), out, ctx, depth + 1);
+      break;
+    }
+    case 3: {
+      Matrix tb(h, h);
+      counted_sub(qb.q21, qb.q11, tb.view());
+      recurse(qa.q22, tb.view(), out, ctx, depth + 1);
+      break;
+    }
+    case 4: {
+      Matrix ta(h, h);
+      counted_add(qa.q11, qa.q12, ta.view());
+      recurse(ta.view(), qb.q22, out, ctx, depth + 1);
+      break;
+    }
+    case 5: {
+      Matrix ta(h, h), tb(h, h);
+      counted_sub(qa.q21, qa.q11, ta.view());
+      counted_add(qb.q11, qb.q12, tb.view());
+      recurse(ta.view(), tb.view(), out, ctx, depth + 1);
+      break;
+    }
+    case 6: {
+      Matrix ta(h, h), tb(h, h);
+      counted_sub(qa.q12, qa.q22, ta.view());
+      counted_add(qb.q21, qb.q22, tb.view());
+      recurse(ta.view(), tb.view(), out, ctx, depth + 1);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void classic_combine(const std::array<Matrix, 7>& m,
+                     const Quadrants<MatrixView>& qc) {
+  // C11 = M1 + M4 - M5 + M7
+  counted_add(m[0].view(), m[3].view(), qc.q11);
+  counted_sub_inplace(qc.q11, m[4].view());
+  counted_add_inplace(qc.q11, m[6].view());
+  // C12 = M3 + M5
+  counted_add(m[2].view(), m[4].view(), qc.q12);
+  // C21 = M2 + M4
+  counted_add(m[1].view(), m[3].view(), qc.q21);
+  // C22 = M1 - M2 + M3 + M6
+  counted_sub(m[0].view(), m[1].view(), qc.q22);
+  counted_add_inplace(qc.q22, m[2].view());
+  counted_add_inplace(qc.q22, m[5].view());
+}
+
+void recurse_classic(const Quadrants<ConstMatrixView>& qa,
+                     const Quadrants<ConstMatrixView>& qb,
+                     const Quadrants<MatrixView>& qc, std::size_t h,
+                     const Ctx& ctx, std::size_t depth) {
+  std::array<Matrix, 7> m;
+  for (auto& mi : m) mi = Matrix(h, h);
+
+  const bool spawn = ctx.pool != nullptr && ctx.pool->concurrency() > 1 &&
+                     depth < ctx.opts.task_spawn_depth;
+  if (spawn) {
+    tasking::TaskGroup group(*ctx.pool);
+    for (int i = 0; i < 7; ++i) {
+      trace::count_task_spawn();
+      group.run([&, i] {
+        classic_product(i, qa, qb, m[i].view(), ctx, depth);
+      });
+    }
+    group.wait();
+    trace::count_sync();
+  } else {
+    for (int i = 0; i < 7; ++i) {
+      classic_product(i, qa, qb, m[i].view(), ctx, depth);
+    }
+  }
+  classic_combine(m, qc);
+}
+
+// Winograd variant (15 additions): S/T operand sums computed up front,
+// seven products P1..P7, then the U-chain combine. Buffers are reused in
+// the combine exactly as annotated so that the op count stays at 15.
+void recurse_winograd(const Quadrants<ConstMatrixView>& qa,
+                      const Quadrants<ConstMatrixView>& qb,
+                      const Quadrants<MatrixView>& qc, std::size_t h,
+                      const Ctx& ctx, std::size_t depth) {
+  Matrix s1(h, h), s2(h, h), s3(h, h), s4(h, h);
+  Matrix t1(h, h), t2(h, h), t3(h, h), t4(h, h);
+  counted_add(qa.q21, qa.q22, s1.view());  // S1 = A21 + A22
+  counted_sub(s1.view(), qa.q11, s2.view());  // S2 = S1 - A11
+  counted_sub(qa.q11, qa.q21, s3.view());  // S3 = A11 - A21
+  counted_sub(qa.q12, s2.view(), s4.view());  // S4 = A12 - S2
+  counted_sub(qb.q12, qb.q11, t1.view());  // T1 = B12 - B11
+  counted_sub(qb.q22, t1.view(), t2.view());  // T2 = B22 - T1
+  counted_sub(qb.q22, qb.q12, t3.view());  // T3 = B22 - B12
+  counted_sub(t2.view(), qb.q21, t4.view());  // T4 = T2 - B21
+
+  std::array<Matrix, 7> p;
+  for (auto& pi : p) pi = Matrix(h, h);
+
+  const auto run_product = [&](int i) {
+    switch (i) {
+      case 0: recurse(qa.q11, qb.q11, p[0].view(), ctx, depth + 1); break;
+      case 1: recurse(qa.q12, qb.q21, p[1].view(), ctx, depth + 1); break;
+      case 2: recurse(s4.view(), qb.q22, p[2].view(), ctx, depth + 1); break;
+      case 3: recurse(qa.q22, t4.view(), p[3].view(), ctx, depth + 1); break;
+      case 4: recurse(s1.view(), t1.view(), p[4].view(), ctx, depth + 1); break;
+      case 5: recurse(s2.view(), t2.view(), p[5].view(), ctx, depth + 1); break;
+      case 6: recurse(s3.view(), t3.view(), p[6].view(), ctx, depth + 1); break;
+      default: break;
+    }
+  };
+
+  const bool spawn = ctx.pool != nullptr && ctx.pool->concurrency() > 1 &&
+                     depth < ctx.opts.task_spawn_depth;
+  if (spawn) {
+    tasking::TaskGroup group(*ctx.pool);
+    for (int i = 0; i < 7; ++i) {
+      trace::count_task_spawn();
+      group.run([&, i] { run_product(i); });
+    }
+    group.wait();
+    trace::count_sync();
+  } else {
+    for (int i = 0; i < 7; ++i) run_product(i);
+  }
+
+  counted_add(p[0].view(), p[1].view(), qc.q11);      // C11 = P1 + P2
+  counted_add_inplace(p[5].view(), p[0].view());      // P6 <- U2 = P1 + P6
+  counted_add_inplace(p[6].view(), p[5].view());      // P7 <- U3 = U2 + P7
+  counted_add(p[6].view(), p[4].view(), qc.q22);      // C22 = U3 + P5
+  counted_add_inplace(p[4].view(), p[5].view());      // P5 <- U4 = U2 + P5
+  counted_add(p[4].view(), p[2].view(), qc.q12);      // C12 = U4 + P3
+  counted_sub(p[6].view(), p[3].view(), qc.q21);      // C21 = U3 - P4
+}
+
+void recurse(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+             const Ctx& ctx, std::size_t depth) {
+  const std::size_t n = a.rows();
+  if (n <= ctx.opts.base_cutoff) {
+    base_gemm(a, b, c);
+    return;
+  }
+  const auto qa = linalg::partition(a);
+  const auto qb = linalg::partition(b);
+  const auto qc = linalg::partition(c);
+  const std::size_t h = n / 2;
+  if (ctx.opts.winograd) {
+    recurse_winograd(qa, qb, qc, h, ctx, depth);
+  } else {
+    recurse_classic(qa, qb, qc, h, ctx, depth);
+  }
+}
+
+void validate_square_inputs(ConstMatrixView a, ConstMatrixView b,
+                            ConstMatrixView c) {
+  if (!a.square() || !b.square() || !c.square() || a.rows() != b.rows() ||
+      a.rows() != c.rows()) {
+    throw std::invalid_argument(
+        "strassen_multiply: operands must be square with equal dimension");
+  }
+}
+
+}  // namespace
+
+std::size_t recursion_levels(std::size_t n, std::size_t base_cutoff) {
+  if (base_cutoff == 0) {
+    throw std::invalid_argument("recursion_levels: base_cutoff == 0");
+  }
+  std::size_t levels = 0;
+  std::size_t m = n;
+  while (m > base_cutoff) {
+    m = (m + 1) / 2;
+    ++levels;
+  }
+  return levels;
+}
+
+void strassen_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                       const StrassenOptions& opts,
+                       tasking::ThreadPool* pool) {
+  validate_square_inputs(a, b, c);
+  if (opts.base_cutoff == 0) {
+    throw std::invalid_argument("strassen_multiply: base_cutoff == 0");
+  }
+  const std::size_t n = a.rows();
+  if (n == 0) return;
+  if (n <= opts.base_cutoff) {
+    base_gemm(a, b, c);
+    return;
+  }
+
+  const Ctx ctx{opts, pool};
+  const std::size_t padded =
+      linalg::pad_dimension_for_recursion(n, opts.base_cutoff);
+  if (padded == n) {
+    recurse(a, b, c, ctx, 0);
+    return;
+  }
+
+  // Zero-pad to a recursion-friendly dimension; the padded product's
+  // top-left n x n block equals A*B.
+  Matrix ap(padded, padded), bp(padded, padded), cp(padded, padded);
+  linalg::copy_padded(a, ap.view());
+  linalg::copy_padded(b, bp.view());
+  trace::count_dram_read(2 * n * n * sizeof(double));
+  trace::count_dram_write(2 * padded * padded * sizeof(double));
+  recurse(ap.view(), bp.view(), cp.view(), ctx, 0);
+  counted_copy(cp.block(0, 0, n, n), c);
+}
+
+}  // namespace capow::strassen

@@ -1,0 +1,70 @@
+// TaskGroup: structured spawn/wait, the analogue of an OpenMP taskgroup.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "capow/tasking/thread_pool.hpp"
+
+namespace capow::tasking {
+
+/// Tracks a set of spawned tasks and blocks until all complete.
+///
+/// Semantics mirror `#pragma omp taskgroup`:
+///  - run() may be called from any thread, including from inside a task
+///    belonging to this or another group (nested parallelism),
+///  - wait() participates in execution ("helping"): while tasks are
+///    outstanding the waiting thread pops and runs queued work, so a
+///    1-worker pool still completes arbitrarily deep recursion,
+///  - the first exception thrown by any task is captured and rethrown
+///    from wait(); subsequent exceptions are dropped (matching
+///    std::task_group-style semantics). Remaining tasks still run.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) noexcept : pool_(pool) {}
+
+  /// wait() must have been called (and returned) before destruction if
+  /// any task was spawned; enforced in debug builds.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Spawns `fn` as a task in the pool.
+  template <typename Fn>
+  void run(Fn&& fn) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    pool_.submit([this, f = std::forward<Fn>(fn)]() mutable {
+      try {
+        f();
+      } catch (...) {
+        capture_exception(std::current_exception());
+      }
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+
+  /// Blocks until every spawned task has finished, helping the pool run
+  /// queued tasks meanwhile. Rethrows the first captured exception.
+  void wait();
+
+  ThreadPool& pool() const noexcept { return pool_; }
+
+  /// Number of tasks spawned but not yet finished (racy; for tests).
+  std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void capture_exception(std::exception_ptr e) noexcept;
+
+  ThreadPool& pool_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex exception_mutex_;
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace capow::tasking

@@ -1,0 +1,72 @@
+#include "capow/tasking/thread_pool.hpp"
+
+#include <utility>
+
+namespace capow::tasking {
+
+namespace {
+thread_local int t_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) : workers_(workers) {
+  threads_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_ == 0) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+int ThreadPool::worker_index() noexcept { return t_worker_index; }
+
+void ThreadPool::worker_loop(unsigned index) {
+  t_worker_index = static_cast<int>(index);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ must be true here; drain-before-stop is guaranteed
+        // because we only exit on an empty queue.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace capow::tasking

@@ -1,0 +1,185 @@
+// capow::trace — lightweight per-thread cost instrumentation.
+//
+// The paper measures power while the algorithms run; its claims rest on
+// *why* the power differs: blocked DGEMM is compute-bound, the Strassen
+// family streams far more O(n^2) addition traffic. To make that causal
+// chain testable we instrument every algorithm with cost counters —
+// flops executed, bytes moved to/from DRAM (as modeled by each kernel's
+// traffic accounting), tasks spawned, synchronization points — recorded
+// per worker thread so the EP model's max-over-parallel-units terms
+// (Eq 2) can be evaluated exactly.
+//
+// Counters are plain (non-atomic) per-slot values padded to a cache line:
+// each slot is only written by its owning thread, and merging happens
+// after the parallel region completes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace capow::trace {
+
+/// Aggregate cost counters for one execution unit (or a merged total).
+struct CostCounters {
+  std::uint64_t flops = 0;          ///< floating point operations executed
+  std::uint64_t dram_read_bytes = 0;   ///< modeled DRAM read traffic
+  std::uint64_t dram_write_bytes = 0;  ///< modeled DRAM write traffic
+  std::uint64_t cache_bytes = 0;    ///< modeled cache-resident traffic
+  std::uint64_t messages = 0;       ///< messages sent (distributed runs)
+  std::uint64_t message_bytes = 0;  ///< message payload bytes
+  std::uint64_t tasks_spawned = 0;  ///< tasks created
+  std::uint64_t syncs = 0;          ///< barriers / waits encountered
+
+  std::uint64_t dram_bytes() const noexcept {
+    return dram_read_bytes + dram_write_bytes;
+  }
+
+  CostCounters& operator+=(const CostCounters& o) noexcept;
+  friend CostCounters operator+(CostCounters a, const CostCounters& b) {
+    a += b;
+    return a;
+  }
+  bool operator==(const CostCounters&) const = default;
+};
+
+/// Records costs for up to kMaxSlots concurrent execution units,
+/// optionally split across up to kMaxPhases named phases.
+///
+/// Slot assignment: pool worker i writes slot i+1; any non-worker thread
+/// (the main/sequential thread) writes slot 0. This matches the EP
+/// model's sequential-vs-parallel decomposition: slot 0 holds the
+/// sequential component, slots 1..N the parallel units.
+///
+/// Phases: PhaseScope (below) switches the recorder's active phase;
+/// counts land in (slot, phase) cells. Phase 0 is the implicit default.
+/// Phase switching is a *global* section marker (all threads record into
+/// the announced phase), matching how the algorithms stage their work —
+/// a phase boundary is always a synchronization point.
+class Recorder {
+ public:
+  static constexpr std::size_t kMaxSlots = 65;
+  static constexpr std::size_t kMaxPhases = 32;
+
+  Recorder() = default;
+
+  /// Clears every slot and phase, resetting to the single default phase.
+  void reset() noexcept;
+
+  /// Declares/activates a named phase; returns its index. Re-announcing
+  /// an existing name re-activates it (counts accumulate). Beyond
+  /// kMaxPhases the default phase absorbs the overflow.
+  std::size_t begin_phase(const std::string& name);
+
+  /// Reverts to the default phase.
+  void end_phase() noexcept;
+
+  /// Number of phases seen (>= 1; the default phase is always present).
+  std::size_t phase_count() const noexcept;
+
+  /// Name of phase i ("" for the default phase).
+  const std::string& phase_name(std::size_t i) const;
+
+  /// Counters of one (slot, phase) cell.
+  const CostCounters& cell(std::size_t slot, std::size_t phase) const;
+
+  /// Sum over slots for one phase.
+  CostCounters phase_total(std::size_t phase) const;
+
+  /// Per-phase parallel-slot breakdown (non-empty slots only).
+  std::vector<CostCounters> phase_parallel_slots(std::size_t phase) const;
+
+  // Recording entry points; `slot` resolution uses the calling thread's
+  // pool worker index (see slot_for_current_thread()).
+  void add_flops(std::uint64_t n) noexcept;
+  void add_dram_read(std::uint64_t bytes) noexcept;
+  void add_dram_write(std::uint64_t bytes) noexcept;
+  void add_cache_traffic(std::uint64_t bytes) noexcept;
+  void add_message(std::uint64_t bytes) noexcept;
+  void add_task_spawn(std::uint64_t n = 1) noexcept;
+  void add_sync(std::uint64_t n = 1) noexcept;
+
+  /// Slot written by the calling thread (worker_index()+1, or 0).
+  static std::size_t slot_for_current_thread() noexcept;
+
+  /// Aggregate counters for one slot (0 = sequential/main thread),
+  /// summed over phases.
+  CostCounters slot(std::size_t i) const noexcept;
+
+  /// Sum over all slots and phases.
+  CostCounters total() const noexcept;
+
+  /// Counters of the parallel slots (1..) that are non-empty.
+  std::vector<CostCounters> parallel_slots() const;
+
+  /// Max flops over parallel slots — the critical-path work term.
+  std::uint64_t max_parallel_flops() const noexcept;
+
+ private:
+  struct alignas(64) Slot {
+    std::array<CostCounters, kMaxPhases> by_phase;
+    CostCounters& active(std::size_t phase) noexcept {
+      return by_phase[phase];
+    }
+  };
+
+  std::size_t active_phase() const noexcept {
+    return active_phase_.load(std::memory_order_acquire);
+  }
+
+  std::array<Slot, kMaxSlots> slots_{};
+  // Phase registry: written under mutex, names immutable once added.
+  mutable std::mutex phase_mutex_;
+  std::vector<std::string> phase_names_{std::string{}};
+  std::atomic<std::size_t> active_phase_{0};
+};
+
+/// RAII phase section: activates `name` on construction, reverts to the
+/// default phase on destruction.
+class PhaseScope {
+ public:
+  PhaseScope(Recorder& r, const std::string& name) : recorder_(&r) {
+    recorder_->begin_phase(name);
+  }
+  ~PhaseScope() { recorder_->end_phase(); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Recorder* recorder_;
+};
+
+/// Installs `r` as the calling thread's *and* subsequently-created
+/// recordings' target for the scope lifetime. The active recorder is a
+/// process-global (algorithms running under different recorders
+/// concurrently should use distinct Recorder objects passed explicitly;
+/// the global scope is a convenience for whole-experiment recording).
+class RecordingScope {
+ public:
+  explicit RecordingScope(Recorder& r) noexcept;
+  ~RecordingScope();
+  RecordingScope(const RecordingScope&) = delete;
+  RecordingScope& operator=(const RecordingScope&) = delete;
+
+  /// Currently-installed recorder, or nullptr.
+  static Recorder* current() noexcept;
+
+ private:
+  Recorder* previous_;
+};
+
+// Free-function recording against the current RecordingScope (no-ops when
+// none is installed). These are what kernels call.
+void count_flops(std::uint64_t n) noexcept;
+void count_dram_read(std::uint64_t bytes) noexcept;
+void count_dram_write(std::uint64_t bytes) noexcept;
+void count_cache_traffic(std::uint64_t bytes) noexcept;
+void count_message(std::uint64_t bytes) noexcept;
+void count_task_spawn(std::uint64_t n = 1) noexcept;
+void count_sync(std::uint64_t n = 1) noexcept;
+
+}  // namespace capow::trace

@@ -1,0 +1,228 @@
+// Tests for CAPS: correctness across BFS/DFS splits, traversal and
+// buffer statistics, instrumentation vs closed forms, parallel
+// determinism.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "capow/blas/gemm_ref.hpp"
+#include "capow/capsalg/caps.hpp"
+#include "capow/capsalg/cost_model.hpp"
+#include "capow/linalg/ops.hpp"
+#include "capow/linalg/random.hpp"
+#include "capow/trace/counters.hpp"
+
+namespace capow::capsalg {
+namespace {
+
+using linalg::allclose;
+using linalg::Matrix;
+using linalg::random_matrix;
+
+struct CapsCase {
+  std::size_t n;
+  std::size_t cutoff;
+  std::size_t bfs_depth;
+};
+
+class CapsCorrectnessTest : public ::testing::TestWithParam<CapsCase> {};
+
+TEST_P(CapsCorrectnessTest, MatchesReference) {
+  const auto p = GetParam();
+  Matrix a = random_matrix(p.n, p.n, p.n + 1);
+  Matrix b = random_matrix(p.n, p.n, p.n + 2);
+  Matrix expect(p.n, p.n), got(p.n, p.n, -7.0);
+  blas::gemm_reference(a.view(), b.view(), expect.view());
+  CapsOptions opts;
+  opts.base_cutoff = p.cutoff;
+  opts.bfs_cutoff_depth = p.bfs_depth;
+  caps_multiply(a.view(), b.view(), got.view(), opts);
+  EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-10, 1e-10))
+      << "n=" << p.n << " cutoff=" << p.cutoff << " bfs=" << p.bfs_depth;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CapsCorrectnessTest,
+    ::testing::Values(CapsCase{1, 8, 4},      // base case directly
+                      CapsCase{8, 8, 4},
+                      CapsCase{16, 8, 4},     // one BFS level
+                      CapsCase{16, 8, 0},     // pure DFS
+                      CapsCase{64, 8, 0},     // deep pure DFS
+                      CapsCase{64, 8, 1},     // BFS then DFS
+                      CapsCase{64, 8, 2},
+                      CapsCase{64, 8, 9},     // pure BFS
+                      CapsCase{100, 16, 1},   // padded, mixed
+                      CapsCase{128, 16, 2},
+                      CapsCase{129, 32, 4},   // padded
+                      CapsCase{256, 64, 4},
+                      CapsCase{256, 32, 1}));
+
+TEST(Caps, ParallelMatchesSerialBitwise) {
+  const std::size_t n = 128;
+  Matrix a = random_matrix(n, n, 1), b = random_matrix(n, n, 2);
+  Matrix serial(n, n), parallel(n, n);
+  CapsOptions opts;
+  opts.base_cutoff = 16;
+  opts.bfs_cutoff_depth = 2;
+  opts.dfs_parallel_threshold = 16;  // exercise work-shared DFS adds
+  caps_multiply(a.view(), b.view(), serial.view(), opts);
+  tasking::ThreadPool pool(3);
+  caps_multiply(a.view(), b.view(), parallel.view(), opts, &pool);
+  EXPECT_TRUE(allclose(parallel.view(), serial.view(), 0.0, 0.0));
+}
+
+TEST(Caps, NonSquareThrows) {
+  Matrix a(4, 6), b(6, 4), c(4, 4);
+  EXPECT_THROW(caps_multiply(a.view(), b.view(), c.view()),
+               std::invalid_argument);
+}
+
+TEST(Caps, ZeroCutoffThrows) {
+  Matrix a(4, 4), b(4, 4), c(4, 4);
+  CapsOptions opts;
+  opts.base_cutoff = 0;
+  EXPECT_THROW(caps_multiply(a.view(), b.view(), c.view(), opts),
+               std::invalid_argument);
+}
+
+TEST(Caps, EmptyIsNoop) {
+  Matrix a, b, c;
+  CapsStats stats;
+  EXPECT_NO_THROW(caps_multiply(a.view(), b.view(), c.view(), {}, nullptr,
+                                &stats));
+  EXPECT_EQ(stats.base_products, 0u);
+}
+
+TEST(CapsStats, NodeCountsFollowAlgorithm2) {
+  // n=256, cutoff 16 -> 4 levels; bfs_cutoff_depth=2: levels 0,1 BFS
+  // (1 + 7 nodes), levels 2,3 DFS (49 + 343 nodes), 7^4 base products.
+  Matrix a = random_matrix(256, 256, 1), b = random_matrix(256, 256, 2);
+  Matrix c(256, 256);
+  CapsOptions opts;
+  opts.base_cutoff = 16;
+  opts.bfs_cutoff_depth = 2;
+  CapsStats stats;
+  caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &stats);
+  EXPECT_EQ(stats.bfs_nodes, 1u + 7u);
+  EXPECT_EQ(stats.dfs_nodes, 49u + 343u);
+  EXPECT_EQ(stats.base_products, 2401u);
+}
+
+TEST(CapsStats, PureBfsAndPureDfs) {
+  Matrix a = random_matrix(64, 64, 1), b = random_matrix(64, 64, 2);
+  Matrix c(64, 64);
+  CapsOptions opts;
+  opts.base_cutoff = 8;  // 3 levels
+
+  opts.bfs_cutoff_depth = 99;
+  CapsStats bfs;
+  caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &bfs);
+  EXPECT_EQ(bfs.bfs_nodes, 1u + 7u + 49u);
+  EXPECT_EQ(bfs.dfs_nodes, 0u);
+
+  opts.bfs_cutoff_depth = 0;
+  CapsStats dfs;
+  caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &dfs);
+  EXPECT_EQ(dfs.bfs_nodes, 0u);
+  EXPECT_EQ(dfs.dfs_nodes, 1u + 7u + 49u);
+}
+
+TEST(CapsStats, SerialPeakBufferMatchesModelExactly) {
+  for (const auto& cse :
+       {CapsCase{128, 16, 1}, CapsCase{128, 16, 3}, CapsCase{256, 32, 2},
+        CapsCase{64, 8, 0}}) {
+    Matrix a = random_matrix(cse.n, cse.n, 1);
+    Matrix b = random_matrix(cse.n, cse.n, 2);
+    Matrix c(cse.n, cse.n);
+    CapsOptions opts;
+    opts.base_cutoff = cse.cutoff;
+    opts.bfs_cutoff_depth = cse.bfs_depth;
+    CapsStats stats;
+    caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &stats);
+    CapsCostOptions cost;
+    cost.base_cutoff = cse.cutoff;
+    cost.bfs_cutoff_depth = cse.bfs_depth;
+    EXPECT_EQ(static_cast<double>(stats.peak_buffer_bytes),
+              caps_peak_buffer_bytes(cse.n, cost))
+        << "n=" << cse.n << " bfs=" << cse.bfs_depth;
+  }
+}
+
+TEST(CapsStats, BfsTradesMemoryForCommunication) {
+  // The paper: "The BFS approach requires additional buffer memory".
+  Matrix a = random_matrix(128, 128, 1), b = random_matrix(128, 128, 2);
+  Matrix c(128, 128);
+  CapsOptions opts;
+  opts.base_cutoff = 16;
+
+  opts.bfs_cutoff_depth = 99;
+  CapsStats bfs;
+  caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &bfs);
+
+  opts.bfs_cutoff_depth = 0;
+  CapsStats dfs;
+  caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &dfs);
+
+  EXPECT_GT(bfs.peak_buffer_bytes, 3 * dfs.peak_buffer_bytes);
+}
+
+class CapsCountTest : public ::testing::TestWithParam<CapsCase> {};
+
+TEST_P(CapsCountTest, InstrumentedCountsMatchClosedForm) {
+  const auto p = GetParam();
+  Matrix a = random_matrix(p.n, p.n, 1), b = random_matrix(p.n, p.n, 2);
+  Matrix c(p.n, p.n);
+  CapsOptions opts;
+  opts.base_cutoff = p.cutoff;
+  opts.bfs_cutoff_depth = p.bfs_depth;
+
+  trace::Recorder rec;
+  {
+    trace::RecordingScope scope(rec);
+    caps_multiply(a.view(), b.view(), c.view(), opts);
+  }
+  CapsCostOptions cost;
+  cost.base_cutoff = p.cutoff;
+  cost.bfs_cutoff_depth = p.bfs_depth;
+  EXPECT_EQ(static_cast<double>(rec.total().flops),
+            caps_total_flops(p.n, cost));
+  EXPECT_EQ(static_cast<double>(rec.total().dram_bytes()),
+            caps_total_traffic_bytes(p.n, cost));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CapsCountTest,
+    ::testing::Values(CapsCase{32, 8, 4}, CapsCase{32, 8, 0},
+                      CapsCase{64, 8, 1}, CapsCase{100, 16, 2},
+                      CapsCase{128, 32, 4}, CapsCase{64, 64, 4},
+                      CapsCase{48, 8, 2}));
+
+TEST(Caps, MoreFlopsThanStrassenButSameProducts) {
+  // CAPS pays extra O(n^2) work (operand copies / DFS accumulation) for
+  // its communication structure; the 7^L multiplication count is
+  // identical.
+  CapsCostOptions cost;
+  cost.base_cutoff = 32;
+  cost.bfs_cutoff_depth = 4;
+  const double caps = caps_total_flops(256, cost);
+  const double classical_products = 2.0 * 32 * 32 * 32 * 343;  // 7^3 bases
+  EXPECT_GT(caps, classical_products);
+}
+
+TEST(Caps, DfsThresholdControlsWorkSharing) {
+  // With a huge threshold DFS adds never work-share; results identical.
+  Matrix a = random_matrix(64, 64, 1), b = random_matrix(64, 64, 2);
+  Matrix c1(64, 64), c2(64, 64);
+  tasking::ThreadPool pool(2);
+  CapsOptions opts;
+  opts.base_cutoff = 8;
+  opts.bfs_cutoff_depth = 0;
+  opts.dfs_parallel_threshold = 8;
+  caps_multiply(a.view(), b.view(), c1.view(), opts, &pool);
+  opts.dfs_parallel_threshold = 1u << 30;
+  caps_multiply(a.view(), b.view(), c2.view(), opts, &pool);
+  EXPECT_TRUE(allclose(c1.view(), c2.view(), 0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace capow::capsalg

@@ -1,0 +1,191 @@
+// Tests for the EP model algebra, communication bounds, and crossover.
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "capow/core/comm_bounds.hpp"
+#include "capow/core/crossover.hpp"
+#include "capow/core/ep_model.hpp"
+
+namespace capow::core {
+namespace {
+
+TEST(EpModel, Eq1Basic) {
+  EXPECT_DOUBLE_EQ(energy_performance(30.0, 2.0), 15.0);
+  EXPECT_THROW(energy_performance(30.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(energy_performance(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(EpModel, Eq3PlaneSum) {
+  const std::vector<double> planes{10.0, 5.5, 0.5};
+  EXPECT_DOUBLE_EQ(plane_sum(planes), 16.0);
+  const std::vector<double> bad{1.0, -0.5};
+  EXPECT_THROW(plane_sum(bad), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(plane_sum(std::vector<double>{}), 0.0);
+}
+
+TEST(EpModel, Eq2MaxOverParallelUnits) {
+  MixedMeasurement m;
+  m.sequential = UnitMeasurement{{5.0}, 1.0};
+  m.parallel_units = {
+      UnitMeasurement{{20.0, 2.0}, 3.0},   // 22 W, 3 s
+      UnitMeasurement{{25.0, 1.0}, 2.5},   // 26 W, 2.5 s
+      UnitMeasurement{{10.0}, 4.0},        // 10 W, 4 s  (time critical path)
+  };
+  // EP_t = (5 + max(22,26,10)) / (1 + max(3,2.5,4)) = 31 / 5.
+  EXPECT_DOUBLE_EQ(energy_performance_total(m), 31.0 / 5.0);
+}
+
+TEST(EpModel, Eq2ReducesToEq1WithoutSequentialPart) {
+  MixedMeasurement m;
+  m.parallel_units = {UnitMeasurement{{40.0}, 2.0}};
+  EXPECT_DOUBLE_EQ(energy_performance_total(m),
+                   energy_performance(40.0, 2.0));
+}
+
+TEST(EpModel, Eq2RejectsEmptyMeasurement) {
+  MixedMeasurement m;  // zero time everywhere
+  EXPECT_THROW(energy_performance_total(m), std::invalid_argument);
+}
+
+TEST(EpModel, Eq5ScalingRatio) {
+  EXPECT_DOUBLE_EQ(scaling_ratio(30.0, 10.0), 3.0);
+  EXPECT_THROW(scaling_ratio(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(EpModel, ScalingSeriesSortsAndNormalizes) {
+  const std::vector<std::pair<unsigned, double>> samples{
+      {4, 40.0}, {1, 10.0}, {2, 18.0}, {3, 33.0}};
+  const auto series = scaling_series(samples);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[0].parallelism, 1u);
+  EXPECT_DOUBLE_EQ(series[0].s, 1.0);
+  EXPECT_DOUBLE_EQ(series[1].s, 1.8);
+  EXPECT_DOUBLE_EQ(series[2].s, 3.3);
+  EXPECT_DOUBLE_EQ(series[3].s, 4.0);
+}
+
+TEST(EpModel, ScalingSeriesRequiresBase) {
+  const std::vector<std::pair<unsigned, double>> no_base{{2, 5.0}, {4, 9.0}};
+  EXPECT_THROW(scaling_series(no_base), std::invalid_argument);
+  const std::vector<std::pair<unsigned, double>> bad_ep{{1, 0.0}};
+  EXPECT_THROW(scaling_series(bad_ep), std::invalid_argument);
+}
+
+TEST(EpModel, ClassifyIdealVsSuperlinear) {
+  // Fig 1: below the linear threshold = ideal, above = superlinear.
+  std::vector<ScalingPoint> ideal{
+      {1, 10, 1.0}, {2, 19, 1.9}, {4, 38, 3.8}};
+  EXPECT_EQ(classify_scaling(ideal), ScalingClass::kIdeal);
+
+  std::vector<ScalingPoint> super{
+      {1, 10, 1.0}, {2, 25, 2.5}, {4, 60, 6.0}};
+  EXPECT_EQ(classify_scaling(super), ScalingClass::kSuperlinear);
+
+  std::vector<ScalingPoint> mixed{
+      {1, 10, 1.0}, {2, 25, 2.5}, {4, 38, 3.8}};
+  EXPECT_EQ(classify_scaling(mixed), ScalingClass::kMixed);
+}
+
+TEST(EpModel, ClassifyToleranceAbsorbsNoise) {
+  std::vector<ScalingPoint> barely{{1, 10, 1.0}, {4, 40.4, 4.04}};
+  EXPECT_EQ(classify_scaling(barely, 0.02), ScalingClass::kIdeal);
+  EXPECT_EQ(classify_scaling(barely, 0.001), ScalingClass::kSuperlinear);
+}
+
+TEST(EpModel, ScalingClassNames) {
+  EXPECT_EQ(to_string(ScalingClass::kIdeal), "ideal");
+  EXPECT_EQ(to_string(ScalingClass::kSuperlinear), "superlinear");
+  EXPECT_EQ(to_string(ScalingClass::kMixed), "mixed");
+}
+
+TEST(CommBounds, StrassenExponent) {
+  EXPECT_NEAR(strassen_exponent(), 2.807, 1e-3);
+}
+
+TEST(CommBounds, HandComputedPoint) {
+  // With M = n^2 the memory term is n^w0 / (P * n^(w0-2)) = n^2 / P.
+  const double n = 1024.0;
+  const double w = caps_communication_bound_words(1024, 4, n * n);
+  const double memory_term = n * n / 4.0;
+  const double bandwidth_term = n * n / std::pow(4.0, 2.0 / strassen_exponent());
+  EXPECT_NEAR(w, std::max(memory_term, bandwidth_term), 1e-6);
+}
+
+TEST(CommBounds, StrassenBeatsClassicalForLargeProblems) {
+  const double m_words = 1 << 20;
+  EXPECT_LT(caps_communication_bound_words(8192, 4, m_words),
+            classical_communication_bound_words(8192, 4, m_words));
+}
+
+TEST(CommBounds, MonotoneInProblemSize) {
+  const double m_words = 1 << 17;
+  double prev = 0.0;
+  for (std::size_t n : {512u, 1024u, 2048u, 4096u}) {
+    const double w = caps_communication_bound_words(n, 4, m_words);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(CommBounds, MoreMemoryNeverHurts) {
+  EXPECT_GE(caps_communication_bound_words(4096, 4, 1 << 16),
+            caps_communication_bound_words(4096, 4, 1 << 20));
+}
+
+TEST(CommBounds, Validation) {
+  EXPECT_THROW(caps_communication_bound_words(0, 4, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(caps_communication_bound_words(64, 0, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(classical_communication_bound_words(64, 4, 0.0),
+               std::invalid_argument);
+}
+
+TEST(CommBounds, FastMemoryPerCore) {
+  const auto m = machine::haswell_e3_1225();
+  // 8 MB LLC over 4 cores = 2 MB = 262144 doubles.
+  EXPECT_DOUBLE_EQ(fast_memory_words_per_core(m), 262144.0);
+}
+
+TEST(Crossover, Eq9Formula) {
+  // n = 480 * y / z.
+  EXPECT_DOUBLE_EQ(strassen_crossover_dimension(1000.0, 100.0), 4800.0);
+  EXPECT_THROW(strassen_crossover_dimension(0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(strassen_crossover_dimension(1.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Crossover, PaperPlatformCrossoverNearLargestMeasuredSize) {
+  // On the paper's compute-rich platform Eq 9 places the crossover near
+  // n ~ 4000 — at/above every size whose Strassen slowdown the paper
+  // measured. (The *empirical* crossover lies further out because Eq 9
+  // assumes the recursing multiplier runs at the tuned-GEMM rate; see
+  // EXPERIMENTS.md.)
+  const auto m = machine::haswell_e3_1225();
+  const double n = strassen_crossover_dimension(m, 0.42);
+  EXPECT_GT(n, 2048.0);
+  EXPECT_LT(n, 16384.0);
+  EXPECT_TRUE(crossover_fits_in_memory(m, n));
+  EXPECT_FALSE(crossover_fits_in_memory(m, 16384.0));
+}
+
+TEST(Crossover, BandwidthRichMachineCrossesEarlier) {
+  const double base =
+      strassen_crossover_dimension(machine::haswell_e3_1225(), 0.42);
+  const double quad =
+      strassen_crossover_dimension(machine::haswell_quad_channel(), 0.42);
+  EXPECT_NEAR(quad, base / 4.0, 1e-9);
+}
+
+TEST(Crossover, EfficiencyValidation) {
+  const auto m = machine::haswell_e3_1225();
+  EXPECT_THROW(strassen_crossover_dimension(m, 0.0), std::invalid_argument);
+  EXPECT_THROW(strassen_crossover_dimension(m, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace capow::core

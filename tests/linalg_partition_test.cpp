@@ -1,0 +1,79 @@
+// Tests for quadrant partitioning.
+#include "capow/linalg/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "capow/linalg/ops.hpp"
+
+namespace capow::linalg {
+namespace {
+
+TEST(Partition, QuadrantAnchors) {
+  Matrix m = Matrix::zeros(4);
+  double v = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) m(i, j) = v++;
+  }
+  auto q = partition(m.view());
+  EXPECT_EQ(q.q11(0, 0), m(0, 0));
+  EXPECT_EQ(q.q12(0, 0), m(0, 2));
+  EXPECT_EQ(q.q21(0, 0), m(2, 0));
+  EXPECT_EQ(q.q22(1, 1), m(3, 3));
+  EXPECT_EQ(q.q11.rows(), 2u);
+  EXPECT_EQ(q.q11.ld(), 4u);
+}
+
+TEST(Partition, WritesThroughQuadrants) {
+  Matrix m = Matrix::zeros(6);
+  auto q = partition(m.view());
+  q.q22.fill(4.0);
+  EXPECT_EQ(m(3, 3), 4.0);
+  EXPECT_EQ(m(5, 5), 4.0);
+  EXPECT_EQ(m(2, 2), 0.0);
+}
+
+TEST(Partition, ConstOverload) {
+  Matrix m = Matrix::identity(4);
+  const Matrix& cm = m;
+  auto q = partition(cm.view());
+  EXPECT_EQ(q.q11(1, 1), 1.0);
+  EXPECT_EQ(q.q22(0, 0), 1.0);
+  EXPECT_EQ(q.q12(0, 0), 0.0);
+}
+
+TEST(Partition, OddDimensionThrows) {
+  Matrix m = Matrix::zeros(5);
+  EXPECT_THROW(partition(m.view()), std::invalid_argument);
+}
+
+TEST(Partition, ZeroDimensionThrows) {
+  Matrix m;
+  EXPECT_THROW(partition(m.view()), std::invalid_argument);
+}
+
+TEST(Partition, RectangularEvenOk) {
+  Matrix m = Matrix::zeros(4, 6);
+  auto q = partition(m.view());
+  EXPECT_EQ(q.q11.rows(), 2u);
+  EXPECT_EQ(q.q11.cols(), 3u);
+}
+
+TEST(Partition, SplittablePredicate) {
+  Matrix even = Matrix::zeros(4);
+  Matrix odd = Matrix::zeros(3);
+  Matrix tiny = Matrix::zeros(1, 4);
+  EXPECT_TRUE(splittable(even.view()));
+  EXPECT_FALSE(splittable(odd.view()));
+  EXPECT_FALSE(splittable(tiny.view()));
+}
+
+TEST(Partition, NestedPartitionReachesElements) {
+  Matrix m = Matrix::zeros(8);
+  m(6, 6) = 3.0;  // inside q22 of q22
+  auto q = partition(m.view());
+  auto qq = partition(q.q22);
+  EXPECT_EQ(qq.q22(0, 0), 3.0);
+}
+
+}  // namespace
+}  // namespace capow::linalg

@@ -1,0 +1,99 @@
+// Tests for the deterministic workload generator.
+#include "capow/linalg/random.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "capow/linalg/ops.hpp"
+
+namespace capow::linalg {
+namespace {
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(Xoshiro, UniformU64Bound) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Xoshiro, MeanRoughlyCentered) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(FillRandom, Deterministic) {
+  Matrix a = random_square(16, 5);
+  Matrix b = random_square(16, 5);
+  EXPECT_TRUE(allclose(a.view(), b.view(), 0.0, 0.0));
+}
+
+TEST(FillRandom, SeedChangesContent) {
+  Matrix a = random_square(16, 5);
+  Matrix b = random_square(16, 6);
+  EXPECT_FALSE(allclose(a.view(), b.view(), 0.0, 0.0));
+}
+
+TEST(FillRandom, StrideIndependentValues) {
+  // A strided view of equal shape must receive identical values.
+  Matrix holder = Matrix::zeros(8, 8);
+  fill_random(holder.block(1, 1, 4, 4), 77);
+  Matrix packed(4, 4);
+  fill_random(packed.view(), 77);
+  EXPECT_TRUE(
+      allclose(holder.block(1, 1, 4, 4), packed.view(), 0.0, 0.0));
+}
+
+TEST(FillRandom, RespectsRange) {
+  Matrix m = random_square(32, 3, 2.0, 3.0);
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      EXPECT_GE(m(i, j), 2.0);
+      EXPECT_LT(m(i, j), 3.0);
+    }
+  }
+}
+
+TEST(FillRandom, RectangularFactory) {
+  Matrix m = random_matrix(4, 9, 21);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 9u);
+}
+
+}  // namespace
+}  // namespace capow::linalg

@@ -1,0 +1,103 @@
+// Tests for the machine model and presets.
+#include "capow/machine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capow::machine {
+namespace {
+
+TEST(Machine, HaswellPresetValidates) {
+  const MachineSpec m = haswell_e3_1225();
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.core_count, 4u);
+  // 3.2 GHz * 16 flops/cycle = 51.2 GF per core, 204.8 GF socket.
+  EXPECT_DOUBLE_EQ(m.per_core_peak_flops(), 51.2e9);
+  EXPECT_DOUBLE_EQ(m.peak_flops(), 204.8e9);
+  EXPECT_EQ(m.llc_capacity_bytes(), 8u * 1024 * 1024);
+  EXPECT_EQ(m.caches.size(), 3u);
+  EXPECT_TRUE(m.caches.back().shared);
+}
+
+TEST(Machine, HaswellIsComputeRich) {
+  // The paper: "relatively high compute-to-memory ratio". Peak flops per
+  // DRAM byte is ~20, far above the ~1-2 of a balanced machine.
+  const MachineSpec m = haswell_e3_1225();
+  EXPECT_GT(m.flops_per_byte(), 10.0);
+}
+
+TEST(Machine, QuadChannelVariantLowersBalance) {
+  const MachineSpec base = haswell_e3_1225();
+  const MachineSpec quad = haswell_quad_channel();
+  EXPECT_NO_THROW(quad.validate());
+  EXPECT_DOUBLE_EQ(quad.flops_per_byte(), base.flops_per_byte() / 4.0);
+}
+
+TEST(Machine, CompactPresetValidates) {
+  const MachineSpec m = compact_dual_core();
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.core_count, 2u);
+}
+
+TEST(Machine, CacheCapacityLookup) {
+  const MachineSpec m = haswell_e3_1225();
+  EXPECT_EQ(m.cache_capacity_bytes(0), 32u * 1024);
+  EXPECT_EQ(m.cache_capacity_bytes(1), 256u * 1024);
+  EXPECT_EQ(m.cache_capacity_bytes(2), 8u * 1024 * 1024);
+  EXPECT_EQ(m.cache_capacity_bytes(9), 0u);
+}
+
+TEST(Machine, ActivePowerScalesWithEfficiency) {
+  const CoreSpec c = haswell_e3_1225().core;
+  EXPECT_DOUBLE_EQ(c.active_power_w(0.0), c.busy_power_w);
+  EXPECT_DOUBLE_EQ(c.active_power_w(1.0), c.busy_power_w + c.fma_power_w);
+  EXPECT_GT(c.active_power_w(0.5), c.active_power_w(0.1));
+}
+
+TEST(Machine, PresetRegistry) {
+  for (const auto& name : preset_names()) {
+    EXPECT_NO_THROW(preset_by_name(name).validate()) << name;
+  }
+  EXPECT_EQ(preset_by_name("haswell").core_count, 4u);
+  EXPECT_EQ(preset_by_name("compact").core_count, 2u);
+  EXPECT_THROW(preset_by_name("skylake"), std::invalid_argument);
+  EXPECT_THROW(preset_by_name(""), std::invalid_argument);
+}
+
+TEST(Machine, PowerPlaneNames) {
+  EXPECT_STREQ(power_plane_name(PowerPlane::kPackage), "PACKAGE");
+  EXPECT_STREQ(power_plane_name(PowerPlane::kPP0), "PP0");
+  EXPECT_STREQ(power_plane_name(PowerPlane::kDram), "DRAM");
+}
+
+// Parameterized invalid-spec sweep: each mutator must trip validate().
+using Mutator = void (*)(MachineSpec&);
+class MachineValidateTest : public ::testing::TestWithParam<Mutator> {};
+
+TEST_P(MachineValidateTest, RejectsInvalidSpec) {
+  MachineSpec m = haswell_e3_1225();
+  GetParam()(m);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MachineValidateTest,
+    ::testing::Values(
+        +[](MachineSpec& m) { m.core_count = 0; },
+        +[](MachineSpec& m) { m.core.frequency_hz = 0.0; },
+        +[](MachineSpec& m) { m.core.flops_per_cycle = -1.0; },
+        +[](MachineSpec& m) { m.core.busy_power_w = 0.1; },  // < stall
+        +[](MachineSpec& m) { m.core.stall_power_w = -0.5; },
+        +[](MachineSpec& m) { m.core.fma_power_w = -1.0; },
+        +[](MachineSpec& m) { m.core.idle_power_w = 100.0; },  // > stall
+        +[](MachineSpec& m) { m.memory.bandwidth_bytes_per_s = 0.0; },
+        +[](MachineSpec& m) { m.memory.energy_per_byte_nj = -0.1; },
+        +[](MachineSpec& m) { m.power.pp0_static_w = -1.0; },
+        +[](MachineSpec& m) { m.power.uncore_static_w = -1.0; },
+        +[](MachineSpec& m) { m.caches[0].line_bytes = 0; },
+        +[](MachineSpec& m) {
+          // L1 bigger than (private) L2 is inconsistent.
+          m.caches[0].capacity_bytes = 1024u * 1024;
+        }));
+
+}  // namespace
+}  // namespace capow::machine

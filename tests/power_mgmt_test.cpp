@@ -1,0 +1,163 @@
+// Tests for the DVFS model and RAPL power capping — the two established
+// power-management axes the paper's algorithmic axis is compared
+// against.
+#include <gtest/gtest.h>
+
+#include "capow/machine/dvfs.hpp"
+#include "capow/rapl/msr.hpp"
+#include "capow/sim/cost_profile.hpp"
+#include "capow/sim/executor.hpp"
+
+namespace capow {
+namespace {
+
+using machine::MachineSpec;
+using machine::PowerPlane;
+
+MachineSpec haswell() { return machine::haswell_e3_1225(); }
+
+sim::WorkProfile compute_profile(double flops, double efficiency = 1.0) {
+  sim::WorkProfile wp;
+  wp.name = "compute";
+  wp.add(sim::PhaseCost{.label = "c",
+                        .flops = flops,
+                        .parallelism = 4,
+                        .efficiency = efficiency});
+  return wp;
+}
+
+TEST(Dvfs, ScalesThroughputLinearlyAndPowerCubically) {
+  const MachineSpec base = haswell();
+  const MachineSpec half = machine::scale_frequency(base, 0.5);
+  EXPECT_NO_THROW(half.validate());
+  EXPECT_DOUBLE_EQ(half.peak_flops(), base.peak_flops() * 0.5);
+  EXPECT_NEAR(half.core.busy_power_w, base.core.busy_power_w * 0.125,
+              1e-12);
+  EXPECT_NEAR(half.core.fma_power_w, base.core.fma_power_w * 0.125, 1e-12);
+  // Statics and memory untouched.
+  EXPECT_DOUBLE_EQ(half.power.uncore_static_w, base.power.uncore_static_w);
+  EXPECT_DOUBLE_EQ(half.memory.bandwidth_bytes_per_s,
+                   base.memory.bandwidth_bytes_per_s);
+}
+
+TEST(Dvfs, RejectsOutOfRangeFactors) {
+  EXPECT_THROW(machine::scale_frequency(haswell(), 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(machine::scale_frequency(haswell(), 1.5),
+               std::invalid_argument);
+  EXPECT_NO_THROW(machine::scale_frequency(haswell(), 1.0));
+}
+
+TEST(Dvfs, DownclockTradesTimeForPower) {
+  const MachineSpec base = haswell();
+  const MachineSpec slow = machine::scale_frequency(base, 0.6);
+  const auto fast_run = sim::simulate(base, compute_profile(2.048e11), 4);
+  const auto slow_run = sim::simulate(slow, compute_profile(2.048e11), 4);
+  EXPECT_GT(slow_run.seconds, fast_run.seconds);
+  EXPECT_LT(slow_run.avg_power_w(PowerPlane::kPackage),
+            fast_run.avg_power_w(PowerPlane::kPackage));
+}
+
+TEST(Dvfs, MaxScaleUnderCap) {
+  const MachineSpec m = haswell();
+  // Full-throttle AVX GEMM at s=1.0 draws ~50 W; a 30 W cap forces a
+  // downclock, a 60 W cap does not.
+  const double s_tight = machine::max_frequency_scale_under_cap(m, 0.42, 30.0);
+  const double s_loose = machine::max_frequency_scale_under_cap(m, 0.42, 100.0);
+  EXPECT_GT(s_tight, machine::kMinFrequencyScale);
+  EXPECT_LT(s_tight, 1.0);
+  EXPECT_DOUBLE_EQ(s_loose, machine::kMaxFrequencyScale);
+  // The search honors the overhead margin: a 2 W allowance for memory
+  // power tightens the feasible scale.
+  EXPECT_LT(machine::max_frequency_scale_under_cap(m, 0.42, 30.0, 2.0),
+            s_tight);
+  // Below the static floor nothing helps.
+  EXPECT_DOUBLE_EQ(machine::max_frequency_scale_under_cap(m, 0.42, 5.0),
+                   0.0);
+  EXPECT_THROW(machine::max_frequency_scale_under_cap(m, 0.0, 30.0),
+               std::invalid_argument);
+}
+
+TEST(PowerLimitMsr, EncodeDecodeRoundTrip) {
+  rapl::SimulatedMsrDevice msr;
+  EXPECT_LT(msr.package_power_limit_w(), 0.0);  // disabled by default
+  msr.set_package_power_limit(35.0);
+  EXPECT_DOUBLE_EQ(msr.package_power_limit_w(), 35.0);
+  // 1/8 W resolution floors.
+  msr.set_package_power_limit(35.06);
+  EXPECT_DOUBLE_EQ(msr.package_power_limit_w(), 35.0);
+  msr.set_package_power_limit(0.0);
+  EXPECT_LT(msr.package_power_limit_w(), 0.0);
+}
+
+TEST(PowerLimitMsr, RawRegisterLayout) {
+  rapl::SimulatedMsrDevice msr;
+  msr.set_package_power_limit(40.0);
+  const std::uint64_t raw = msr.read(rapl::kMsrPkgPowerLimit);
+  EXPECT_EQ(raw & 0x7FFF, 320u);  // 40 W in 1/8 W units
+  EXPECT_NE(raw & (1ull << 15), 0u);
+  EXPECT_THROW(msr.write(rapl::kMsrPkgEnergyStatus, 1),
+               std::out_of_range);
+}
+
+TEST(SimulateCapped, UncappedPhasesUnchanged) {
+  const MachineSpec m = haswell();
+  const auto wp = compute_profile(2.048e11, 0.42);
+  const auto free_run = sim::simulate(m, wp, 4);
+  const auto capped = sim::simulate_capped(m, wp, 4, 1000.0);
+  EXPECT_DOUBLE_EQ(capped.seconds, free_run.seconds);
+  EXPECT_DOUBLE_EQ(capped.energy(PowerPlane::kPackage),
+                   free_run.energy(PowerPlane::kPackage));
+}
+
+TEST(SimulateCapped, ThrottledPhaseSitsExactlyAtCap) {
+  const MachineSpec m = haswell();
+  const auto wp = compute_profile(2.048e11, 0.42);  // ~50 W uncapped
+  const double cap = 35.0;
+  const auto free_run = sim::simulate(m, wp, 4);
+  ASSERT_GT(free_run.avg_power_w(PowerPlane::kPackage), cap);
+
+  const auto capped = sim::simulate_capped(m, wp, 4, cap);
+  EXPECT_NEAR(capped.avg_power_w(PowerPlane::kPackage), cap, 1e-9);
+  EXPECT_GT(capped.seconds, free_run.seconds);
+  // Capping costs energy: statics burn over the stretched time.
+  EXPECT_GT(capped.energy(PowerPlane::kPackage),
+            free_run.energy(PowerPlane::kPackage));
+  // PP0 stays below package and above its static floor.
+  EXPECT_LT(capped.avg_power_w(PowerPlane::kPP0), cap);
+  EXPECT_GT(capped.avg_power_w(PowerPlane::kPP0), m.power.pp0_static_w);
+}
+
+TEST(SimulateCapped, CapBelowStaticFloorThrows) {
+  const MachineSpec m = haswell();
+  const auto wp = compute_profile(1e10);
+  EXPECT_THROW(sim::simulate_capped(m, wp, 4, 5.0), std::invalid_argument);
+  EXPECT_THROW(sim::simulate_capped(m, wp, 4, 0.0), std::invalid_argument);
+}
+
+TEST(SimulateCapped, DepositsCappedEnergyIntoMsr) {
+  const MachineSpec m = haswell();
+  rapl::SimulatedMsrDevice msr;
+  const auto capped =
+      sim::simulate_capped(m, compute_profile(2.048e11, 0.42), 4, 35.0,
+                           &msr);
+  EXPECT_NEAR(msr.total_joules(PowerPlane::kPackage),
+              capped.energy(PowerPlane::kPackage), 1e-6);
+}
+
+TEST(SimulateCapped, MixedProfileOnlyThrottlesHotPhases) {
+  const MachineSpec m = haswell();
+  sim::WorkProfile wp;
+  wp.add(sim::PhaseCost{.label = "hot", .flops = 2.048e11,
+                        .parallelism = 4, .efficiency = 0.42});
+  wp.add(sim::PhaseCost{.label = "cold", .flops = 1.0,
+                        .dram_bytes = 1.03e10, .parallelism = 4,
+                        .efficiency = 0.42});
+  const auto free_run = sim::simulate(m, wp, 4);
+  const auto capped = sim::simulate_capped(m, wp, 4, 35.0);
+  EXPECT_GT(capped.phases[0].seconds, free_run.phases[0].seconds);
+  EXPECT_DOUBLE_EQ(capped.phases[1].seconds, free_run.phases[1].seconds);
+}
+
+}  // namespace
+}  // namespace capow

@@ -1,0 +1,173 @@
+// Tests for the simulated RAPL MSR device, reader, and PAPI-style events.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "capow/rapl/msr.hpp"
+#include "capow/rapl/papi.hpp"
+
+namespace capow::rapl {
+namespace {
+
+using machine::PowerPlane;
+
+TEST(Msr, UnitRegisterEncoding) {
+  SimulatedMsrDevice dev(14);
+  const std::uint64_t unit = dev.read(kMsrRaplPowerUnit);
+  EXPECT_EQ((unit >> 8) & 0x1F, 14u);   // energy status units
+  EXPECT_EQ(unit & 0xF, 3u);            // power units
+  EXPECT_EQ((unit >> 16) & 0xF, 10u);   // time units
+  EXPECT_DOUBLE_EQ(dev.joules_per_count(), 1.0 / 16384.0);
+}
+
+TEST(Msr, RejectsOutOfRangeEsu) {
+  EXPECT_THROW(SimulatedMsrDevice(40), std::invalid_argument);
+}
+
+TEST(Msr, DepositAndGroundTruth) {
+  SimulatedMsrDevice dev;
+  dev.deposit(PowerPlane::kPackage, 2.5);
+  dev.deposit(PowerPlane::kPackage, 1.5);
+  dev.deposit(PowerPlane::kPP0, 1.0);
+  EXPECT_DOUBLE_EQ(dev.total_joules(PowerPlane::kPackage), 4.0);
+  EXPECT_DOUBLE_EQ(dev.total_joules(PowerPlane::kPP0), 1.0);
+  EXPECT_DOUBLE_EQ(dev.total_joules(PowerPlane::kDram), 0.0);
+}
+
+TEST(Msr, NegativeDepositThrows) {
+  SimulatedMsrDevice dev;
+  EXPECT_THROW(dev.deposit(PowerPlane::kPackage, -0.1),
+               std::invalid_argument);
+}
+
+TEST(Msr, UnmappedAddressThrows) {
+  SimulatedMsrDevice dev;
+  EXPECT_THROW(dev.read(0x123), std::out_of_range);
+}
+
+TEST(Msr, EnergyStatusCountsMatchDeposit) {
+  SimulatedMsrDevice dev(14);
+  dev.deposit(PowerPlane::kPackage, 1.0);
+  EXPECT_EQ(dev.read(kMsrPkgEnergyStatus), 16384u);
+}
+
+TEST(Msr, CounterResolutionFloors) {
+  SimulatedMsrDevice dev(14);
+  // Half a count (about 30 uJ) must not round up.
+  dev.deposit(PowerPlane::kPP0, 0.5 / 16384.0);
+  EXPECT_EQ(dev.read(kMsrPp0EnergyStatus), 0u);
+  dev.deposit(PowerPlane::kPP0, 0.6 / 16384.0);
+  EXPECT_EQ(dev.read(kMsrPp0EnergyStatus), 1u);
+}
+
+TEST(Msr, ResetZeroesCounters) {
+  SimulatedMsrDevice dev;
+  dev.deposit(PowerPlane::kDram, 3.0);
+  dev.reset();
+  EXPECT_EQ(dev.read(kMsrDramEnergyStatus), 0u);
+  EXPECT_DOUBLE_EQ(dev.total_joules(PowerPlane::kDram), 0.0);
+}
+
+TEST(Msr, CounterWrapsModulo32Bits) {
+  SimulatedMsrDevice dev(14);
+  // 2^32 counts = 262144 J at ESU 14; one count past the wrap.
+  const double wrap_joules = 4294967296.0 / 16384.0;
+  dev.deposit(PowerPlane::kPackage, wrap_joules + 1.0 / 16384.0);
+  EXPECT_EQ(dev.read(kMsrPkgEnergyStatus), 1u);
+}
+
+TEST(RaplReader, AccumulatesJoules) {
+  SimulatedMsrDevice dev;
+  RaplReader reader(dev);
+  dev.deposit(PowerPlane::kPackage, 2.0);
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage), 2.0, 1e-4);
+  dev.deposit(PowerPlane::kPackage, 3.0);
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage), 5.0, 1e-4);
+}
+
+TEST(RaplReader, BaselinesAtConstruction) {
+  SimulatedMsrDevice dev;
+  dev.deposit(PowerPlane::kPP0, 100.0);
+  RaplReader reader(dev);  // energy so far must not count
+  dev.deposit(PowerPlane::kPP0, 1.0);
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPP0), 1.0, 1e-4);
+}
+
+TEST(RaplReader, HandlesSingleWrapBetweenPolls) {
+  SimulatedMsrDevice dev(14);
+  RaplReader reader(dev);
+  const double wrap_joules = 4294967296.0 / 16384.0;
+  // Walk close to the wrap, poll, then step past it.
+  dev.deposit(PowerPlane::kPackage, wrap_joules - 10.0);
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage),
+              wrap_joules - 10.0, 1e-3);
+  dev.deposit(PowerPlane::kPackage, 20.0);
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage),
+              wrap_joules + 10.0, 1e-3);
+}
+
+TEST(RaplReader, ResetRebases) {
+  SimulatedMsrDevice dev;
+  RaplReader reader(dev);
+  dev.deposit(PowerPlane::kPackage, 5.0);
+  reader.energy_joules(PowerPlane::kPackage);
+  reader.reset();
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage), 0.0, 1e-9);
+}
+
+TEST(PapiEvents, PlaneMapping) {
+  EXPECT_EQ(plane_for_event(kEventPackageEnergy), PowerPlane::kPackage);
+  EXPECT_EQ(plane_for_event(kEventPp0Energy), PowerPlane::kPP0);
+  EXPECT_EQ(plane_for_event(kEventDramEnergy), PowerPlane::kDram);
+  EXPECT_THROW(plane_for_event("rapl:::BOGUS"), std::invalid_argument);
+}
+
+TEST(PapiEvents, StartStopReadLifecycle) {
+  SimulatedMsrDevice dev;
+  EventSet es(dev);
+  EXPECT_THROW(es.start(), std::logic_error);  // no events
+  EXPECT_EQ(es.add_event(kEventPackageEnergy), 0u);
+  EXPECT_EQ(es.add_event(kEventPp0Energy), 1u);
+  EXPECT_THROW(es.stop(), std::logic_error);  // not running
+
+  es.start();
+  EXPECT_TRUE(es.running());
+  EXPECT_THROW(es.add_event(kEventDramEnergy), std::logic_error);
+  EXPECT_THROW(es.start(), std::logic_error);
+
+  dev.deposit(PowerPlane::kPackage, 2.0);
+  dev.deposit(PowerPlane::kPP0, 1.0);
+  const auto live = es.read();
+  EXPECT_NEAR(static_cast<double>(live[0]), 2.0e9, 1e6);
+  EXPECT_NEAR(static_cast<double>(live[1]), 1.0e9, 1e6);
+
+  const auto final_vals = es.stop();
+  EXPECT_FALSE(es.running());
+  // Deposits after stop must not change the frozen values.
+  dev.deposit(PowerPlane::kPackage, 50.0);
+  const auto frozen = es.read();
+  EXPECT_EQ(frozen, final_vals);
+}
+
+TEST(PapiEvents, UnknownEventRejectedAtAdd) {
+  SimulatedMsrDevice dev;
+  EventSet es(dev);
+  EXPECT_THROW(es.add_event("rapl:::PSYS"), std::invalid_argument);
+  EXPECT_TRUE(es.events().empty());
+}
+
+TEST(PapiEvents, RestartRebaselines) {
+  SimulatedMsrDevice dev;
+  EventSet es(dev);
+  es.add_event(kEventPackageEnergy);
+  es.start();
+  dev.deposit(PowerPlane::kPackage, 1.0);
+  es.stop();
+  es.start();
+  dev.deposit(PowerPlane::kPackage, 0.5);
+  const auto vals = es.stop();
+  EXPECT_NEAR(static_cast<double>(vals[0]), 0.5e9, 1e6);
+}
+
+}  // namespace
+}  // namespace capow::rapl

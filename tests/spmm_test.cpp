@@ -1,0 +1,99 @@
+// Tests for sparse-times-dense multiplication (SpMM).
+#include <gtest/gtest.h>
+
+#include "capow/blas/gemm_ref.hpp"
+#include "capow/linalg/ops.hpp"
+#include "capow/linalg/random.hpp"
+#include "capow/sim/executor.hpp"
+#include "capow/sparse/spmm.hpp"
+#include "capow/trace/counters.hpp"
+
+namespace capow::sparse {
+namespace {
+
+using linalg::Matrix;
+
+class SpmmTest
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(SpmmTest, MatchesDenseReference) {
+  const auto [density, k] = GetParam();
+  const std::size_t m = 70, n = 50;
+  const CsrMatrix a = random_sparse(m, n, density, 31);
+  const Matrix b = linalg::random_matrix(n, k, 32);
+  const Matrix a_dense = csr_to_dense(a);
+
+  Matrix expect(m, k), got(m, k, -5.0);
+  blas::gemm_reference(a_dense.view(), b.view(), expect.view());
+  spmm(a, b.view(), got.view());
+  EXPECT_TRUE(linalg::allclose(got.view(), expect.view(), 1e-12, 1e-12))
+      << "density=" << density << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpmmTest,
+    ::testing::Combine(::testing::Values(0.02, 0.1, 0.5),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{17})));
+
+TEST(Spmm, ParallelMatchesSerial) {
+  const CsrMatrix a = random_sparse(300, 200, 0.05, 41);
+  const Matrix b = linalg::random_matrix(200, 8, 42);
+  Matrix serial(300, 8), parallel(300, 8);
+  tasking::ThreadPool pool(3);
+  spmm(a, b.view(), serial.view());
+  spmm(a, b.view(), parallel.view(), &pool);
+  EXPECT_TRUE(linalg::allclose(parallel.view(), serial.view(), 0.0, 0.0));
+}
+
+TEST(Spmm, DimensionMismatchThrows) {
+  const CsrMatrix a = random_sparse(8, 8, 0.5, 1);
+  Matrix b(7, 3), c(8, 3);
+  EXPECT_THROW(spmm(a, b.view(), c.view()), std::invalid_argument);
+  Matrix b2(8, 3), c2(8, 4);
+  EXPECT_THROW(spmm(a, b2.view(), c2.view()), std::invalid_argument);
+}
+
+TEST(Spmm, InstrumentedCountsMatchModelExactly) {
+  const CsrMatrix a = random_sparse(120, 90, 0.07, 51);
+  const SpmvShape shape = shape_of(a);
+  for (std::size_t k : {1u, 6u}) {
+    const Matrix b = linalg::random_matrix(90, k, 52);
+    Matrix c(120, k);
+    trace::Recorder rec;
+    {
+      trace::RecordingScope scope(rec);
+      spmm(a, b.view(), c.view());
+    }
+    EXPECT_EQ(static_cast<double>(rec.total().flops), spmm_flops(shape, k));
+    EXPECT_EQ(static_cast<double>(rec.total().dram_bytes()),
+              spmm_traffic_bytes(shape, k));
+  }
+}
+
+TEST(Spmm, WiderRhsRaisesArithmeticIntensity) {
+  const CsrMatrix a = random_sparse(1000, 1000, 0.01, 61);
+  const SpmvShape shape = shape_of(a);
+  const double i1 = spmm_flops(shape, 1) / spmm_traffic_bytes(shape, 1);
+  const double i16 = spmm_flops(shape, 16) / spmm_traffic_bytes(shape, 16);
+  EXPECT_GT(i16, 1.5 * i1);
+}
+
+TEST(Spmm, ProfileBehaviour) {
+  const auto m = machine::haswell_e3_1225();
+  const CsrMatrix a = random_sparse(8192, 8192, 0.004, 71);
+  const SpmvShape shape = shape_of(a);
+
+  // Wider SpMM completes more useful flops per second (better EP basis).
+  const auto k1 = sim::simulate(m, spmm_profile(shape, 1, m, 4, 10), 4);
+  const auto k8 = sim::simulate(m, spmm_profile(shape, 8, m, 4, 10), 4);
+  const double rate1 = spmm_flops(shape, 1) * 10 / k1.seconds;
+  const double rate8 = spmm_flops(shape, 8) * 10 / k8.seconds;
+  EXPECT_GT(rate8, 2.0 * rate1);
+
+  EXPECT_THROW(spmm_profile(shape, 0, m, 4, 1), std::invalid_argument);
+  EXPECT_THROW(spmm_profile(shape, 4, m, 4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace capow::sparse

@@ -1,0 +1,286 @@
+// Tests for the Strassen family: numerical correctness against the
+// reference multiplier, parallel determinism, instrumentation, padding,
+// and stability behaviour.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "capow/blas/gemm_ref.hpp"
+#include "capow/linalg/ops.hpp"
+#include "capow/linalg/random.hpp"
+#include "capow/strassen/base_kernel.hpp"
+#include "capow/strassen/cost_model.hpp"
+#include "capow/strassen/strassen.hpp"
+#include "capow/trace/counters.hpp"
+
+namespace capow::strassen {
+namespace {
+
+using linalg::allclose;
+using linalg::Matrix;
+using linalg::random_matrix;
+
+TEST(BaseKernel, MatchesReference) {
+  for (std::size_t n : {1u, 2u, 7u, 16u, 33u, 64u}) {
+    Matrix a = random_matrix(n, n, n);
+    Matrix b = random_matrix(n, n, n + 1);
+    Matrix expect(n, n), got(n, n);
+    blas::gemm_reference(a.view(), b.view(), expect.view());
+    base_gemm(a.view(), b.view(), got.view());
+    EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-12, 1e-12))
+        << "n=" << n;
+  }
+}
+
+TEST(BaseKernel, AccumulateVariant) {
+  Matrix a = random_matrix(8, 8, 1);
+  Matrix b = random_matrix(8, 8, 2);
+  Matrix c(8, 8, 0.0), expect(8, 8, 0.0);
+  blas::gemm_reference_accumulate(a.view(), b.view(), expect.view());
+  blas::gemm_reference_accumulate(a.view(), b.view(), expect.view());
+  base_gemm_accumulate(a.view(), b.view(), c.view());
+  base_gemm_accumulate(a.view(), b.view(), c.view());
+  EXPECT_TRUE(allclose(c.view(), expect.view(), 1e-13, 1e-13));
+}
+
+TEST(BaseKernel, InstrumentationConvention) {
+  trace::Recorder rec;
+  Matrix a = random_matrix(16, 16, 1), b = random_matrix(16, 16, 2);
+  Matrix c(16, 16);
+  {
+    trace::RecordingScope scope(rec);
+    base_gemm(a.view(), b.view(), c.view());
+  }
+  EXPECT_EQ(rec.total().flops, 2u * 16 * 16 * 16);
+  EXPECT_EQ(rec.total().dram_read_bytes, 2u * 16 * 16 * 8);
+  EXPECT_EQ(rec.total().dram_write_bytes, 16u * 16 * 8);
+}
+
+TEST(RecursionLevels, Formula) {
+  EXPECT_EQ(recursion_levels(64, 64), 0u);
+  EXPECT_EQ(recursion_levels(65, 64), 1u);
+  EXPECT_EQ(recursion_levels(128, 64), 1u);
+  EXPECT_EQ(recursion_levels(512, 64), 3u);
+  EXPECT_EQ(recursion_levels(4096, 64), 6u);
+  EXPECT_EQ(recursion_levels(4096, 512), 3u);
+  EXPECT_THROW(recursion_levels(64, 0), std::invalid_argument);
+}
+
+struct StrassenCase {
+  std::size_t n;
+  std::size_t cutoff;
+  bool winograd;
+};
+
+class StrassenCorrectnessTest
+    : public ::testing::TestWithParam<StrassenCase> {};
+
+TEST_P(StrassenCorrectnessTest, MatchesReference) {
+  const auto p = GetParam();
+  Matrix a = random_matrix(p.n, p.n, p.n * 7 + 1);
+  Matrix b = random_matrix(p.n, p.n, p.n * 7 + 2);
+  Matrix expect(p.n, p.n), got(p.n, p.n, -1.0);
+  blas::gemm_reference(a.view(), b.view(), expect.view());
+  StrassenOptions opts;
+  opts.base_cutoff = p.cutoff;
+  opts.winograd = p.winograd;
+  strassen_multiply(a.view(), b.view(), got.view(), opts);
+  EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-10, 1e-10))
+      << "n=" << p.n << " cutoff=" << p.cutoff << " wino=" << p.winograd
+      << " relerr=" << linalg::relative_error(got.view(), expect.view());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classic, StrassenCorrectnessTest,
+    ::testing::Values(StrassenCase{1, 8, false}, StrassenCase{8, 8, false},
+                      StrassenCase{16, 8, false}, StrassenCase{17, 8, false},
+                      StrassenCase{30, 8, false}, StrassenCase{64, 16, false},
+                      StrassenCase{96, 16, false},
+                      StrassenCase{100, 16, false},
+                      StrassenCase{128, 32, false},
+                      StrassenCase{129, 32, false},
+                      StrassenCase{200, 32, false},
+                      StrassenCase{256, 64, false},
+                      StrassenCase{320, 64, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Winograd, StrassenCorrectnessTest,
+    ::testing::Values(StrassenCase{16, 8, true}, StrassenCase{30, 8, true},
+                      StrassenCase{64, 16, true}, StrassenCase{100, 16, true},
+                      StrassenCase{128, 32, true},
+                      StrassenCase{256, 64, true}));
+
+TEST(Strassen, ParallelMatchesSerialBitwise) {
+  const std::size_t n = 256;
+  Matrix a = random_matrix(n, n, 1), b = random_matrix(n, n, 2);
+  Matrix serial(n, n), parallel(n, n);
+  StrassenOptions opts;
+  opts.base_cutoff = 32;
+  strassen_multiply(a.view(), b.view(), serial.view(), opts);
+  tasking::ThreadPool pool(3);
+  strassen_multiply(a.view(), b.view(), parallel.view(), opts, &pool);
+  // Task scheduling cannot change any arithmetic order.
+  EXPECT_TRUE(allclose(parallel.view(), serial.view(), 0.0, 0.0));
+}
+
+TEST(Strassen, WinogradParallelMatchesSerial) {
+  const std::size_t n = 128;
+  Matrix a = random_matrix(n, n, 5), b = random_matrix(n, n, 6);
+  Matrix serial(n, n), parallel(n, n);
+  StrassenOptions opts;
+  opts.base_cutoff = 16;
+  opts.winograd = true;
+  strassen_multiply(a.view(), b.view(), serial.view(), opts);
+  tasking::ThreadPool pool(2);
+  strassen_multiply(a.view(), b.view(), parallel.view(), opts, &pool);
+  EXPECT_TRUE(allclose(parallel.view(), serial.view(), 0.0, 0.0));
+}
+
+TEST(Strassen, NonSquareThrows) {
+  Matrix a(4, 6), b(6, 4), c(4, 4);
+  EXPECT_THROW(strassen_multiply(a.view(), b.view(), c.view()),
+               std::invalid_argument);
+  Matrix a2(4, 4), b2(4, 4), c2(6, 6);
+  EXPECT_THROW(strassen_multiply(a2.view(), b2.view(), c2.view()),
+               std::invalid_argument);
+}
+
+TEST(Strassen, ZeroCutoffThrows) {
+  Matrix a(4, 4), b(4, 4), c(4, 4);
+  StrassenOptions opts;
+  opts.base_cutoff = 0;
+  EXPECT_THROW(strassen_multiply(a.view(), b.view(), c.view(), opts),
+               std::invalid_argument);
+}
+
+TEST(Strassen, EmptyMatrixIsNoop) {
+  Matrix a, b, c;
+  EXPECT_NO_THROW(strassen_multiply(a.view(), b.view(), c.view()));
+}
+
+class StrassenCountTest : public ::testing::TestWithParam<StrassenCase> {};
+
+// Instrumented flops and logical traffic match the closed forms exactly
+// — including padded (non power-of-two) dimensions.
+TEST_P(StrassenCountTest, InstrumentedCountsMatchClosedForm) {
+  const auto p = GetParam();
+  Matrix a = random_matrix(p.n, p.n, 1), b = random_matrix(p.n, p.n, 2);
+  Matrix c(p.n, p.n);
+  StrassenOptions opts;
+  opts.base_cutoff = p.cutoff;
+  opts.winograd = p.winograd;
+
+  trace::Recorder rec;
+  {
+    trace::RecordingScope scope(rec);
+    strassen_multiply(a.view(), b.view(), c.view(), opts);
+  }
+  StrassenCostOptions cost;
+  cost.base_cutoff = p.cutoff;
+  cost.winograd = p.winograd;
+  EXPECT_EQ(static_cast<double>(rec.total().flops),
+            strassen_total_flops(p.n, cost));
+  EXPECT_EQ(static_cast<double>(rec.total().dram_bytes()),
+            strassen_total_traffic_bytes(p.n, cost));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StrassenCountTest,
+    ::testing::Values(StrassenCase{32, 8, false},   // exact power recursion
+                      StrassenCase{48, 8, false},   // base*2^k with base 6
+                      StrassenCase{100, 16, false}, // padded
+                      StrassenCase{128, 32, false},
+                      StrassenCase{64, 64, false},  // pure base case
+                      StrassenCase{33, 8, false},   // padded odd
+                      StrassenCase{32, 8, true},
+                      StrassenCase{100, 16, true}));
+
+TEST(Strassen, ReducesMultiplicationFlops) {
+  // One recursion level: 7/8 of the classical products plus O(n^2) adds.
+  StrassenCostOptions cost;
+  cost.base_cutoff = 64;
+  const double classical = 2.0 * 128 * 128 * 128;
+  const double strassen = strassen_total_flops(128, cost);
+  const double adds = 18.0 * 64 * 64;
+  EXPECT_DOUBLE_EQ(strassen, classical * 7.0 / 8.0 + adds);
+}
+
+TEST(Strassen, WinogradUsesFewerAddFlops) {
+  StrassenCostOptions classic{.base_cutoff = 32, .winograd = false};
+  StrassenCostOptions wino{.base_cutoff = 32, .winograd = true};
+  EXPECT_LT(strassen_total_flops(256, wino),
+            strassen_total_flops(256, classic));
+  EXPECT_LT(strassen_total_traffic_bytes(256, wino),
+            strassen_total_traffic_bytes(256, classic));
+}
+
+TEST(Strassen, StabilityWithinHighamStyleBound) {
+  // Strassen's forward error grows with recursion depth but stays
+  // well-behaved for moderate depth (Higham 2002, ch. 23). Check the
+  // relative error against a generous depth-scaled bound.
+  const std::size_t n = 256;
+  Matrix a = random_matrix(n, n, 11), b = random_matrix(n, n, 12);
+  Matrix expect(n, n), got(n, n);
+  blas::gemm_reference(a.view(), b.view(), expect.view());
+  StrassenOptions opts;
+  opts.base_cutoff = 16;  // 4 levels of recursion
+  strassen_multiply(a.view(), b.view(), got.view(), opts);
+  const double err = linalg::relative_error(got.view(), expect.view());
+  // 12^depth * n * eps is the classic growth envelope; depth 4, n 256.
+  const double bound = std::pow(12.0, 4) * n * 2.2e-16;
+  EXPECT_LT(err, bound);
+}
+
+TEST(Strassen, DeeperRecursionStillAccurate) {
+  const std::size_t n = 128;
+  Matrix a = random_matrix(n, n, 3), b = random_matrix(n, n, 4);
+  Matrix expect(n, n);
+  blas::gemm_reference(a.view(), b.view(), expect.view());
+  for (std::size_t cutoff : {64u, 32u, 16u, 8u}) {
+    Matrix got(n, n);
+    StrassenOptions opts;
+    opts.base_cutoff = cutoff;
+    strassen_multiply(a.view(), b.view(), got.view(), opts);
+    EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-9, 1e-9))
+        << "cutoff=" << cutoff;
+  }
+}
+
+TEST(Strassen, TaskSpawnDepthZeroRunsSerially) {
+  const std::size_t n = 64;
+  Matrix a = random_matrix(n, n, 1), b = random_matrix(n, n, 2);
+  Matrix c(n, n), expect(n, n);
+  blas::gemm_reference(a.view(), b.view(), expect.view());
+  StrassenOptions opts;
+  opts.base_cutoff = 16;
+  opts.task_spawn_depth = 0;
+  tasking::ThreadPool pool(2);
+  trace::Recorder rec;
+  {
+    trace::RecordingScope scope(rec);
+    strassen_multiply(a.view(), b.view(), c.view(), opts, &pool);
+  }
+  EXPECT_TRUE(allclose(c.view(), expect.view(), 1e-11, 1e-11));
+  EXPECT_EQ(rec.total().tasks_spawned, 0u);
+}
+
+TEST(Strassen, SpawnsSevenTasksPerNode) {
+  const std::size_t n = 128;
+  Matrix a = random_matrix(n, n, 1), b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  StrassenOptions opts;
+  opts.base_cutoff = 32;  // two levels
+  opts.task_spawn_depth = 2;
+  tasking::ThreadPool pool(2);
+  trace::Recorder rec;
+  {
+    trace::RecordingScope scope(rec);
+    strassen_multiply(a.view(), b.view(), c.view(), opts, &pool);
+  }
+  // Level 0: 7 spawns; level 1: 7 nodes x 7 spawns.
+  EXPECT_EQ(rec.total().tasks_spawned, 7u + 49u);
+  EXPECT_EQ(rec.total().syncs, 1u + 7u);
+}
+
+}  // namespace
+}  // namespace capow::strassen

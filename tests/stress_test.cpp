@@ -1,0 +1,164 @@
+// Stress and failure-injection tests: the runtime substrates under
+// hostile load — deep nesting, exception storms, message floods, MSR
+// accounting across many wraps.
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "capow/dist/comm.hpp"
+#include "capow/linalg/ops.hpp"
+#include "capow/linalg/random.hpp"
+#include "capow/rapl/msr.hpp"
+#include "capow/strassen/strassen.hpp"
+#include "capow/tasking/parallel_for.hpp"
+#include "capow/tasking/task_group.hpp"
+#include "capow/trace/counters.hpp"
+
+namespace capow {
+namespace {
+
+TEST(Stress, DeepUnbalancedTaskRecursion) {
+  // A lopsided spawn tree (one heavy child per level, many light ones)
+  // on a tiny pool: completion proves the helping scheduler never
+  // deadlocks regardless of shape.
+  tasking::ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    tasking::TaskGroup group(pool);
+    group.run([&, depth] { recurse(depth - 1); });  // heavy spine
+    for (int i = 0; i < 3; ++i) {
+      group.run([&] { leaves.fetch_add(1); });
+    }
+    group.wait();
+  };
+  recurse(64);
+  EXPECT_EQ(leaves.load(), 64 * 3 + 1);
+}
+
+TEST(Stress, ExceptionStormStillCompletesAllWork) {
+  tasking::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 20; ++round) {
+    tasking::TaskGroup group(pool);
+    for (int i = 0; i < 50; ++i) {
+      group.run([&, i] {
+        ran.fetch_add(1);
+        if (i % 7 == 0) throw std::runtime_error("storm");
+      });
+    }
+    EXPECT_THROW(group.wait(), std::runtime_error);
+  }
+  EXPECT_EQ(ran.load(), 20 * 50);
+}
+
+TEST(Stress, NestedParallelForInsideTasks) {
+  tasking::ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  tasking::TaskGroup group(pool);
+  for (int t = 0; t < 8; ++t) {
+    group.run([&] {
+      tasking::parallel_for(pool, 0, 200,
+                            [&](std::size_t lo, std::size_t hi) {
+                              total.fetch_add(hi - lo);
+                            });
+    });
+  }
+  group.wait();
+  EXPECT_EQ(total.load(), 8u * 200u);
+}
+
+TEST(Stress, ConcurrentStrassenRunsShareOnePool) {
+  // Two independent multiplies interleaving their task trees through a
+  // shared pool must not corrupt each other.
+  tasking::ThreadPool pool(3);
+  const std::size_t n = 128;
+  auto a1 = linalg::random_square(n, 1), b1 = linalg::random_square(n, 2);
+  auto a2 = linalg::random_square(n, 3), b2 = linalg::random_square(n, 4);
+  linalg::Matrix c1(n, n), c2(n, n), e1(n, n), e2(n, n);
+  strassen::StrassenOptions opts;
+  opts.base_cutoff = 32;
+  strassen::strassen_multiply(a1.view(), b1.view(), e1.view(), opts);
+  strassen::strassen_multiply(a2.view(), b2.view(), e2.view(), opts);
+
+  tasking::TaskGroup group(pool);
+  group.run([&] {
+    strassen::strassen_multiply(a1.view(), b1.view(), c1.view(), opts,
+                                &pool);
+  });
+  group.run([&] {
+    strassen::strassen_multiply(a2.view(), b2.view(), c2.view(), opts,
+                                &pool);
+  });
+  group.wait();
+  EXPECT_TRUE(linalg::allclose(c1.view(), e1.view(), 0.0, 0.0));
+  EXPECT_TRUE(linalg::allclose(c2.view(), e2.view(), 0.0, 0.0));
+}
+
+TEST(Stress, AllToAllMessageFlood) {
+  constexpr int kRanks = 6;
+  constexpr int kRounds = 40;
+  dist::World world(kRanks);
+  world.run([&](dist::Communicator& comm) {
+    for (int round = 0; round < kRounds; ++round) {
+      // Everyone sends to everyone (distinct tags per round), then
+      // receives in reverse order — exercises mailbox tag selection
+      // under load.
+      for (int dest = 0; dest < kRanks; ++dest) {
+        if (dest == comm.rank()) continue;
+        comm.send(dest, round,
+                  std::vector<double>{
+                      static_cast<double>(comm.rank() * 1000 + round)});
+      }
+      for (int src = kRanks - 1; src >= 0; --src) {
+        if (src == comm.rank()) continue;
+        const auto msg = comm.recv(src, round);
+        EXPECT_DOUBLE_EQ(msg.payload.at(0),
+                         static_cast<double>(src * 1000 + round));
+      }
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Stress, MsrAccountingAcrossManyWraps) {
+  // ESU 6 => counter wraps every 2^32 / 2^6 = 67108864 J; deposit far
+  // beyond several wraps in irregular chunks and verify the reader's
+  // accumulated total tracks ground truth.
+  rapl::SimulatedMsrDevice msr(6);
+  rapl::RaplReader reader(msr);
+  linalg::Xoshiro256 rng(99);
+  double ground_truth = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double j = rng.uniform(1e5, 4e7);
+    msr.deposit(machine::PowerPlane::kPackage, j);
+    ground_truth += j;
+    // Poll often enough that no interval spans a full wrap.
+    const double read = reader.energy_joules(machine::PowerPlane::kPackage);
+    EXPECT_NEAR(read, ground_truth, ground_truth * 1e-9 + 1.0);
+  }
+  EXPECT_GT(ground_truth, 4.0 * 67108864.0);  // really crossed wraps
+}
+
+TEST(Stress, ManyRecordersInterleaved) {
+  // Alternating recording scopes under a worker pool: counts must land
+  // in exactly the active recorder.
+  tasking::ThreadPool pool(2);
+  trace::Recorder a, b;
+  for (int i = 0; i < 50; ++i) {
+    trace::Recorder& target = (i % 2 == 0) ? a : b;
+    trace::RecordingScope scope(target);
+    tasking::parallel_for_each(pool, 0, 10,
+                               [&](std::size_t) { trace::count_flops(1); });
+  }
+  EXPECT_EQ(a.total().flops, 250u);
+  EXPECT_EQ(b.total().flops, 250u);
+}
+
+}  // namespace
+}  // namespace capow

@@ -1,0 +1,244 @@
+// Tests for the tasking runtime (pool, task groups, parallel_for).
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "capow/tasking/parallel_for.hpp"
+#include "capow/tasking/task_group.hpp"
+#include "capow/tasking/thread_pool.hpp"
+
+namespace capow::tasking {
+namespace {
+
+TEST(ThreadPool, InlinePoolExecutesImmediately) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, WorkerPoolExecutesSubmissions) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.worker_count(), 2u);
+  std::atomic<int> count{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 100; ++i) {
+    group.run([&] { count.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WorkerIndexInsideAndOutside) {
+  EXPECT_EQ(ThreadPool::worker_index(), -1);
+  ThreadPool pool(2);
+  std::atomic<bool> ok{true};
+  std::atomic<int> on_worker{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 16; ++i) {
+    group.run([&] {
+      // Tasks run on a pool worker (index in [0, 2)) or on the waiting
+      // main thread when it helps (-1).
+      const int w = ThreadPool::worker_index();
+      if (w >= 2) ok = false;
+      if (w >= 0) on_worker.fetch_add(1);
+    });
+  }
+  group.wait();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(ThreadPool::worker_index(), -1);
+}
+
+TEST(ThreadPool, TryRunOneFromExternalThread) {
+  // A pool with workers kept busy still lets outsiders help.
+  ThreadPool pool(0);
+  EXPECT_FALSE(pool.try_run_one());
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    TaskGroup group(pool);
+    for (int i = 0; i < 50; ++i) group.run([&] { count.fetch_add(1); });
+    group.wait();
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(TaskGroup, WaitIsReusable) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  std::atomic<int> count{0};
+  group.run([&] { count.fetch_add(1); });
+  group.wait();
+  group.run([&] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(TaskGroup, PropagatesFirstException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // After the throw the group is clean and reusable.
+  group.run([] {});
+  EXPECT_NO_THROW(group.wait());
+}
+
+TEST(TaskGroup, ExceptionDoesNotCancelSiblings) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  std::atomic<int> count{0};
+  group.run([] { throw std::logic_error("x"); });
+  for (int i = 0; i < 10; ++i) group.run([&] { count.fetch_add(1); });
+  EXPECT_THROW(group.wait(), std::logic_error);
+  EXPECT_EQ(count.load(), 10);
+}
+
+// The critical property for Strassen: nested spawn/wait must complete on
+// a 1-worker pool (the waiting parent helps run its children).
+TEST(TaskGroup, NestedRecursionOnSingleWorker) {
+  ThreadPool pool(1);
+  std::atomic<int> leaves{0};
+  // 3-level, 7-ary recursion mimicking the Strassen task tree.
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    TaskGroup group(pool);
+    for (int i = 0; i < 7; ++i) {
+      group.run([&, depth] { recurse(depth - 1); });
+    }
+    group.wait();
+  };
+  recurse(3);
+  EXPECT_EQ(leaves.load(), 343);
+}
+
+TEST(TaskGroup, NestedRecursionOnMultipleWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    TaskGroup group(pool);
+    for (int i = 0; i < 4; ++i) {
+      group.run([&, depth] { recurse(depth - 1); });
+    }
+    group.wait();
+  };
+  recurse(4);
+  EXPECT_EQ(leaves.load(), 256);
+}
+
+TEST(TaskGroup, InlinePoolRunsEagerly) {
+  ThreadPool pool(0);
+  TaskGroup group(pool);
+  int order = 0;
+  int first = -1;
+  group.run([&] { first = order++; });
+  EXPECT_EQ(first, 0);  // already executed
+  group.wait();
+}
+
+struct ParallelForCase {
+  unsigned workers;
+  std::size_t begin;
+  std::size_t end;
+  std::size_t grain;
+  Schedule schedule;
+};
+
+class ParallelForTest : public ::testing::TestWithParam<ParallelForCase> {};
+
+TEST_P(ParallelForTest, CoversRangeExactlyOnce) {
+  const auto p = GetParam();
+  ThreadPool pool(p.workers);
+  std::vector<std::atomic<int>> hits(p.end > p.begin ? p.end - p.begin : 0);
+  parallel_for(
+      pool, p.begin, p.end,
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LE(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) {
+          hits[i - p.begin].fetch_add(1);
+        }
+      },
+      p.grain, p.schedule);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i + p.begin;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelForTest,
+    ::testing::Values(
+        ParallelForCase{0, 0, 100, 1, Schedule::kStatic},
+        ParallelForCase{1, 0, 100, 1, Schedule::kStatic},
+        ParallelForCase{2, 0, 100, 1, Schedule::kStatic},
+        ParallelForCase{4, 0, 1000, 1, Schedule::kStatic},
+        ParallelForCase{4, 5, 17, 1, Schedule::kStatic},
+        ParallelForCase{4, 0, 3, 1, Schedule::kStatic},
+        ParallelForCase{3, 0, 100, 16, Schedule::kStatic},
+        ParallelForCase{2, 0, 100, 1, Schedule::kDynamic},
+        ParallelForCase{4, 0, 1000, 7, Schedule::kDynamic},
+        ParallelForCase{4, 10, 11, 4, Schedule::kDynamic},
+        ParallelForCase{4, 0, 64, 64, Schedule::kDynamic}));
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 5, 5, [&](std::size_t, std::size_t) { ran = true; });
+  parallel_for(pool, 7, 3, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, ZeroGrainTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  parallel_for(
+      pool, 0, 10,
+      [&](std::size_t lo, std::size_t hi) { total.fetch_add(hi - lo); }, 0);
+  EXPECT_EQ(total.load(), 10u);
+}
+
+TEST(ParallelFor, ExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo == 0) throw std::runtime_error("body");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelForEach, VisitsEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for_each(pool, 0, 64, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, DynamicScheduleBalancesUnevenWork) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  parallel_for(
+      pool, 0, 100,
+      [&](std::size_t lo, std::size_t hi) { total.fetch_add(hi - lo); }, 3,
+      Schedule::kDynamic);
+  EXPECT_EQ(total.load(), 100u);
+}
+
+}  // namespace
+}  // namespace capow::tasking

@@ -1,0 +1,198 @@
+// Tests for the cost-instrumentation recorder.
+#include "capow/trace/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "capow/tasking/parallel_for.hpp"
+#include "capow/tasking/thread_pool.hpp"
+
+namespace capow::trace {
+namespace {
+
+TEST(CostCounters, Accumulate) {
+  CostCounters a{.flops = 10, .dram_read_bytes = 100};
+  CostCounters b{.flops = 5, .dram_write_bytes = 7, .syncs = 2};
+  a += b;
+  EXPECT_EQ(a.flops, 15u);
+  EXPECT_EQ(a.dram_read_bytes, 100u);
+  EXPECT_EQ(a.dram_write_bytes, 7u);
+  EXPECT_EQ(a.dram_bytes(), 107u);
+  EXPECT_EQ(a.syncs, 2u);
+}
+
+TEST(Recorder, MainThreadRecordsIntoSlotZero) {
+  Recorder rec;
+  rec.add_flops(42);
+  rec.add_dram_read(64);
+  rec.add_dram_write(32);
+  rec.add_cache_traffic(16);
+  rec.add_message(8);
+  rec.add_task_spawn(3);
+  rec.add_sync();
+  EXPECT_EQ(rec.slot(0).flops, 42u);
+  EXPECT_EQ(rec.slot(0).dram_read_bytes, 64u);
+  EXPECT_EQ(rec.slot(0).dram_write_bytes, 32u);
+  EXPECT_EQ(rec.slot(0).cache_bytes, 16u);
+  EXPECT_EQ(rec.slot(0).messages, 1u);
+  EXPECT_EQ(rec.slot(0).message_bytes, 8u);
+  EXPECT_EQ(rec.slot(0).tasks_spawned, 3u);
+  EXPECT_EQ(rec.slot(0).syncs, 1u);
+  EXPECT_TRUE(rec.parallel_slots().empty());
+}
+
+TEST(Recorder, ResetClears) {
+  Recorder rec;
+  rec.add_flops(1);
+  rec.reset();
+  EXPECT_EQ(rec.total(), CostCounters{});
+}
+
+TEST(Recorder, WorkersRecordIntoTheirSlots) {
+  Recorder rec;
+  tasking::ThreadPool pool(2);
+  tasking::parallel_for_each(pool, 0, 1000, [&](std::size_t) {
+    rec.add_flops(1);
+  });
+  EXPECT_EQ(rec.total().flops, 1000u);
+  // All recorded flops live in parallel slots (workers executed the body;
+  // the main thread may have helped via TaskGroup::wait, landing in slot
+  // 0 — allow that split but require the sum).
+  std::uint64_t par = 0;
+  for (const auto& s : rec.parallel_slots()) par += s.flops;
+  EXPECT_EQ(par + rec.slot(0).flops, 1000u);
+  EXPECT_GE(rec.max_parallel_flops(), par > 0 ? 1u : 0u);
+}
+
+TEST(RecordingScope, FreeFunctionsNoopWithoutScope) {
+  EXPECT_EQ(RecordingScope::current(), nullptr);
+  count_flops(5);  // must not crash
+  count_dram_read(1);
+  count_sync();
+}
+
+TEST(RecordingScope, InstallAndRestore) {
+  Recorder rec;
+  {
+    RecordingScope scope(rec);
+    EXPECT_EQ(RecordingScope::current(), &rec);
+    count_flops(7);
+    count_dram_read(3);
+    count_dram_write(4);
+    count_cache_traffic(2);
+    count_message(10);
+    count_task_spawn(2);
+    count_sync(3);
+  }
+  EXPECT_EQ(RecordingScope::current(), nullptr);
+  EXPECT_EQ(rec.slot(0).flops, 7u);
+  EXPECT_EQ(rec.slot(0).dram_bytes(), 7u);
+  EXPECT_EQ(rec.slot(0).cache_bytes, 2u);
+  EXPECT_EQ(rec.slot(0).messages, 1u);
+  EXPECT_EQ(rec.slot(0).message_bytes, 10u);
+  EXPECT_EQ(rec.slot(0).tasks_spawned, 2u);
+  EXPECT_EQ(rec.slot(0).syncs, 3u);
+}
+
+TEST(RecordingScope, NestedScopesRestorePrevious) {
+  Recorder outer, inner;
+  RecordingScope s1(outer);
+  {
+    RecordingScope s2(inner);
+    count_flops(1);
+  }
+  count_flops(2);
+  EXPECT_EQ(inner.total().flops, 1u);
+  EXPECT_EQ(outer.total().flops, 2u);
+}
+
+TEST(Recorder, MaxParallelFlopsIgnoresSequentialSlot) {
+  Recorder rec;
+  rec.add_flops(1000);  // slot 0
+  EXPECT_EQ(rec.max_parallel_flops(), 0u);
+}
+
+TEST(Recorder, PhasesPartitionCounts) {
+  Recorder rec;
+  rec.add_flops(10);  // default phase
+  {
+    PhaseScope phase(rec, "assemble");
+    rec.add_flops(3);
+    rec.add_dram_read(100);
+  }
+  {
+    PhaseScope phase(rec, "solve");
+    rec.add_flops(7);
+  }
+  {
+    PhaseScope phase(rec, "assemble");  // re-enter accumulates
+    rec.add_flops(2);
+  }
+  ASSERT_EQ(rec.phase_count(), 3u);
+  EXPECT_EQ(rec.phase_name(0), "");
+  EXPECT_EQ(rec.phase_name(1), "assemble");
+  EXPECT_EQ(rec.phase_name(2), "solve");
+  EXPECT_EQ(rec.phase_total(0).flops, 10u);
+  EXPECT_EQ(rec.phase_total(1).flops, 5u);
+  EXPECT_EQ(rec.phase_total(1).dram_read_bytes, 100u);
+  EXPECT_EQ(rec.phase_total(2).flops, 7u);
+  // Aggregates still see everything.
+  EXPECT_EQ(rec.total().flops, 22u);
+  EXPECT_EQ(rec.slot(0).flops, 22u);
+}
+
+TEST(Recorder, PhaseOverflowFallsBackToDefault) {
+  Recorder rec;
+  for (std::size_t i = 0; i < Recorder::kMaxPhases + 5; ++i) {
+    // Built via append rather than operator+ to dodge GCC 12's
+    // -Wrestrict false positive at -O3.
+    std::string name = "p";
+    name += std::to_string(i);
+    rec.begin_phase(name);
+    rec.add_flops(1);
+  }
+  rec.end_phase();
+  EXPECT_EQ(rec.phase_count(), Recorder::kMaxPhases);
+  EXPECT_EQ(rec.total().flops, Recorder::kMaxPhases + 5);
+  // The registry holds the default phase plus kMaxPhases-1 named ones;
+  // the remaining 6 announcements landed in the default phase.
+  EXPECT_EQ(rec.phase_total(0).flops, 6u);
+}
+
+TEST(Recorder, ResetClearsPhases) {
+  Recorder rec;
+  rec.begin_phase("x");
+  rec.add_flops(1);
+  rec.reset();
+  EXPECT_EQ(rec.phase_count(), 1u);
+  EXPECT_EQ(rec.total(), CostCounters{});
+}
+
+TEST(Recorder, WorkersRecordIntoActivePhase) {
+  Recorder rec;
+  tasking::ThreadPool pool(2);
+  {
+    PhaseScope phase(rec, "hot");
+    tasking::parallel_for_each(pool, 0, 100,
+                               [&](std::size_t) { rec.add_flops(1); });
+  }
+  tasking::parallel_for_each(pool, 0, 50,
+                             [&](std::size_t) { rec.add_flops(1); });
+  EXPECT_EQ(rec.phase_total(1).flops, 100u);
+  EXPECT_EQ(rec.phase_total(0).flops, 50u);
+}
+
+TEST(Recorder, TotalSumsAllSlots) {
+  Recorder rec;
+  tasking::ThreadPool pool(3);
+  RecordingScope scope(rec);
+  tasking::parallel_for_each(pool, 0, 300, [&](std::size_t) {
+    count_flops(2);
+    count_dram_read(8);
+  });
+  count_flops(5);
+  EXPECT_EQ(rec.total().flops, 605u);
+  EXPECT_EQ(rec.total().dram_read_bytes, 2400u);
+}
+
+}  // namespace
+}  // namespace capow::trace

@@ -1,0 +1,201 @@
+// capow-report: regenerate the paper's full evaluation (Tables II-IV,
+// the Fig 7 scaling series) for any machine/problem configuration, as
+// text or CSV — the command-line front door to the library.
+//
+// Usage:
+//   capow-report [options]
+//     --machine=haswell|quad|compact   platform model (default haswell)
+//     --sizes=512,1024,2048,4096       problem sizes
+//     --threads=1,2,3,4                thread counts
+//     --csv                            emit CSV instead of tables
+//     --quiesce=60                     seconds of idle between runs
+//     --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "capow/core/ep_model.hpp"
+#include "capow/harness/experiment.hpp"
+#include "capow/harness/table.hpp"
+
+namespace {
+
+using namespace capow;
+
+std::vector<std::size_t> parse_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const unsigned long long v = std::strtoull(tok.c_str(), nullptr, 10);
+    if (v == 0) {
+      throw std::invalid_argument("bad list element: " + tok);
+    }
+    out.push_back(static_cast<std::size_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("empty list");
+  return out;
+}
+
+void print_usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--machine=haswell|quad|compact] [--sizes=a,b,...]\n"
+      "          [--threads=a,b,...] [--csv] [--quiesce=SECONDS]\n",
+      argv0);
+}
+
+void emit(const harness::TextTable& t, bool csv, const char* title) {
+  if (csv) {
+    std::printf("# %s\n%s\n", title, t.csv().c_str());
+  } else {
+    std::printf("\n== %s ==\n%s", title, t.str().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ExperimentConfig cfg;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + len : nullptr;
+    };
+    try {
+      if (const char* v = value_of("--machine=")) {
+        cfg.machine = machine::preset_by_name(v);
+      } else if (const char* v2 = value_of("--sizes=")) {
+        cfg.sizes = parse_list(v2);
+      } else if (const char* v3 = value_of("--threads=")) {
+        cfg.thread_counts.clear();
+        for (std::size_t t : parse_list(v3)) {
+          cfg.thread_counts.push_back(static_cast<unsigned>(t));
+        }
+      } else if (const char* v4 = value_of("--quiesce=")) {
+        cfg.quiesce_seconds = std::strtod(v4, nullptr);
+      } else if (arg == "--csv") {
+        csv = true;
+      } else if (arg == "--help" || arg == "-h") {
+        print_usage(argv[0]);
+        return 0;
+      } else {
+        std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+        print_usage(argv[0]);
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad argument '%s': %s\n", arg.c_str(),
+                   e.what());
+      return 1;
+    }
+  }
+
+  harness::ExperimentRunner runner(cfg);
+  runner.run();
+
+  if (!csv) {
+    std::printf("capow report — %s\n", cfg.machine.name.c_str());
+    std::printf("peak %.1f GF/s, memory %.1f GB/s, LLC %zu KiB\n",
+                cfg.machine.peak_flops() / 1e9,
+                cfg.machine.memory.bandwidth_bytes_per_s / 1e9,
+                cfg.machine.llc_capacity_bytes() / 1024);
+  }
+
+  // Raw result matrix.
+  {
+    harness::TextTable t({"algorithm", "n", "threads", "seconds",
+                          "package_w", "pp0_w", "energy_j", "ep_w_per_s"});
+    for (const auto& r : runner.run()) {
+      t.add_row({harness::algorithm_name(r.algorithm),
+                 std::to_string(r.n), std::to_string(r.threads),
+                 harness::fmt(r.seconds, 6),
+                 harness::fmt(r.package_watts, 3),
+                 harness::fmt(r.pp0_watts, 3),
+                 harness::fmt(r.package_energy_j, 3),
+                 harness::fmt(r.ep, 4)});
+    }
+    emit(t, csv, "result matrix");
+  }
+
+  // Table II analogue.
+  {
+    std::vector<std::string> head{"avg slowdown"};
+    for (std::size_t n : cfg.sizes) head.push_back(std::to_string(n));
+    harness::TextTable t(head);
+    for (auto a :
+         {harness::Algorithm::kStrassen, harness::Algorithm::kCaps}) {
+      std::vector<std::string> row{harness::algorithm_name(a)};
+      for (std::size_t n : cfg.sizes) {
+        row.push_back(harness::fmt(runner.average_slowdown(a, n), 3));
+      }
+      t.add_row(row);
+    }
+    emit(t, csv, "average slowdown vs OpenBLAS (Table II)");
+  }
+
+  // Table III analogue.
+  {
+    std::vector<std::string> head{"avg package W"};
+    for (unsigned th : cfg.thread_counts) {
+      head.push_back(std::to_string(th) + "t");
+    }
+    harness::TextTable t(head);
+    for (auto a : harness::kAllAlgorithms) {
+      std::vector<std::string> row{harness::algorithm_name(a)};
+      for (unsigned th : cfg.thread_counts) {
+        row.push_back(harness::fmt(runner.average_power(a, th), 2));
+      }
+      t.add_row(row);
+    }
+    emit(t, csv, "average power by threads (Table III)");
+  }
+
+  // Table IV analogue.
+  {
+    std::vector<std::string> head{"avg EP (W/s)"};
+    for (std::size_t n : cfg.sizes) head.push_back(std::to_string(n));
+    harness::TextTable t(head);
+    for (auto a : harness::kAllAlgorithms) {
+      std::vector<std::string> row{harness::algorithm_name(a)};
+      for (std::size_t n : cfg.sizes) {
+        row.push_back(harness::fmt(runner.average_ep(a, n), 2));
+      }
+      t.add_row(row);
+    }
+    emit(t, csv, "average energy performance (Table IV)");
+  }
+
+  // Fig 7 analogue (only meaningful when a 1-thread base exists).
+  const bool has_base =
+      std::find(cfg.thread_counts.begin(), cfg.thread_counts.end(), 1u) !=
+      cfg.thread_counts.end();
+  if (has_base) {
+    std::vector<std::string> head{"S = EP_p/EP_1", "n"};
+    for (unsigned th : cfg.thread_counts) {
+      head.push_back("S(" + std::to_string(th) + ")");
+    }
+    head.push_back("class");
+    harness::TextTable t(head);
+    for (auto a : harness::kAllAlgorithms) {
+      for (std::size_t n : cfg.sizes) {
+        const auto series = runner.ep_scaling(a, n);
+        std::vector<std::string> row{harness::algorithm_name(a),
+                                     std::to_string(n)};
+        for (const auto& pt : series) row.push_back(harness::fmt(pt.s, 3));
+        row.push_back(core::to_string(core::classify_scaling(series)));
+        t.add_row(row);
+      }
+    }
+    emit(t, csv, "energy performance scaling (Fig 7)");
+  }
+  return 0;
+}
