@@ -5,9 +5,15 @@
 // google-benchmark microbenchmarks of the kernels that artifact rests
 // on. The reproduction section prints first so `for b in build/bench/*;
 // do $b; done` yields the full paper reproduction in one sweep.
+// Alongside the stdout tables, every bench emits one machine-readable
+// JSON line per benchmark result (see JsonlReporter below); set
+// CAPOW_BENCH_JSONL=FILE to append them to a file instead.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -15,6 +21,7 @@
 
 #include "capow/harness/experiment.hpp"
 #include "capow/harness/table.hpp"
+#include "capow/telemetry/export.hpp"
 
 namespace capow::bench {
 
@@ -59,7 +66,74 @@ inline void ascii_series(const std::string& label,
   }
 }
 
+/// Companion benchmark reporter: one JSON object per line per run
+/// (name, iterations, real/cpu time, time unit, user counters), written
+/// to the stream it is constructed with. Structured twin of the console
+/// table — pipe it into jq or a dashboard instead of scraping stdout.
+/// Wrapped around the ConsoleReporter by bench_main below so it rides
+/// the display-reporter slot (the file-reporter slot demands
+/// --benchmark_out on the benchmark versions we support).
+class JsonlReporter : public ::benchmark::BenchmarkReporter {
+ public:
+  explicit JsonlReporter(std::ostream& os) : os_(&os) {}
+
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      telemetry::JsonObject o;
+      o.field("name", run.benchmark_name())
+          .field("iterations",
+                 static_cast<std::int64_t>(run.iterations))
+          .field("real_time", run.GetAdjustedRealTime())
+          .field("cpu_time", run.GetAdjustedCPUTime())
+          .field("time_unit",
+                 ::benchmark::GetTimeUnitString(run.time_unit));
+      if (run.error_occurred) {
+        o.field("error", true).field("error_message", run.error_message);
+      }
+      for (const auto& [name, counter] : run.counters) {
+        o.field(name, static_cast<double>(counter.value));
+      }
+      *os_ << o.str() << '\n';
+    }
+    os_->flush();
+  }
+
+ private:
+  std::ostream* os_;
+};
+
+/// Display reporter that forwards every callback to the console and
+/// mirrors each run into a JsonlReporter.
+class ConsolePlusJsonlReporter : public ::benchmark::ConsoleReporter {
+ public:
+  explicit ConsolePlusJsonlReporter(std::ostream& jsonl_os)
+      : jsonl_(jsonl_os) {}
+
+  bool ReportContext(const Context& context) override {
+    jsonl_.ReportContext(context);
+    return ::benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ::benchmark::ConsoleReporter::ReportRuns(runs);
+    jsonl_.ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    ::benchmark::ConsoleReporter::Finalize();
+    jsonl_.Finalize();
+  }
+
+ private:
+  JsonlReporter jsonl_;
+};
+
 /// Runs the reproduction printer then the registered microbenchmarks.
+/// Results go to the console reporter as usual plus a JsonlReporter:
+/// to the file named by $CAPOW_BENCH_JSONL (appended) when set,
+/// otherwise inline on stdout.
 /// Usage in each binary:
 ///   int main(int argc, char** argv) {
 ///     return capow::bench::bench_main(argc, argv, print_reproduction);
@@ -70,7 +144,21 @@ int bench_main(int argc, char** argv, Repro&& print_reproduction) {
   std::printf("\n-- microbenchmarks ------------------------------------------\n");
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
+
+  std::ofstream jsonl_file;
+  if (const char* path = std::getenv("CAPOW_BENCH_JSONL");
+      path != nullptr && path[0] != '\0') {
+    jsonl_file.open(path, std::ios::app);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot open CAPOW_BENCH_JSONL file '%s'\n",
+                   path);
+      return 1;
+    }
+  }
+  ConsolePlusJsonlReporter reporter(
+      jsonl_file.is_open() ? static_cast<std::ostream&>(jsonl_file)
+                           : std::cout);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
   ::benchmark::Shutdown();
   return 0;
 }

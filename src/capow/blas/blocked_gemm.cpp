@@ -5,6 +5,7 @@
 
 #include "capow/blas/gemm_ref.hpp"
 #include "capow/tasking/parallel_for.hpp"
+#include "capow/telemetry/telemetry.hpp"
 #include "capow/trace/counters.hpp"
 
 namespace capow::blas {
@@ -117,6 +118,7 @@ void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
+  CAPOW_TSPAN_ARGS2("gemm.blocked", "blas", "m", m, "n", n);
 
   c.zero();
   trace::count_dram_write(m * n * sizeof(double));
@@ -126,6 +128,7 @@ void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
     const std::size_t nc_cur = std::min(bp.nc, n - jc);
     for (std::size_t pc = 0; pc < k; pc += bp.kc) {
       const std::size_t kc_cur = std::min(bp.kc, k - pc);
+      CAPOW_TSPAN_ARGS2("gemm.panel", "blas", "jc", jc, "pc", pc);
       const std::size_t padded_nc = ((nc_cur + bp.nr - 1) / bp.nr) * bp.nr;
       double* packed_b = b_scratch.get(padded_nc * kc_cur);
       pack_b(b, pc, jc, kc_cur, nc_cur, bp.nr, packed_b);

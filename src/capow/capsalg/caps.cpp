@@ -11,6 +11,7 @@
 #include "capow/strassen/counted_ops.hpp"
 #include "capow/tasking/parallel_for.hpp"
 #include "capow/tasking/task_group.hpp"
+#include "capow/telemetry/telemetry.hpp"
 #include "capow/trace/counters.hpp"
 
 namespace capow::capsalg {
@@ -109,6 +110,7 @@ void materialize_b(int i, const Quadrants<ConstMatrixView>& qb,
 // quadrants of C are assembled in parallel.
 void bfs_step(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
               std::size_t depth) {
+  CAPOW_TSPAN_ARGS2("caps.bfs", "caps", "depth", depth, "n", a.rows());
   ctx.bfs_nodes.fetch_add(1, std::memory_order_relaxed);
   const auto qa = linalg::partition(a);
   const auto qb = linalg::partition(b);
@@ -248,6 +250,7 @@ void dfs_acc(Ctx& ctx, MatrixView dst, ConstMatrixView src, bool negate) {
 
 void dfs_step(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
               std::size_t depth) {
+  CAPOW_TSPAN_ARGS2("caps.dfs", "caps", "depth", depth, "n", a.rows());
   ctx.dfs_nodes.fetch_add(1, std::memory_order_relaxed);
   const auto qa = linalg::partition(a);
   const auto qb = linalg::partition(b);
@@ -384,6 +387,8 @@ void caps_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
 
   Ctx ctx{opts, pool};
   const std::size_t n = a.rows();
+  CAPOW_TSPAN_ARGS2("caps.multiply", "caps", "n", n, "bfs_cutoff_depth",
+                    opts.bfs_cutoff_depth);
   if (n == 0) {
     if (stats != nullptr) *stats = CapsStats{};
     return;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "capow/telemetry/telemetry.hpp"
 #include "capow/trace/counters.hpp"
 
 namespace capow::dist {
@@ -72,6 +73,8 @@ void Communicator::send(int dest, int tag, std::span<const double> data) {
   if (dest < 0 || dest >= size()) {
     throw std::out_of_range("send: bad destination rank");
   }
+  CAPOW_TSPAN_ARGS2("comm.send", "dist", "dest", dest, "bytes",
+                    data.size() * sizeof(double));
   trace::count_message(data.size() * sizeof(double));
   Message msg;
   msg.source = rank_;
@@ -84,10 +87,12 @@ Message Communicator::recv(int source, int tag) {
   if (source < 0 || source >= size()) {
     throw std::out_of_range("recv: bad source rank");
   }
+  CAPOW_TSPAN_ARGS2("comm.recv", "dist", "source", source, "tag", tag);
   return world_->take(rank_, source, tag);
 }
 
 void Communicator::barrier() {
+  CAPOW_TSPAN("comm.barrier", "dist");
   trace::count_sync();
   world_->barrier_wait();
 }

@@ -7,6 +7,7 @@
 #include "capow/blas/gemm_ref.hpp"
 #include "capow/linalg/ops.hpp"
 #include "capow/strassen/base_kernel.hpp"
+#include "capow/telemetry/telemetry.hpp"
 
 namespace capow::dist {
 
@@ -64,6 +65,7 @@ void unflatten(std::span<const double> data, MatrixView v) {
 // rank's block. `nb` is the block dimension.
 Matrix scatter_blocks(Communicator& comm, const GridSpec& g,
                       ConstMatrixView m, std::size_t nb, int tag) {
+  CAPOW_TSPAN_ARGS1("summa.scatter", "dist", "nb", nb);
   const RankCoord me = coord_of(comm.rank(), g);
   Matrix mine(nb, nb);
   if (comm.rank() == 0) {
@@ -86,6 +88,7 @@ Matrix scatter_blocks(Communicator& comm, const GridSpec& g,
 
 void gather_blocks(Communicator& comm, const GridSpec& g,
                    ConstMatrixView mine, MatrixView out, std::size_t nb) {
+  CAPOW_TSPAN_ARGS1("summa.gather", "dist", "nb", nb);
   const RankCoord me = coord_of(comm.rank(), g);
   if (comm.rank() == 0) {
     for (int i = 0; i < g.rows; ++i) {
@@ -110,6 +113,7 @@ void gather_blocks(Communicator& comm, const GridSpec& g,
 void summa_step(Communicator& comm, const GridSpec& g, const RankCoord& me,
                 int step, ConstMatrixView a_own, ConstMatrixView b_own,
                 Matrix& a_panel, Matrix& b_panel, MatrixView c_acc) {
+  CAPOW_TSPAN_ARGS2("summa.step", "dist", "step", step, "layer", me.layer);
   // A broadcast along the row.
   if (me.j == step) {
     for (int j = 0; j < g.cols; ++j) {
@@ -192,6 +196,7 @@ void summa_multiply(Communicator& comm, const GridSpec& grid,
   if (comm.size() != grid.ranks()) {
     throw std::invalid_argument("summa_multiply: comm size != grid ranks");
   }
+  CAPOW_TSPAN_ARGS1("summa.multiply", "dist", "rank", comm.rank());
 
   const std::size_t n = negotiate_dim(comm, a, b, c, grid);
   const std::size_t nb = n / grid.rows;
@@ -215,6 +220,8 @@ void multiply_25d(Communicator& comm, const GridSpec& grid,
   if (comm.size() != grid.ranks()) {
     throw std::invalid_argument("multiply_25d: comm size != grid ranks");
   }
+  CAPOW_TSPAN_ARGS2("summa.multiply_25d", "dist", "rank", comm.rank(),
+                    "layers", grid.layers);
 
   const std::size_t n = negotiate_dim(comm, a, b, c, grid);
   const std::size_t nb = n / grid.rows;
@@ -226,18 +233,23 @@ void multiply_25d(Communicator& comm, const GridSpec& grid,
 
   // ...and replicates it to the other layers (the c-fold memory cost
   // that buys the communication reduction).
-  if (me.layer == 0) {
-    for (int l = 1; l < grid.layers; ++l) {
-      comm.send(rank_of(me.i, me.j, l, grid), kReplicateA,
-                flatten(a_own.view()));
-      comm.send(rank_of(me.i, me.j, l, grid), kReplicateB,
-                flatten(b_own.view()));
+  {
+    CAPOW_TSPAN_ARGS1("summa.replicate", "dist", "layer", me.layer);
+    if (me.layer == 0) {
+      for (int l = 1; l < grid.layers; ++l) {
+        comm.send(rank_of(me.i, me.j, l, grid), kReplicateA,
+                  flatten(a_own.view()));
+        comm.send(rank_of(me.i, me.j, l, grid), kReplicateB,
+                  flatten(b_own.view()));
+      }
+    } else {
+      unflatten(
+          comm.recv(rank_of(me.i, me.j, 0, grid), kReplicateA).payload,
+          a_own.view());
+      unflatten(
+          comm.recv(rank_of(me.i, me.j, 0, grid), kReplicateB).payload,
+          b_own.view());
     }
-  } else {
-    unflatten(comm.recv(rank_of(me.i, me.j, 0, grid), kReplicateA).payload,
-              a_own.view());
-    unflatten(comm.recv(rank_of(me.i, me.j, 0, grid), kReplicateB).payload,
-              b_own.view());
   }
 
   // Each layer runs its disjoint slice of the k-steps.
@@ -251,17 +263,20 @@ void multiply_25d(Communicator& comm, const GridSpec& grid,
   }
 
   // Sum-reduce partial C blocks onto layer 0.
-  if (me.layer == 0) {
-    for (int l = 1; l < grid.layers; ++l) {
-      const auto part =
-          comm.recv(rank_of(me.i, me.j, l, grid), kLayerReduce).payload;
-      Matrix tmp(nb, nb);
-      unflatten(part, tmp.view());
-      linalg::add_inplace(c_acc.view(), tmp.view());
+  {
+    CAPOW_TSPAN_ARGS1("summa.layer_reduce", "dist", "layer", me.layer);
+    if (me.layer == 0) {
+      for (int l = 1; l < grid.layers; ++l) {
+        const auto part =
+            comm.recv(rank_of(me.i, me.j, l, grid), kLayerReduce).payload;
+        Matrix tmp(nb, nb);
+        unflatten(part, tmp.view());
+        linalg::add_inplace(c_acc.view(), tmp.view());
+      }
+    } else {
+      comm.send(rank_of(me.i, me.j, 0, grid), kLayerReduce,
+                flatten(c_acc.view()));
     }
-  } else {
-    comm.send(rank_of(me.i, me.j, 0, grid), kLayerReduce,
-              flatten(c_acc.view()));
   }
 
   gather_blocks(comm, grid, c_acc.view(), c, nb);

@@ -3,7 +3,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "capow/blas/cost_model.hpp"
+#include "capow/harness/telemetry_export.hpp"
 #include "capow/rapl/papi.hpp"
 #include "capow/sim/executor.hpp"
 
@@ -46,20 +46,8 @@ const std::vector<ResultRecord>& ExperimentRunner::run() {
 
 ResultRecord ExperimentRunner::run_one(Algorithm a, std::size_t n,
                                        unsigned threads) {
-  sim::WorkProfile profile;
-  switch (a) {
-    case Algorithm::kOpenBlas:
-      profile = blas::blocked_gemm_profile(n, config_.machine, threads);
-      break;
-    case Algorithm::kStrassen:
-      profile = strassen::strassen_profile(n, config_.machine, threads,
-                                           config_.strassen_options);
-      break;
-    case Algorithm::kCaps:
-      profile = capsalg::caps_profile(n, config_.machine, threads,
-                                      config_.caps_options);
-      break;
-  }
+  const sim::WorkProfile profile =
+      work_profile_for(config_, a, n, threads);
 
   // Full measurement path: quiesce, latch RAPL baselines through the
   // PAPI-style event set, run, read the deltas — the sequence the

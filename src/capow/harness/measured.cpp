@@ -12,6 +12,7 @@
 #include "capow/strassen/cost_model.hpp"
 #include "capow/strassen/strassen.hpp"
 #include "capow/tasking/thread_pool.hpp"
+#include "capow/telemetry/telemetry.hpp"
 #include "capow/trace/counters.hpp"
 
 namespace capow::harness {
@@ -29,6 +30,8 @@ MeasuredRecord run_measured(Algorithm a, std::size_t n, unsigned threads,
   double efficiency = 0.0;
   {
     trace::RecordingScope scope(*rec);
+    CAPOW_TSPAN_ARGS2(algorithm_name(a), "harness", "n", n, "threads",
+                      threads);
     switch (a) {
       case Algorithm::kOpenBlas:
         blas::blocked_gemm(ma.view(), mb.view(), mc.view(), machine_spec,

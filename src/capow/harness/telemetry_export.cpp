@@ -1,0 +1,184 @@
+#include "capow/harness/telemetry_export.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "capow/blas/cost_model.hpp"
+#include "capow/sim/executor.hpp"
+#include "capow/telemetry/export.hpp"
+
+namespace capow::harness {
+
+namespace {
+
+std::string run_label(Algorithm a, std::size_t n, unsigned threads) {
+  return std::string(algorithm_name(a)) + " n=" + std::to_string(n) +
+         " t=" + std::to_string(threads);
+}
+
+}  // namespace
+
+sim::WorkProfile work_profile_for(const ExperimentConfig& config,
+                                  Algorithm a, std::size_t n,
+                                  unsigned threads) {
+  switch (a) {
+    case Algorithm::kOpenBlas:
+      return blas::blocked_gemm_profile(n, config.machine, threads);
+    case Algorithm::kStrassen:
+      return strassen::strassen_profile(n, config.machine, threads,
+                                        config.strassen_options);
+    case Algorithm::kCaps:
+      return capsalg::caps_profile(n, config.machine, threads,
+                                   config.caps_options);
+  }
+  return {};
+}
+
+void export_chrome_trace(ExperimentRunner& runner, std::ostream& os,
+                         const TraceExportOptions& opts) {
+  runner.run();
+  const ExperimentConfig& cfg = runner.config();
+  telemetry::ChromeTraceWriter writer;
+
+  int pid = 0;
+  for (Algorithm a : kAllAlgorithms) {
+    for (std::size_t n : cfg.sizes) {
+      for (unsigned threads : cfg.thread_counts) {
+        ++pid;
+        writer.set_process_name(pid, run_label(a, n, threads));
+        writer.set_thread_name(pid, 0, "phases");
+
+        const sim::WorkProfile profile =
+            work_profile_for(cfg, a, n, threads);
+        // Probe run to size the sampling step, then replay with
+        // sampling on the same virtual timeline.
+        const sim::RunResult probe =
+            sim::simulate(cfg.machine, profile, threads);
+        const std::size_t count = std::max<std::size_t>(
+            opts.samples_per_run, 1);
+        const double dt = probe.seconds > 0.0
+                              ? probe.seconds / static_cast<double>(count)
+                              : 1e-3;
+        sim::RunResult run;
+        const auto samples = sim::simulate_with_sampling(
+            cfg.machine, profile, threads, dt, &run);
+
+        writer.add_complete(pid, 0, run_label(a, n, threads), "run", 0.0,
+                            run.seconds * 1e6);
+        double t = 0.0;
+        for (const auto& phase : run.phases) {
+          writer.add_complete(
+              pid, 0, phase.label, "phase", t * 1e6,
+              phase.seconds * 1e6,
+              {{"utilization", phase.utilization},
+               {"active_cores", static_cast<double>(phase.active_cores)},
+               {"package_w",
+                phase.power_w[static_cast<std::size_t>(
+                    machine::PowerPlane::kPackage)]}});
+          t += phase.seconds;
+        }
+        for (const auto& s : samples) {
+          writer.add_counter(pid, "power_w", s.t_seconds * 1e6,
+                             {{"package", s.package_w},
+                              {"pp0", s.pp0_w}});
+        }
+      }
+    }
+  }
+  writer.write(os);
+}
+
+void export_jsonl(ExperimentRunner& runner, std::ostream& os) {
+  const auto& records = runner.run();
+  const ExperimentConfig& cfg = runner.config();
+  for (const auto& r : records) {
+    const sim::WorkProfile profile =
+        work_profile_for(cfg, r.algorithm, r.n, r.threads);
+    telemetry::JsonObject obj;
+    obj.field("algorithm", algorithm_name(r.algorithm))
+        .field("n", static_cast<std::uint64_t>(r.n))
+        .field("threads", static_cast<std::uint64_t>(r.threads))
+        .field("seconds", r.seconds)
+        .field("package_watts", r.package_watts)
+        .field("pp0_watts", r.pp0_watts)
+        .field("package_energy_j", r.package_energy_j)
+        .field("ep_w_per_s", r.ep)
+        .field("flops", profile.total_flops())
+        .field("dram_bytes", profile.total_dram_bytes())
+        .field("syncs", static_cast<std::uint64_t>(profile.total_syncs()))
+        .field("machine", cfg.machine.name);
+    os << obj.str() << '\n';
+  }
+}
+
+void export_metrics(ExperimentRunner& runner, std::ostream& os) {
+  const auto& records = runner.run();
+  const ExperimentConfig& cfg = runner.config();
+  telemetry::MetricsRegistry reg;
+
+  struct FamilySpec {
+    const char* name;
+    const char* help;
+    const char* type;
+  };
+  const FamilySpec specs[] = {
+      {"capow_run_seconds", "Simulated wall time of one run", "gauge"},
+      {"capow_package_watts", "Average RAPL package power", "gauge"},
+      {"capow_pp0_watts", "Average RAPL PP0 power", "gauge"},
+      {"capow_package_energy_joules", "Package energy of one run",
+       "gauge"},
+      {"capow_ep_watts_per_second", "Energy-performance ratio (Eq 1)",
+       "gauge"},
+      {"capow_flops_total", "Cost-model floating point operations",
+       "counter"},
+      {"capow_dram_bytes_total", "Cost-model DRAM traffic", "counter"},
+      {"capow_tasks_spawned_total", "Cost-model tasks spawned",
+       "counter"},
+      {"capow_syncs_total", "Cost-model synchronization events",
+       "counter"},
+  };
+
+  for (const auto& spec : specs) {
+    reg.family(spec.name, spec.help, spec.type);
+    for (const auto& r : records) {
+      const telemetry::MetricsRegistry::Labels labels = {
+          {"algorithm", algorithm_name(r.algorithm)},
+          {"n", std::to_string(r.n)},
+          {"threads", std::to_string(r.threads)},
+      };
+      const std::string_view name = spec.name;
+      double value = 0.0;
+      if (name == "capow_run_seconds") {
+        value = r.seconds;
+      } else if (name == "capow_package_watts") {
+        value = r.package_watts;
+      } else if (name == "capow_pp0_watts") {
+        value = r.pp0_watts;
+      } else if (name == "capow_package_energy_joules") {
+        value = r.package_energy_j;
+      } else if (name == "capow_ep_watts_per_second") {
+        value = r.ep;
+      } else {
+        const sim::WorkProfile profile =
+            work_profile_for(cfg, r.algorithm, r.n, r.threads);
+        if (name == "capow_flops_total") {
+          value = profile.total_flops();
+        } else if (name == "capow_dram_bytes_total") {
+          value = profile.total_dram_bytes();
+        } else if (name == "capow_tasks_spawned_total") {
+          double spawns = 0.0;
+          for (const auto& p : profile.phases) {
+            spawns += static_cast<double>(p.spawn_events);
+          }
+          value = spawns;
+        } else if (name == "capow_syncs_total") {
+          value = static_cast<double>(profile.total_syncs());
+        }
+      }
+      reg.sample(labels, value);
+    }
+  }
+  reg.write(os);
+}
+
+}  // namespace capow::harness

@@ -1,0 +1,52 @@
+// Structured export of the experiment matrix: Chrome traces, JSONL run
+// records, and Prometheus-style metrics.
+//
+// The ExperimentRunner executes *simulated* runs — no wall-clock time
+// passes — so these exporters reconstruct each run's timeline from the
+// simulator's own outputs: RunResult.phases gives the span layout and
+// simulate_with_sampling() gives the time-aligned package/PP0 power
+// samples, exactly the data behind the paper's Figs 4-6. Each (algorithm,
+// n, threads) configuration becomes one Chrome trace process whose rows
+// are the phase spans and whose counter track is the power timeline.
+//
+// Live instrumented runs (run_measured, tests, benches) use the span
+// tracer in capow/telemetry directly; both paths share the writers in
+// capow/telemetry/export.hpp.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+#include "capow/harness/experiment.hpp"
+#include "capow/sim/cost_profile.hpp"
+
+namespace capow::harness {
+
+/// The cost-model work profile the runner executes for one
+/// configuration (the switch formerly private to run_one()).
+sim::WorkProfile work_profile_for(const ExperimentConfig& config,
+                                  Algorithm a, std::size_t n,
+                                  unsigned threads);
+
+struct TraceExportOptions {
+  /// Power samples per run; the sampling step is run_seconds / count.
+  std::size_t samples_per_run = 64;
+};
+
+/// Writes a Chrome trace-event JSON file covering every configuration of
+/// the runner's matrix: one process per run (named e.g. "OpenBLAS n=512
+/// t=2"), phase spans on the main row, and a package/PP0 counter track
+/// sampled on the same virtual timeline. Runs the matrix if needed.
+void export_chrome_trace(ExperimentRunner& runner, std::ostream& os,
+                         const TraceExportOptions& opts = {});
+
+/// Writes one JSON line per ResultRecord (machine-readable analogue of
+/// the report tables). Runs the matrix if needed.
+void export_jsonl(ExperimentRunner& runner, std::ostream& os);
+
+/// Writes a Prometheus text exposition of the matrix: runtime, power,
+/// energy, EP, and the cost-model totals (flops, DRAM bytes, tasks,
+/// syncs) labeled by {algorithm, n, threads}. Runs the matrix if needed.
+void export_metrics(ExperimentRunner& runner, std::ostream& os);
+
+}  // namespace capow::harness

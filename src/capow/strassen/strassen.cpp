@@ -8,6 +8,7 @@
 #include "capow/strassen/base_kernel.hpp"
 #include "capow/strassen/counted_ops.hpp"
 #include "capow/tasking/task_group.hpp"
+#include "capow/telemetry/telemetry.hpp"
 #include "capow/trace/counters.hpp"
 
 namespace capow::strassen {
@@ -193,6 +194,7 @@ void recurse(ConstMatrixView a, ConstMatrixView b, MatrixView c,
     base_gemm(a, b, c);
     return;
   }
+  CAPOW_TSPAN_ARGS2("strassen.recurse", "strassen", "depth", depth, "n", n);
   const auto qa = linalg::partition(a);
   const auto qb = linalg::partition(b);
   const auto qc = linalg::partition(c);
@@ -236,6 +238,8 @@ void strassen_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
     throw std::invalid_argument("strassen_multiply: base_cutoff == 0");
   }
   const std::size_t n = a.rows();
+  CAPOW_TSPAN_ARGS2("strassen.multiply", "strassen", "n", n, "winograd",
+                    opts.winograd ? 1 : 0);
   if (n == 0) return;
   if (n <= opts.base_cutoff) {
     base_gemm(a, b, c);

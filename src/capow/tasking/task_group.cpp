@@ -3,6 +3,8 @@
 #include <cassert>
 #include <thread>
 
+#include "capow/telemetry/telemetry.hpp"
+
 namespace capow::tasking {
 
 TaskGroup::~TaskGroup() {
@@ -11,6 +13,7 @@ TaskGroup::~TaskGroup() {
 }
 
 void TaskGroup::wait() {
+  CAPOW_TSPAN("taskgroup.wait", "tasking");
   while (pending_.load(std::memory_order_acquire) != 0) {
     if (!pool_.try_run_one()) {
       // Nothing to help with: our outstanding tasks are running on other

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "capow/telemetry/telemetry.hpp"
+
 namespace capow::tasking {
 
 namespace {
@@ -26,9 +28,11 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   if (workers_ == 0) {
+    CAPOW_TSPAN("task.run.inline", "tasking");
     task();
     return;
   }
+  CAPOW_TINSTANT("task.enqueue", "tasking");
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
@@ -44,6 +48,10 @@ bool ThreadPool::try_run_one() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
+  // A non-worker (or a worker inside wait()) stealing queued work — the
+  // helping scheduler in action; distinct span name so the timeline
+  // shows who helped whom.
+  CAPOW_TSPAN("task.run.help", "tasking");
   task();
   return true;
 }
@@ -65,7 +73,10 @@ void ThreadPool::worker_loop(unsigned index) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      CAPOW_TSPAN_ARGS1("task.run", "tasking", "worker", index);
+      task();
+    }
   }
 }
 

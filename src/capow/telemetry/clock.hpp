@@ -1,0 +1,21 @@
+// Monotonic timestamp source for the span tracer.
+//
+// All telemetry timestamps are nanoseconds on std::chrono::steady_clock:
+// comparable across threads of one process, immune to wall-clock steps,
+// and cheap enough (~20 ns on Linux vDSO) to take twice per span.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace capow::telemetry {
+
+/// Nanoseconds since an arbitrary (per-boot) epoch, monotone.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace capow::telemetry

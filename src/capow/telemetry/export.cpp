@@ -1,0 +1,272 @@
+#include "capow/telemetry/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace capow::telemetry {
+
+namespace {
+
+// JSON number: fixed-point with enough precision for nanosecond-derived
+// microsecond stamps; strips a bare trailing dot, never emits inf/nan.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string json_ts(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string& JsonObject::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(k);
+  body_ += "\":";
+  return body_;
+}
+
+JsonObject& JsonObject::field(std::string_view k, std::string_view value) {
+  key(k) += '"' + json_escape(value) + '"';
+  return *this;
+}
+JsonObject& JsonObject::field(std::string_view k, const char* value) {
+  return field(k, std::string_view(value));
+}
+JsonObject& JsonObject::field(std::string_view k, double value) {
+  key(k) += json_number(value);
+  return *this;
+}
+JsonObject& JsonObject::field(std::string_view k, std::int64_t value) {
+  key(k) += std::to_string(value);
+  return *this;
+}
+JsonObject& JsonObject::field(std::string_view k, std::uint64_t value) {
+  key(k) += std::to_string(value);
+  return *this;
+}
+JsonObject& JsonObject::field(std::string_view k, bool value) {
+  key(k) += value ? "true" : "false";
+  return *this;
+}
+JsonObject& JsonObject::raw(std::string_view k, std::string_view json) {
+  key(k).append(json);
+  return *this;
+}
+
+std::string JsonObject::str() const { return "{" + body_ + "}"; }
+
+void ChromeTraceWriter::set_process_name(int pid, std::string name) {
+  JsonObject o;
+  o.field("ph", "M")
+      .field("name", "process_name")
+      .field("pid", static_cast<std::int64_t>(pid))
+      .field("tid", static_cast<std::int64_t>(0))
+      .raw("args", JsonObject{}.field("name", name).str());
+  events_.push_back(o.str());
+}
+
+void ChromeTraceWriter::set_thread_name(int pid, int tid, std::string name) {
+  JsonObject o;
+  o.field("ph", "M")
+      .field("name", "thread_name")
+      .field("pid", static_cast<std::int64_t>(pid))
+      .field("tid", static_cast<std::int64_t>(tid))
+      .raw("args", JsonObject{}.field("name", name).str());
+  events_.push_back(o.str());
+}
+
+void ChromeTraceWriter::add_complete(int pid, int tid, std::string name,
+                                     std::string cat, double ts_us,
+                                     double dur_us, Args args) {
+  JsonObject o;
+  o.field("ph", "X")
+      .field("name", name)
+      .field("cat", cat)
+      .field("pid", static_cast<std::int64_t>(pid))
+      .field("tid", static_cast<std::int64_t>(tid))
+      .raw("ts", json_ts(ts_us))
+      .raw("dur", json_ts(dur_us < 0.0 ? 0.0 : dur_us));
+  if (!args.empty()) {
+    JsonObject a;
+    for (const auto& [k, v] : args) a.field(k, v);
+    o.raw("args", a.str());
+  }
+  events_.push_back(o.str());
+}
+
+void ChromeTraceWriter::add_instant(int pid, int tid, std::string name,
+                                    std::string cat, double ts_us) {
+  JsonObject o;
+  o.field("ph", "i")
+      .field("name", name)
+      .field("cat", cat)
+      .field("pid", static_cast<std::int64_t>(pid))
+      .field("tid", static_cast<std::int64_t>(tid))
+      .raw("ts", json_ts(ts_us))
+      .field("s", "t");  // thread-scoped instant
+  events_.push_back(o.str());
+}
+
+void ChromeTraceWriter::add_counter(int pid, std::string name, double ts_us,
+                                    Args series) {
+  JsonObject o;
+  o.field("ph", "C")
+      .field("name", name)
+      .field("pid", static_cast<std::int64_t>(pid))
+      .field("tid", static_cast<std::int64_t>(0))
+      .raw("ts", json_ts(ts_us));
+  JsonObject a;
+  for (const auto& [k, v] : series) a.field(k, v);
+  o.raw("args", a.str());
+  events_.push_back(o.str());
+}
+
+void ChromeTraceWriter::add_events(const std::vector<TraceEvent>& events,
+                                   int pid, std::uint64_t base_ns) {
+  for (const TraceEvent& e : events) {
+    const double ts_us =
+        e.rec.t_begin_ns >= base_ns
+            ? static_cast<double>(e.rec.t_begin_ns - base_ns) / 1e3
+            : 0.0;
+    const int tid = static_cast<int>(e.tid);
+    const std::string name = e.rec.name != nullptr ? e.rec.name : "?";
+    const std::string cat =
+        e.rec.category != nullptr ? e.rec.category : "";
+    switch (e.rec.kind) {
+      case EventKind::kSpan: {
+        Args args;
+        for (int i = 0; i < 2; ++i) {
+          if (e.rec.arg_name[i] != nullptr) {
+            args.emplace_back(e.rec.arg_name[i],
+                              static_cast<double>(e.rec.arg[i]));
+          }
+        }
+        const double dur_us =
+            static_cast<double>(e.rec.t_end_ns - e.rec.t_begin_ns) / 1e3;
+        add_complete(pid, tid, name, cat, ts_us, dur_us, std::move(args));
+        break;
+      }
+      case EventKind::kInstant:
+        add_instant(pid, tid, name, cat, ts_us);
+        break;
+      case EventKind::kCounter:
+        add_counter(pid, name, ts_us, Args{{"value", e.rec.value}});
+        break;
+    }
+  }
+}
+
+void ChromeTraceWriter::write(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n" << events_[i];
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string ChromeTraceWriter::str() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::family(std::string name, std::string help,
+                                         std::string type) {
+  for (std::size_t i = 0; i < families_.size(); ++i) {
+    if (families_[i].name == name) {
+      // Re-opening moves the "current family" cursor to the end.
+      Family f = std::move(families_[i]);
+      families_.erase(families_.begin() + static_cast<std::ptrdiff_t>(i));
+      families_.push_back(std::move(f));
+      return *this;
+    }
+  }
+  families_.push_back(
+      Family{std::move(name), std::move(help), std::move(type), {}});
+  return *this;
+}
+
+std::string MetricsRegistry::label_key(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + json_escape(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::sample(const Labels& labels,
+                                         double value) {
+  if (families_.empty()) family("capow_unnamed", "");
+  Family& f = families_.back();
+  const std::string k = label_key(labels);
+  for (auto& [key, v] : f.samples) {
+    if (key == k) {
+      v = value;
+      return *this;
+    }
+  }
+  f.samples.emplace_back(k, value);
+  return *this;
+}
+
+MetricsRegistry& MetricsRegistry::set(std::string name, std::string help,
+                                      const Labels& labels, double value,
+                                      std::string type) {
+  family(std::move(name), std::move(help), std::move(type));
+  return sample(labels, value);
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void MetricsRegistry::write(std::ostream& os) const {
+  for (const Family& f : families_) {
+    if (!f.help.empty()) os << "# HELP " << f.name << " " << f.help << "\n";
+    os << "# TYPE " << f.name << " " << f.type << "\n";
+    for (const auto& [labels, value] : f.samples) {
+      os << f.name << labels << " " << json_number(value) << "\n";
+    }
+  }
+}
+
+}  // namespace capow::telemetry

@@ -1,0 +1,120 @@
+// Exporters: trace and metrics data in formats other tools ingest.
+//
+//   * ChromeTraceWriter — Chrome trace-event JSON ("traceEvents" array of
+//     X/i/C/M records, microsecond timestamps), loadable in Perfetto
+//     (ui.perfetto.dev) and chrome://tracing.
+//   * MetricsRegistry   — Prometheus text exposition (# HELP / # TYPE /
+//     name{labels} value).
+//   * JsonObject        — one-line JSON object builder for JSONL
+//     structured run records.
+//
+// Everything here is plain buffered serialization — no dependency on the
+// tracer, so the harness can export *simulated* timelines (the paper's
+// Figs 4-6 power traces) through the same writers the live span tracer
+// uses.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "capow/telemetry/tracer.hpp"
+
+namespace capow::telemetry {
+
+/// JSON string-body escaping (quotes, backslash, control chars).
+std::string json_escape(std::string_view s);
+
+/// Builder for one flat JSON object, emitted as a single line (JSONL).
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value);
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, bool value);
+  /// Pre-serialized JSON value (arrays, nested objects).
+  JsonObject& raw(std::string_view key, std::string_view json);
+
+  /// "{...}" — no trailing newline.
+  std::string str() const;
+
+ private:
+  std::string& key(std::string_view k);
+  std::string body_;
+};
+
+/// Accumulates Chrome trace events and writes the JSON object format.
+class ChromeTraceWriter {
+ public:
+  using Args = std::vector<std::pair<std::string, double>>;
+
+  /// Metadata: names the process / thread rows in the UI.
+  void set_process_name(int pid, std::string name);
+  void set_thread_name(int pid, int tid, std::string name);
+
+  /// Complete ('X') duration event. Timestamps in microseconds.
+  void add_complete(int pid, int tid, std::string name, std::string cat,
+                    double ts_us, double dur_us, Args args = {});
+
+  /// Instant ('i') point event.
+  void add_instant(int pid, int tid, std::string name, std::string cat,
+                   double ts_us);
+
+  /// Counter ('C') sample: each series becomes a stacked track value.
+  void add_counter(int pid, std::string name, double ts_us, Args series);
+
+  /// Converts collected tracer events (live spans/instants/counters).
+  /// Timestamps are rebased to `base_ns` (use Tracer::start_ns()).
+  void add_events(const std::vector<TraceEvent>& events, int pid,
+                  std::uint64_t base_ns);
+
+  std::size_t event_count() const noexcept { return events_.size(); }
+
+  /// Writes {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  void write(std::ostream& os) const;
+  std::string str() const;
+
+ private:
+  std::vector<std::string> events_;  // pre-serialized objects
+};
+
+/// Prometheus-style text metrics: families in registration order, one
+/// sample per unique label set (later set() calls overwrite).
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Declares (or re-opens) a family. `type` is "gauge" or "counter".
+  MetricsRegistry& family(std::string name, std::string help,
+                          std::string type = "gauge");
+
+  /// Sets a sample in the most recently declared family.
+  MetricsRegistry& sample(const Labels& labels, double value);
+
+  /// Convenience: declare-and-set a single-sample family.
+  MetricsRegistry& set(std::string name, std::string help,
+                       const Labels& labels, double value,
+                       std::string type = "gauge");
+
+  /// Full text exposition.
+  std::string to_text() const;
+  void write(std::ostream& os) const;
+
+ private:
+  struct Family {
+    std::string name;
+    std::string help;
+    std::string type;
+    std::vector<std::pair<std::string, double>> samples;  // key -> value
+  };
+  static std::string label_key(const Labels& labels);
+
+  std::vector<Family> families_;
+};
+
+}  // namespace capow::telemetry

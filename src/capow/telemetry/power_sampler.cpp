@@ -1,0 +1,80 @@
+#include "capow/telemetry/power_sampler.hpp"
+
+#include <stdexcept>
+
+#include "capow/rapl/papi.hpp"
+#include "capow/telemetry/clock.hpp"
+#include "capow/telemetry/tracer.hpp"
+
+namespace capow::telemetry {
+
+PowerSampler::PowerSampler(const rapl::SimulatedMsrDevice& dev,
+                           Options opts)
+    : dev_(&dev), opts_(opts) {}
+
+PowerSampler::~PowerSampler() { stop(); }
+
+void PowerSampler::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    throw std::logic_error("PowerSampler::start: already running");
+  }
+  {
+    std::lock_guard lock(mutex_);
+    samples_.clear();
+  }
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void PowerSampler::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+std::vector<PowerSampler::Sample> PowerSampler::samples() const {
+  std::lock_guard lock(mutex_);
+  return samples_;
+}
+
+void PowerSampler::loop() {
+  // The monitor owns its EventSet — the exact client loop the paper's
+  // PAPI-based driver runs (latch baselines, then poll live values).
+  rapl::EventSet events(*dev_);
+  events.add_event(rapl::kEventPackageEnergy);
+  events.add_event(rapl::kEventPp0Energy);
+  events.start();
+
+  const std::uint64_t t0 = now_ns();
+  std::uint64_t last_ns = t0;
+  long long last_pkg_nj = 0;
+  long long last_pp0_nj = 0;
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(opts_.interval);
+    const std::uint64_t t = now_ns();
+    const auto nj = events.read();
+    const double dt = static_cast<double>(t - last_ns) * 1e-9;
+    if (dt <= 0.0) continue;
+    Sample s;
+    s.t_seconds = static_cast<double>(t - t0) * 1e-9;
+    s.package_w =
+        static_cast<double>(nj[0] - last_pkg_nj) * 1e-9 / dt;
+    s.pp0_w = static_cast<double>(nj[1] - last_pp0_nj) * 1e-9 / dt;
+    last_ns = t;
+    last_pkg_nj = nj[0];
+    last_pp0_nj = nj[1];
+    {
+      std::lock_guard lock(mutex_);
+      samples_.push_back(s);
+    }
+    // Time-aligned with any active span-tracing session.
+    counter(opts_.package_counter, s.package_w);
+    counter(opts_.pp0_counter, s.pp0_w);
+  }
+  events.stop();
+}
+
+}  // namespace capow::telemetry

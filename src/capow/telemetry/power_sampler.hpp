@@ -1,0 +1,78 @@
+// Periodic RAPL sampling time-aligned with the span tracer.
+//
+// The paper's power figures are produced by a monitor loop that reads
+// the RAPL counters while the algorithm runs. PowerSampler is that loop
+// as a background thread: every `interval` it reads the PAPI-style
+// EventSet (package + PP0), converts the energy delta to average watts
+// over the elapsed slice, stores the sample, and — when a telemetry
+// tracer is active — emits counter events on the same monotonic clock
+// the spans use. Opening the resulting Chrome trace shows the power
+// tracks directly above the spans that caused them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "capow/rapl/msr.hpp"
+
+namespace capow::telemetry {
+
+class PowerSampler {
+ public:
+  struct Options {
+    std::chrono::microseconds interval{500};
+    /// Counter-track names for the tracer-aligned samples.
+    const char* package_counter = "package_w";
+    const char* pp0_counter = "pp0_w";
+  };
+
+  /// One timestamped reading (seconds since start()).
+  struct Sample {
+    double t_seconds = 0.0;
+    double package_w = 0.0;
+    double pp0_w = 0.0;
+  };
+
+  /// Binds to `dev`; does not start sampling. The device must outlive
+  /// the sampler.
+  explicit PowerSampler(const rapl::SimulatedMsrDevice& dev)
+      : PowerSampler(dev, Options{}) {}
+  PowerSampler(const rapl::SimulatedMsrDevice& dev, Options opts);
+
+  /// Stops the sampling thread if still running.
+  ~PowerSampler();
+
+  PowerSampler(const PowerSampler&) = delete;
+  PowerSampler& operator=(const PowerSampler&) = delete;
+
+  /// Launches the background monitor. Throws std::logic_error if
+  /// already running.
+  void start();
+
+  /// Joins the monitor thread; samples() stays readable afterwards.
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of the samples captured so far.
+  std::vector<Sample> samples() const;
+
+ private:
+  void loop();
+
+  const rapl::SimulatedMsrDevice* dev_;
+  Options opts_;
+  std::thread thread_;
+  mutable std::mutex mutex_;
+  std::vector<Sample> samples_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace capow::telemetry

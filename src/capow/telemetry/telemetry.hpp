@@ -1,0 +1,76 @@
+// Instrumentation macro layer — the only telemetry header kernels and
+// runtimes include.
+//
+// Call sites write
+//
+//   CAPOW_TSPAN("caps.bfs", "caps");                       // RAII span
+//   CAPOW_TSPAN_ARGS2("strassen.recurse", "strassen",
+//                     "depth", depth, "n", n);             // + two int64 args
+//   CAPOW_TINSTANT("task.enqueue", "tasking");             // point event
+//   CAPOW_TCOUNTER("package_w", watts);                    // counter sample
+//
+// With CAPOW_TELEMETRY_ENABLED=1 (the default; CMake option
+// CAPOW_TELEMETRY) these expand to the tracer primitives: one relaxed
+// atomic load when no tracer is installed, a lock-free ring push when
+// one is. With CAPOW_TELEMETRY_ENABLED=0 they expand to nothing at all
+// — no argument evaluation, no clock reads, no code — which is the
+// zero-cost guarantee the CI "telemetry-off" build leg holds us to.
+//
+// The tracer/exporter *classes* stay compiled either way (the simulated
+// timeline exporters in harness/ use them independently of runtime
+// instrumentation); only the call-site macros are removed.
+#pragma once
+
+#ifndef CAPOW_TELEMETRY_ENABLED
+#define CAPOW_TELEMETRY_ENABLED 1
+#endif
+
+#if CAPOW_TELEMETRY_ENABLED
+
+#include <cstdint>
+
+#include "capow/telemetry/tracer.hpp"
+
+#define CAPOW_TELEMETRY_CAT2(a, b) a##b
+#define CAPOW_TELEMETRY_CAT(a, b) CAPOW_TELEMETRY_CAT2(a, b)
+
+#define CAPOW_TSPAN(name, category)                          \
+  ::capow::telemetry::SpanScope CAPOW_TELEMETRY_CAT(         \
+      capow_tspan_, __LINE__)(name, category)
+
+#define CAPOW_TSPAN_ARGS1(name, category, k0, v0)            \
+  ::capow::telemetry::SpanScope CAPOW_TELEMETRY_CAT(         \
+      capow_tspan_, __LINE__)(name, category, k0,            \
+                              static_cast<std::int64_t>(v0))
+
+#define CAPOW_TSPAN_ARGS2(name, category, k0, v0, k1, v1)    \
+  ::capow::telemetry::SpanScope CAPOW_TELEMETRY_CAT(         \
+      capow_tspan_, __LINE__)(name, category, k0,            \
+                              static_cast<std::int64_t>(v0), \
+                              k1, static_cast<std::int64_t>(v1))
+
+#define CAPOW_TINSTANT(name, category) \
+  ::capow::telemetry::instant(name, category)
+
+#define CAPOW_TCOUNTER(name, value) \
+  ::capow::telemetry::counter(name, value)
+
+#else  // CAPOW_TELEMETRY_ENABLED == 0
+
+#define CAPOW_TSPAN(name, category) \
+  do {                              \
+  } while (false)
+#define CAPOW_TSPAN_ARGS1(name, category, k0, v0) \
+  do {                                            \
+  } while (false)
+#define CAPOW_TSPAN_ARGS2(name, category, k0, v0, k1, v1) \
+  do {                                                    \
+  } while (false)
+#define CAPOW_TINSTANT(name, category) \
+  do {                                 \
+  } while (false)
+#define CAPOW_TCOUNTER(name, value) \
+  do {                              \
+  } while (false)
+
+#endif  // CAPOW_TELEMETRY_ENABLED

@@ -51,6 +51,11 @@ void Recorder::end_phase() noexcept {
   active_phase_.store(0, std::memory_order_release);
 }
 
+void Recorder::restore_phase(std::size_t phase) noexcept {
+  active_phase_.store(phase < kMaxPhases ? phase : 0,
+                      std::memory_order_release);
+}
+
 std::size_t Recorder::phase_count() const noexcept {
   std::lock_guard lock(phase_mutex_);
   return phase_names_.size();

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "capow/telemetry/telemetry.hpp"
+
 namespace capow::trace {
 
 /// Aggregate cost counters for one execution unit (or a merged total).
@@ -77,6 +79,17 @@ class Recorder {
 
   /// Reverts to the default phase.
   void end_phase() noexcept;
+
+  /// Index of the currently active phase (0 = default).
+  std::size_t active_phase_index() const noexcept {
+    return active_phase();
+  }
+
+  /// Re-activates a previously returned phase index (PhaseScope uses
+  /// this to restore its parent on destruction, so nested scopes do not
+  /// wipe out the enclosing phase). Out-of-range indices clamp to the
+  /// default phase.
+  void restore_phase(std::size_t phase) noexcept;
 
   /// Number of phases seen (>= 1; the default phase is always present).
   std::size_t phase_count() const noexcept;
@@ -138,19 +151,37 @@ class Recorder {
   std::atomic<std::size_t> active_phase_{0};
 };
 
-/// RAII phase section: activates `name` on construction, reverts to the
-/// default phase on destruction.
+/// RAII phase section: activates `name` on construction and restores
+/// the *previously active* phase on destruction, so nested scopes
+/// resume their parent's phase instead of resetting to the default.
+/// When a telemetry tracer is installed, the section is also emitted as
+/// a timed span (category "phase"), aligning the cost counters with the
+/// span timeline.
 class PhaseScope {
  public:
-  PhaseScope(Recorder& r, const std::string& name) : recorder_(&r) {
+  PhaseScope(Recorder& r, const std::string& name)
+      : recorder_(&r),
+        previous_(r.active_phase_index())
+#if CAPOW_TELEMETRY_ENABLED
+        ,
+        span_(telemetry::Tracer::active() != nullptr
+                  ? telemetry::intern(name)
+                  : nullptr,
+              "phase")
+#endif
+  {
     recorder_->begin_phase(name);
   }
-  ~PhaseScope() { recorder_->end_phase(); }
+  ~PhaseScope() { recorder_->restore_phase(previous_); }
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
 
  private:
   Recorder* recorder_;
+  std::size_t previous_;
+#if CAPOW_TELEMETRY_ENABLED
+  telemetry::SpanScope span_;
+#endif
 };
 
 /// Installs `r` as the calling thread's *and* subsequently-created

@@ -140,6 +140,62 @@ TEST(Recorder, PhasesPartitionCounts) {
   EXPECT_EQ(rec.slot(0).flops, 22u);
 }
 
+TEST(PhaseScope, NestedScopesRestoreParentPhase) {
+  Recorder rec;
+  {
+    PhaseScope outer(rec, "outer");
+    rec.add_flops(1);
+    {
+      PhaseScope inner(rec, "inner");
+      rec.add_flops(10);
+    }
+    // Back in "outer", not the default phase.
+    rec.add_flops(2);
+  }
+  rec.add_flops(100);  // default phase again
+  ASSERT_EQ(rec.phase_count(), 3u);
+  EXPECT_EQ(rec.phase_total(1).flops, 3u);    // outer: before + after inner
+  EXPECT_EQ(rec.phase_total(2).flops, 10u);   // inner
+  EXPECT_EQ(rec.phase_total(0).flops, 100u);  // default
+}
+
+TEST(PhaseScope, DeeplyNestedScopesUnwindInOrder) {
+  Recorder rec;
+  PhaseScope a(rec, "a");
+  {
+    PhaseScope b(rec, "b");
+    {
+      PhaseScope c(rec, "c");
+      EXPECT_EQ(rec.active_phase_index(), 3u);
+    }
+    EXPECT_EQ(rec.active_phase_index(), 2u);
+  }
+  EXPECT_EQ(rec.active_phase_index(), 1u);
+}
+
+TEST(PhaseScope, OverflowScopesRouteToDefaultAndStayBounded) {
+  Recorder rec;
+  for (std::size_t i = 0; i < Recorder::kMaxPhases + 10; ++i) {
+    std::string name = "scope";
+    name += std::to_string(i);
+    PhaseScope phase(rec, name);
+    rec.add_flops(1);
+  }
+  // Registry stays bounded; announcements beyond the capacity landed in
+  // the default phase, and every scope exit restored the default.
+  EXPECT_EQ(rec.phase_count(), Recorder::kMaxPhases);
+  EXPECT_EQ(rec.active_phase_index(), 0u);
+  EXPECT_EQ(rec.phase_total(0).flops, 11u);
+  EXPECT_EQ(rec.total().flops, Recorder::kMaxPhases + 10);
+}
+
+TEST(Recorder, RestorePhaseClampsOutOfRangeToDefault) {
+  Recorder rec;
+  rec.begin_phase("x");
+  rec.restore_phase(Recorder::kMaxPhases + 3);
+  EXPECT_EQ(rec.active_phase_index(), 0u);
+}
+
 TEST(Recorder, PhaseOverflowFallsBackToDefault) {
   Recorder rec;
   for (std::size_t i = 0; i < Recorder::kMaxPhases + 5; ++i) {

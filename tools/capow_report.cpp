@@ -9,16 +9,21 @@
 //     --threads=1,2,3,4                thread counts
 //     --csv                            emit CSV instead of tables
 //     --quiesce=60                     seconds of idle between runs
+//     --trace=FILE                     Chrome trace JSON (Perfetto)
+//     --jsonl=FILE                     one JSON record per run
+//     --metrics=FILE                   Prometheus text metrics
 //     --help
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "capow/core/ep_model.hpp"
 #include "capow/harness/experiment.hpp"
 #include "capow/harness/table.hpp"
+#include "capow/harness/telemetry_export.hpp"
 
 namespace {
 
@@ -31,9 +36,14 @@ std::vector<std::size_t> parse_list(const std::string& csv) {
     const std::size_t comma = csv.find(',', pos);
     const std::string tok = csv.substr(
         pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    const unsigned long long v = std::strtoull(tok.c_str(), nullptr, 10);
-    if (v == 0) {
-      throw std::invalid_argument("bad list element: " + tok);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    // Reject partial tokens ("12abc") and empty ones, not just zeros:
+    // strtoull stops at the first non-digit, so check it consumed the
+    // whole token.
+    if (v == 0 || end != tok.c_str() + tok.size()) {
+      throw std::invalid_argument("bad list element: '" + tok +
+                                  "' (expected a positive integer)");
     }
     out.push_back(static_cast<std::size_t>(v));
     if (comma == std::string::npos) break;
@@ -43,10 +53,28 @@ std::vector<std::size_t> parse_list(const std::string& csv) {
   return out;
 }
 
+// Opens `path` for writing and runs `fn(stream)`; exits with a message
+// on I/O failure.
+template <typename Fn>
+void write_file(const std::string& path, const char* what, Fn&& fn) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s file '%s'\n", what, path.c_str());
+    std::exit(1);
+  }
+  fn(os);
+  if (!os) {
+    std::fprintf(stderr, "write failed for %s file '%s'\n", what,
+                 path.c_str());
+    std::exit(1);
+  }
+}
+
 void print_usage(const char* argv0) {
   std::printf(
       "usage: %s [--machine=haswell|quad|compact] [--sizes=a,b,...]\n"
-      "          [--threads=a,b,...] [--csv] [--quiesce=SECONDS]\n",
+      "          [--threads=a,b,...] [--csv] [--quiesce=SECONDS]\n"
+      "          [--trace=FILE] [--jsonl=FILE] [--metrics=FILE]\n",
       argv0);
 }
 
@@ -63,6 +91,7 @@ void emit(const harness::TextTable& t, bool csv, const char* title) {
 int main(int argc, char** argv) {
   harness::ExperimentConfig cfg;
   bool csv = false;
+  std::string trace_path, jsonl_path, metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -82,6 +111,12 @@ int main(int argc, char** argv) {
         }
       } else if (const char* v4 = value_of("--quiesce=")) {
         cfg.quiesce_seconds = std::strtod(v4, nullptr);
+      } else if (const char* v5 = value_of("--trace=")) {
+        trace_path = v5;
+      } else if (const char* v6 = value_of("--jsonl=")) {
+        jsonl_path = v6;
+      } else if (const char* v7 = value_of("--metrics=")) {
+        metrics_path = v7;
       } else if (arg == "--csv") {
         csv = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -101,6 +136,22 @@ int main(int argc, char** argv) {
 
   harness::ExperimentRunner runner(cfg);
   runner.run();
+
+  if (!trace_path.empty()) {
+    write_file(trace_path, "trace", [&](std::ostream& os) {
+      harness::export_chrome_trace(runner, os);
+    });
+  }
+  if (!jsonl_path.empty()) {
+    write_file(jsonl_path, "jsonl", [&](std::ostream& os) {
+      harness::export_jsonl(runner, os);
+    });
+  }
+  if (!metrics_path.empty()) {
+    write_file(metrics_path, "metrics", [&](std::ostream& os) {
+      harness::export_metrics(runner, os);
+    });
+  }
 
   if (!csv) {
     std::printf("capow report — %s\n", cfg.machine.name.c_str());
