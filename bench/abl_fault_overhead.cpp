@@ -1,0 +1,152 @@
+// ABL7 — overhead of the fault-injection hooks when no faults are
+// configured. The robustness layer is only admissible if the no-fault
+// path is free: with CAPOW_FAULTS unset the experiment matrix must be
+// bit-identical to a build that never heard of fault injection, and
+// under 2% slower end to end. Every hook site pays one relaxed atomic
+// load (FaultInjector::active()); this bench measures that tax on the
+// full experiment harness and at the individual draw sites.
+#include <chrono>
+#include <cstdint>
+
+#include "bench_common.hpp"
+#include "capow/fault/fault.hpp"
+#include "capow/linalg/random.hpp"
+#include "capow/strassen/strassen.hpp"
+#include "capow/tasking/thread_pool.hpp"
+
+namespace {
+
+using namespace capow;
+
+// Task-spawning Strassen drives the densest gate site — the thread
+// pool's per-task stall hook — hundreds of times per multiply, so it is
+// the honest end-to-end workload for the no-fault tax. The pool is
+// inline (0 workers: submit runs tasks immediately, still through the
+// hook), the clean/gated configurations are interleaved so warm-up and
+// frequency drift hit both equally, and each side keeps its best rep —
+// OS jitter cannot masquerade as gate overhead.
+void time_strassen_pair(int reps, double* clean, double* gated) {
+  const std::size_t n = 512;
+  auto a = linalg::random_square(n, 1);
+  auto b = linalg::random_square(n, 2);
+  linalg::Matrix c(n, n);
+  tasking::ThreadPool pool(0);
+  strassen::strassen_multiply(a.view(), b.view(), c.view(), {}, &pool);
+  const auto one_rep = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    strassen::strassen_multiply(a.view(), b.view(), c.view(), {}, &pool);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+  *clean = 1e300;
+  *gated = 1e300;
+  fault::FaultInjector inj{fault::FaultPlan{}};
+  for (int r = 0; r < reps; ++r) {
+    const double c0 = one_rep();
+    if (c0 < *clean) *clean = c0;
+    // Installed injector, empty plan: every gate is taken, every
+    // probability is zero — the worst no-fault case.
+    fault::FaultScope scope(inj);
+    const double g0 = one_rep();
+    if (g0 < *gated) *gated = g0;
+  }
+}
+
+void print_reproduction() {
+  bench::banner("ABL 7", "fault-injection hot-path overhead");
+
+  const int reps = 20;
+  double clean = 0.0, gated = 0.0;
+  time_strassen_pair(reps, &clean, &gated);
+
+  // Bit-identical experiment records are the other half of the
+  // contract: with no faults configured, an installed injector must
+  // not perturb the measurement pipeline at all.
+  harness::ExperimentConfig cfg;
+  cfg.sizes = {512, 1024};
+  cfg.thread_counts = {1, 2, 4};
+  cfg.quiesce_seconds = 1.0;
+  harness::ExperimentRunner a(cfg);
+  a.run();
+  bool identical = true;
+  {
+    fault::FaultInjector inj{fault::FaultPlan{}};
+    fault::FaultScope scope(inj);
+    harness::ExperimentRunner b(cfg);
+    b.run();
+    for (std::size_t i = 0; i < a.run().size(); ++i) {
+      const auto& ra = a.run()[i];
+      const auto& rb = b.run()[i];
+      identical = identical && ra.seconds == rb.seconds &&
+                  ra.package_watts == rb.package_watts &&
+                  ra.pp0_watts == rb.pp0_watts && ra.ep == rb.ep &&
+                  ra.status == rb.status;
+    }
+  }
+
+  const double overhead_pct =
+      clean > 0.0 ? (gated / clean - 1.0) * 100.0 : 0.0;
+  std::printf(
+      "\ntask-spawning Strassen n=512, inline pool, interleaved best of "
+      "%d:\n",
+      reps);
+  harness::TextTable table({"configuration", "seconds/run", "overhead"});
+  table.add_row({"no injector", harness::fmt(clean, 6), "-"});
+  table.add_row({"injector installed, empty plan", harness::fmt(gated, 6),
+                 harness::fmt(overhead_pct, 2) + "%"});
+  std::printf("%s", table.str().c_str());
+  std::printf("\nexperiment records bit-identical with empty plan: %s\n",
+              identical ? "yes" : "NO — contract violated");
+  std::printf("target: < 2%% overhead; identical records.\n");
+}
+
+// The tax every hook site pays with NO injector installed: one relaxed
+// atomic load + branch.
+void BM_GateNoInjector(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::FaultInjector::active());
+  }
+}
+BENCHMARK(BM_GateNoInjector);
+
+// Hook-site cost with an installed injector whose plan is empty: the
+// comm path additionally checks any_comm() before drawing.
+void BM_GateEmptyPlan(benchmark::State& state) {
+  fault::FaultInjector inj{fault::FaultPlan{}};
+  fault::FaultScope scope(inj);
+  for (auto _ : state) {
+    fault::FaultInjector* active = fault::FaultInjector::active();
+    bool armed = active != nullptr && active->plan().any_comm();
+    benchmark::DoNotOptimize(armed);
+  }
+}
+BENCHMARK(BM_GateEmptyPlan);
+
+// A full keyed draw (three splitmix64 rounds) at an armed site.
+void BM_FireDraw(benchmark::State& state) {
+  fault::FaultPlan plan;
+  plan.comm_drop = 0.01;
+  fault::FaultInjector inj(plan);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inj.fire(fault::Site::kCommDrop, ++k));
+  }
+}
+BENCHMARK(BM_FireDraw);
+
+// A sequenced draw: one atomic fetch_add on top of the keyed draw.
+void BM_FireNextDraw(benchmark::State& state) {
+  fault::FaultPlan plan;
+  plan.rapl_fail = 0.01;
+  fault::FaultInjector inj(plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inj.fire_next(fault::Site::kRaplFail));
+  }
+}
+BENCHMARK(BM_FireNextDraw);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return capow::bench::bench_main(argc, argv, print_reproduction);
+}

@@ -133,8 +133,14 @@ void bfs_step(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
     tasking::TaskGroup group(*ctx.pool);
     for (int i = 0; i < 7; ++i) {
       trace::count_task_spawn(2);
-      group.run([&, i] { materialize_a(i, qa, la[i]->view()); });
-      group.run([&, i] { materialize_b(i, qb, lb[i]->view()); });
+      group.run([&, i] {
+        if (group.cancelled()) return;
+        materialize_a(i, qa, la[i]->view());
+      });
+      group.run([&, i] {
+        if (group.cancelled()) return;
+        materialize_b(i, qb, lb[i]->view());
+      });
     }
     group.wait();
     trace::count_sync();
@@ -151,6 +157,7 @@ void bfs_step(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
     for (int i = 0; i < 7; ++i) {
       trace::count_task_spawn();
       group.run([&, i] {
+        if (group.cancelled()) return;  // a sibling sub-product failed
         recurse(la[i]->cview(), lb[i]->cview(), q[i]->view(), ctx,
                 depth + 1);
       });

@@ -1,40 +1,118 @@
 #include "capow/dist/comm.hpp"
 
+#include <chrono>
 #include <exception>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "capow/fault/fault.hpp"
 #include "capow/telemetry/telemetry.hpp"
 #include "capow/trace/counters.hpp"
 
 namespace capow::dist {
 
-World::World(int ranks) : ranks_(ranks), mailboxes_(ranks > 0 ? ranks : 0) {
+namespace {
+
+std::chrono::steady_clock::time_point deadline_after(double seconds) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+void sleep_ms(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+World::World(int ranks, const WorldOptions& options)
+    : ranks_(ranks),
+      options_(options),
+      mailboxes_(ranks > 0 ? static_cast<std::size_t>(ranks) : 0) {
   if (ranks <= 0) throw std::invalid_argument("World: ranks must be >= 1");
+  if (options_.recv_timeout_seconds <= 0.0) {
+    throw std::invalid_argument("World: recv_timeout_seconds must be > 0");
+  }
+  if (options_.max_send_attempts < 1) {
+    throw std::invalid_argument("World: max_send_attempts must be >= 1");
+  }
+  const std::size_t n = static_cast<std::size_t>(ranks);
+  exited_ = std::make_unique<std::atomic<bool>[]>(n);
+  channel_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(n * n);
+  for (std::size_t i = 0; i < n; ++i) exited_[i].store(false);
+  for (std::size_t i = 0; i < n * n; ++i) channel_seq_[i].store(0);
 }
 
 void World::run(const std::function<void(Communicator&)>& body) {
-  std::vector<std::thread> threads;
-  threads.reserve(ranks_);
-  std::mutex emutex;
-  std::exception_ptr first;
+  // A World may be reused for several collective jobs; each run starts
+  // from a clean failure state.
+  poisoned_.store(false, std::memory_order_release);
+  exited_count_.store(0, std::memory_order_release);
   for (int r = 0; r < ranks_; ++r) {
-    threads.emplace_back([this, r, &body, &emutex, &first] {
-      Communicator comm(*this, r);
-      try {
-        body(comm);
-      } catch (...) {
-        std::lock_guard lock(emutex);
-        if (!first) first = std::current_exception();
-      }
-    });
+    exited_[static_cast<std::size_t>(r)].store(false,
+                                               std::memory_order_release);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks_));
+  std::mutex emutex;
+  // Root-cause exceptions (rank logic errors, injected failures) are
+  // rethrown in preference to the secondary CommErrors they cause in
+  // peers that were merely blocked on the failed rank.
+  std::exception_ptr first_other;
+  std::exception_ptr first_comm;
+  for (int r = 0; r < ranks_; ++r) {
+    threads.emplace_back(
+        [this, r, &body, &emutex, &first_other, &first_comm] {
+          Communicator comm(*this, r);
+          bool failed = false;
+          try {
+            body(comm);
+          } catch (const CommError&) {
+            failed = true;
+            std::lock_guard lock(emutex);
+            if (!first_comm) first_comm = std::current_exception();
+          } catch (...) {
+            failed = true;
+            std::lock_guard lock(emutex);
+            if (!first_other) first_other = std::current_exception();
+          }
+          mark_exited(r, failed);
+        });
   }
   for (auto& t : threads) t.join();
-  if (first) std::rethrow_exception(first);
+  if (first_other) std::rethrow_exception(first_other);
+  if (first_comm) std::rethrow_exception(first_comm);
+}
+
+void World::mark_exited(int rank, bool failed) noexcept {
+  if (failed) poisoned_.store(true, std::memory_order_release);
+  exited_[static_cast<std::size_t>(rank)].store(true,
+                                                std::memory_order_release);
+  exited_count_.fetch_add(1, std::memory_order_acq_rel);
+  // Wake every blocked receiver/barrier waiter so it can observe the
+  // new exit/poison state instead of sleeping out its full timeout.
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box.mutex);
+    box.cv.notify_all();
+  }
+  {
+    std::lock_guard lock(barrier_mutex_);
+    barrier_cv_.notify_all();
+  }
+}
+
+std::uint64_t World::next_channel_seq(int source, int dest) noexcept {
+  const std::size_t channel = static_cast<std::size_t>(source) *
+                                  static_cast<std::size_t>(ranks_) +
+                              static_cast<std::size_t>(dest);
+  return channel_seq_[channel].fetch_add(1, std::memory_order_relaxed);
 }
 
 void World::post(int dest, Message msg) {
-  Mailbox& box = mailboxes_.at(dest);
+  Mailbox& box = mailboxes_.at(static_cast<std::size_t>(dest));
   {
     std::lock_guard lock(box.mutex);
     box.messages.push_back(std::move(msg));
@@ -43,7 +121,8 @@ void World::post(int dest, Message msg) {
 }
 
 Message World::take(int rank, int source, int tag) {
-  Mailbox& box = mailboxes_.at(rank);
+  Mailbox& box = mailboxes_.at(static_cast<std::size_t>(rank));
+  const auto deadline = deadline_after(options_.recv_timeout_seconds);
   std::unique_lock lock(box.mutex);
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
@@ -53,11 +132,42 @@ Message World::take(int rank, int source, int tag) {
         return msg;
       }
     }
-    box.cv.wait(lock);
+    // No matching message buffered. Blocking is only correct while the
+    // source can still send: a poisoned world or an exited source means
+    // the message will never arrive.
+    if (poisoned()) {
+      throw CommError("recv: world poisoned while rank " +
+                      std::to_string(rank) + " awaited (source=" +
+                      std::to_string(source) + ", tag=" +
+                      std::to_string(tag) + ")");
+    }
+    if (rank_exited(source)) {
+      throw CommError("recv: rank " + std::to_string(source) +
+                      " exited without sending (receiver=" +
+                      std::to_string(rank) + ", tag=" + std::to_string(tag) +
+                      ")");
+    }
+    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One final scan: the message may have been posted between the
+      // last scan and the timeout.
+      for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+        if (it->source == source && it->tag == tag) {
+          Message msg = std::move(*it);
+          box.messages.erase(it);
+          return msg;
+        }
+      }
+      throw CommError("recv: rank " + std::to_string(rank) +
+                      " timed out after " +
+                      std::to_string(options_.recv_timeout_seconds) +
+                      "s awaiting (source=" + std::to_string(source) +
+                      ", tag=" + std::to_string(tag) + ")");
+    }
   }
 }
 
 void World::barrier_wait() {
+  const auto deadline = deadline_after(options_.recv_timeout_seconds);
   std::unique_lock lock(barrier_mutex_);
   const std::uint64_t gen = barrier_generation_;
   if (++barrier_arrived_ == ranks_) {
@@ -66,7 +176,23 @@ void World::barrier_wait() {
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+  while (barrier_generation_ == gen) {
+    // A rank that exited before arriving can never complete this
+    // generation (a rank blocked *in* the barrier cannot exit, so any
+    // exit observed while our generation is pending is a missing
+    // participant).
+    if (poisoned() || exited_count_.load(std::memory_order_acquire) > 0) {
+      --barrier_arrived_;
+      throw CommError("barrier: world poisoned or a rank exited before "
+                      "the barrier completed");
+    }
+    if (barrier_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        barrier_generation_ == gen) {
+      --barrier_arrived_;
+      throw CommError("barrier: timed out after " +
+                      std::to_string(options_.recv_timeout_seconds) + "s");
+    }
+  }
 }
 
 void Communicator::send(int dest, int tag, std::span<const double> data) {
@@ -80,7 +206,68 @@ void Communicator::send(int dest, int tag, std::span<const double> data) {
   msg.source = rank_;
   msg.tag = tag;
   msg.payload.assign(data.begin(), data.end());
-  world_->post(dest, std::move(msg));
+
+  fault::FaultInjector* inj = fault::FaultInjector::active();
+  if (inj == nullptr || !inj->plan().any_comm()) {
+    world_->post(dest, std::move(msg));
+    return;
+  }
+
+  // Unreliable-link model: each delivery attempt can be dropped or
+  // corrupted (a corrupted frame is caught by the link CRC, so both
+  // look like loss to the sender); the sender retransmits with
+  // exponential backoff until an attempt lands or the budget runs out.
+  // Draws are keyed on the (channel, message sequence, attempt) logical
+  // coordinates so the fault schedule is independent of timing.
+  const std::uint64_t channel =
+      static_cast<std::uint64_t>(rank_) * static_cast<std::uint64_t>(size()) +
+      static_cast<std::uint64_t>(dest);
+  const std::uint64_t seq = world_->next_channel_seq(rank_, dest);
+
+  if (inj->fire(fault::Site::kCommDelay, fault::key(channel, seq))) {
+    inj->record(fault::Event::kCommDelay);
+    CAPOW_TINSTANT("fault.comm.delay", "fault");
+    sleep_ms(inj->plan().comm_delay_ms);
+  }
+
+  const int max_attempts = world_->options().max_send_attempts;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (world_->poisoned()) {
+      throw CommError("send: world poisoned (dest=" + std::to_string(dest) +
+                      ")");
+    }
+    bool lost = false;
+    if (inj->fire(fault::Site::kCommDrop,
+                  fault::key(channel, seq,
+                             2 * static_cast<std::uint64_t>(attempt)))) {
+      inj->record(fault::Event::kCommDrop);
+      CAPOW_TINSTANT("fault.comm.drop", "fault");
+      lost = true;
+    } else if (inj->fire(
+                   fault::Site::kCommCorrupt,
+                   fault::key(channel, seq,
+                              2 * static_cast<std::uint64_t>(attempt) + 1))) {
+      inj->record(fault::Event::kCommCorrupt);
+      CAPOW_TINSTANT("fault.comm.corrupt", "fault");
+      lost = true;
+    }
+    if (!lost) {
+      world_->post(dest, std::move(msg));
+      return;
+    }
+    if (attempt + 1 < max_attempts) {
+      inj->record(fault::Event::kCommRetry);
+      CAPOW_TINSTANT("fault.comm.retry", "fault");
+      const double factor =
+          static_cast<double>(1u << (attempt < 10 ? attempt : 10));
+      sleep_ms(world_->options().retry_backoff_us * factor * 1e-3);
+    }
+  }
+  inj->record(fault::Event::kCommSendFailure);
+  CAPOW_TINSTANT("fault.comm.send_failure", "fault");
+  throw CommError("send: message to rank " + std::to_string(dest) +
+                  " (tag=" + std::to_string(tag) + ") lost after " +
+                  std::to_string(max_attempts) + " attempts");
 }
 
 Message Communicator::recv(int source, int tag) {
@@ -136,11 +323,11 @@ void Communicator::gather(int root, std::span<const double> mine,
                           std::vector<std::vector<double>>& out) {
   out.clear();
   if (rank_ == root) {
-    out.resize(size());
-    out[root].assign(mine.begin(), mine.end());
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)].assign(mine.begin(), mine.end());
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
-      out[r] = recv(r, kGatherTag).payload;
+      out[static_cast<std::size_t>(r)] = recv(r, kGatherTag).payload;
     }
   } else {
     send(root, kGatherTag, mine);

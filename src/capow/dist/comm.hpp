@@ -13,24 +13,57 @@
 // model can price it. The API follows MPI's shape (rank/size,
 // send/recv with tags, barrier/broadcast/reduce/gather) without
 // pretending to be a full implementation.
+//
+// Fault tolerance: the wire between ranks is unreliable when a
+// fault::FaultInjector is installed — deliveries can be dropped,
+// delayed, or corrupted (detected by the link CRC and retransmitted).
+// send() runs an ack/retry loop with exponential backoff and throws
+// CommError when a message is lost for good; recv() and barrier() wake
+// up and throw CommError instead of deadlocking when a peer exits
+// without sending, a rank fails (poisoning every mailbox), or the recv
+// timeout expires. One throwing rank therefore unblocks — not hangs —
+// the whole world.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace capow::dist {
+
+/// Communication failure: peer death, poisoned world, recv timeout, or
+/// a message lost after every retransmission attempt.
+class CommError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// A received message: payload plus envelope.
 struct Message {
   int source = -1;
   int tag = 0;
   std::vector<double> payload;
+};
+
+/// Fault-tolerance policy knobs for a World.
+struct WorldOptions {
+  /// recv()/barrier() give up with CommError after this long without
+  /// progress. Generous by default: timeouts are a backstop — peer-exit
+  /// and poison detection unblock the common failure modes immediately.
+  double recv_timeout_seconds = 10.0;
+  /// Delivery attempts per send() before it throws CommError.
+  int max_send_attempts = 12;
+  /// First retransmission backoff; doubles per attempt (capped at
+  /// 1024x). Kept small: the "wire" is an in-process queue.
+  double retry_backoff_us = 50.0;
 };
 
 class Communicator;
@@ -40,14 +73,24 @@ class Communicator;
 class World {
  public:
   /// Creates a world of `ranks` mailboxes. Throws for ranks == 0.
-  explicit World(int ranks);
+  explicit World(int ranks) : World(ranks, WorldOptions{}) {}
+  World(int ranks, const WorldOptions& options);
 
   int size() const noexcept { return ranks_; }
+  const WorldOptions& options() const noexcept { return options_; }
 
   /// Runs `body(comm)` on every rank concurrently (one thread per rank)
-  /// and joins. Exceptions from any rank are rethrown (first one wins)
-  /// after all ranks complete or unblock.
+  /// and joins. Exceptions from any rank poison the world (waking every
+  /// blocked peer with CommError) and are rethrown after all ranks
+  /// unblock; a root-cause exception wins over the secondary CommErrors
+  /// it triggered.
   void run(const std::function<void(Communicator&)>& body);
+
+  /// True once any rank has thrown; blocked operations observe this and
+  /// throw CommError instead of waiting forever.
+  bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
 
  private:
   friend class Communicator;
@@ -61,11 +104,29 @@ class World {
   void post(int dest, Message msg);
   Message take(int rank, int source, int tag);
 
+  /// Next per-channel sequence number for (source -> dest); the stable
+  /// logical coordinate fault draws are keyed on.
+  std::uint64_t next_channel_seq(int source, int dest) noexcept;
+
+  /// Marks `rank` done (normally or not) and wakes every waiter so
+  /// blocked peers can re-check poison/exit state.
+  void mark_exited(int rank, bool failed) noexcept;
+
+  bool rank_exited(int rank) const noexcept {
+    return exited_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+
   // Barrier support: generation-counted central barrier.
   void barrier_wait();
 
   int ranks_;
+  WorldOptions options_;
   std::vector<Mailbox> mailboxes_;
+  std::unique_ptr<std::atomic<bool>[]> exited_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> channel_seq_;
+  std::atomic<bool> poisoned_{false};
+  std::atomic<int> exited_count_{0};
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;
@@ -80,13 +141,20 @@ class Communicator {
 
   /// Blocking tagged send (buffered: returns once the payload is copied
   /// into the destination mailbox). Counts message bytes via trace.
+  /// Under fault injection the delivery may be dropped/corrupted and
+  /// retransmitted with exponential backoff; throws CommError when
+  /// every attempt is lost or the world is poisoned.
   void send(int dest, int tag, std::span<const double> data);
 
   /// Blocking tagged receive from a specific source. Messages from the
-  /// same (source, tag) arrive in send order.
+  /// same (source, tag) arrive in send order. Throws CommError instead
+  /// of blocking forever when the source rank has exited without
+  /// sending, the world is poisoned, or the recv timeout expires.
   Message recv(int source, int tag);
 
-  /// Collective barrier across all ranks.
+  /// Collective barrier across all ranks. Throws CommError when the
+  /// barrier can never complete (a rank exited or the world is
+  /// poisoned) or on timeout.
   void barrier();
 
   /// Broadcast `data` from root to every rank; on non-root ranks the

@@ -1,0 +1,260 @@
+#include "capow/fault/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace capow::fault {
+
+namespace {
+
+// splitmix64 (Steele, Lea, Flood): the standard 64-bit finalizer-style
+// mixer — every input bit avalanches, cheap enough for per-message use.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Top 53 bits as a uniform double in [0, 1).
+double to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::atomic<FaultInjector*> g_active{nullptr};
+
+constexpr const char* kSiteNames[kSiteCount] = {
+    "comm.drop", "comm.delay", "comm.corrupt", "rapl.fail",
+    "task.stall", "run.fail",  "run.stall",
+};
+
+constexpr const char* kEventNames[kEventCount] = {
+    "comm_drops",        "comm_delays",       "comm_corruptions",
+    "comm_retries",      "comm_send_failures", "rapl_read_failures",
+    "rapl_retries",      "rapl_degraded_reads", "rapl_wraps",
+    "task_stalls",       "runs_retried",      "runs_degraded",
+    "runs_failed",       "run_timeouts",
+};
+
+double parse_number(const std::string& key_name, const std::string& tok) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end != tok.c_str() + tok.size()) {
+    throw std::invalid_argument("fault spec: bad value '" + tok +
+                                "' for key '" + key_name + "'");
+  }
+  return v;
+}
+
+double parse_probability(const std::string& key_name,
+                         const std::string& tok) {
+  const double v = parse_number(key_name, tok);
+  if (v < 0.0 || v > 1.0) {
+    throw std::invalid_argument("fault spec: probability '" + key_name +
+                                "' must be in [0, 1], got " + tok);
+  }
+  return v;
+}
+
+double parse_duration(const std::string& key_name, const std::string& tok) {
+  const double v = parse_number(key_name, tok);
+  if (v < 0.0) {
+    throw std::invalid_argument("fault spec: duration '" + key_name +
+                                "' must be >= 0, got " + tok);
+  }
+  return v;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* site_name(Site s) noexcept {
+  return kSiteNames[static_cast<std::size_t>(s)];
+}
+
+const char* event_name(Event e) noexcept {
+  return kEventNames[static_cast<std::size_t>(e)];
+}
+
+std::uint64_t FaultCounters::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : by_event) sum += c;
+  return sum;
+}
+
+double FaultPlan::probability(Site s) const noexcept {
+  switch (s) {
+    case Site::kCommDrop:
+      return comm_drop;
+    case Site::kCommDelay:
+      return comm_delay;
+    case Site::kCommCorrupt:
+      return comm_corrupt;
+    case Site::kRaplFail:
+      return rapl_fail;
+    case Site::kTaskStall:
+      return task_stall;
+    case Site::kRunFail:
+      return run_fail;
+    case Site::kRunStall:
+      return run_stall;
+  }
+  return 0.0;
+}
+
+bool FaultPlan::any() const noexcept {
+  return comm_drop > 0.0 || comm_delay > 0.0 || comm_corrupt > 0.0 ||
+         rapl_fail > 0.0 || rapl_wrap || task_stall > 0.0 ||
+         run_fail > 0.0 || run_stall > 0.0;
+}
+
+std::string FaultPlan::spec() const {
+  std::string out;
+  const auto add = [&](const char* k, const std::string& v) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  };
+  if (comm_drop > 0.0) add("comm.drop", fmt_double(comm_drop));
+  if (comm_delay > 0.0) add("comm.delay", fmt_double(comm_delay));
+  if (comm_delay_ms != 1.0) add("comm.delay_ms", fmt_double(comm_delay_ms));
+  if (comm_corrupt > 0.0) add("comm.corrupt", fmt_double(comm_corrupt));
+  if (rapl_fail > 0.0) add("rapl.fail", fmt_double(rapl_fail));
+  if (rapl_wrap) add("rapl.wrap", "1");
+  if (task_stall > 0.0) add("task.stall", fmt_double(task_stall));
+  if (task_stall_ms != 1.0) add("task.stall_ms", fmt_double(task_stall_ms));
+  if (run_fail > 0.0) add("run.fail", fmt_double(run_fail));
+  if (run_stall > 0.0) add("run.stall", fmt_double(run_stall));
+  if (run_stall_ms != 1.0) add("run.stall_ms", fmt_double(run_stall_ms));
+  add("seed", std::to_string(seed));
+  return out;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string pair = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (pair.empty()) continue;  // tolerate "a=1,,b=2" and trailing commas
+
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("fault spec: expected key=value, got '" +
+                                  pair + "'");
+    }
+    const std::string k = pair.substr(0, eq);
+    const std::string v = pair.substr(eq + 1);
+
+    if (k == "seed") {
+      char* end = nullptr;
+      const unsigned long long s = std::strtoull(v.c_str(), &end, 10);
+      if (v.empty() || end != v.c_str() + v.size()) {
+        throw std::invalid_argument("fault spec: bad seed '" + v + "'");
+      }
+      plan.seed = s;
+    } else if (k == "comm.drop") {
+      plan.comm_drop = parse_probability(k, v);
+    } else if (k == "comm.delay") {
+      plan.comm_delay = parse_probability(k, v);
+    } else if (k == "comm.delay_ms") {
+      plan.comm_delay_ms = parse_duration(k, v);
+    } else if (k == "comm.corrupt") {
+      plan.comm_corrupt = parse_probability(k, v);
+    } else if (k == "rapl.fail") {
+      plan.rapl_fail = parse_probability(k, v);
+    } else if (k == "rapl.wrap") {
+      if (v != "0" && v != "1") {
+        throw std::invalid_argument("fault spec: rapl.wrap must be 0 or 1");
+      }
+      plan.rapl_wrap = v == "1";
+    } else if (k == "task.stall") {
+      plan.task_stall = parse_probability(k, v);
+    } else if (k == "task.stall_ms") {
+      plan.task_stall_ms = parse_duration(k, v);
+    } else if (k == "run.fail") {
+      plan.run_fail = parse_probability(k, v);
+    } else if (k == "run.stall") {
+      plan.run_stall = parse_probability(k, v);
+    } else if (k == "run.stall_ms") {
+      plan.run_stall_ms = parse_duration(k, v);
+    } else {
+      throw std::invalid_argument("fault spec: unknown key '" + k + "'");
+    }
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::from_env() {
+  const char* env = std::getenv("CAPOW_FAULTS");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  return parse(env);
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) noexcept
+    : plan_(std::move(plan)) {}
+
+FaultInjector* FaultInjector::active() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::fire(Site site, std::uint64_t draw_key) const noexcept {
+  const double p = plan_.probability(site);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::uint64_t h = splitmix64(
+      plan_.seed ^ (static_cast<std::uint64_t>(site) * 0x9e3779b97f4a7c15ull));
+  h = splitmix64(h ^ run_key_.load(std::memory_order_relaxed));
+  h = splitmix64(h ^ draw_key);
+  return to_unit(h) < p;
+}
+
+bool FaultInjector::fire_next(Site site) noexcept {
+  if (plan_.probability(site) <= 0.0) return false;
+  const std::uint64_t seq = seq_[static_cast<std::size_t>(site)].fetch_add(
+      1, std::memory_order_relaxed);
+  return fire(site, seq);
+}
+
+void FaultInjector::begin_run(std::uint64_t run_key) noexcept {
+  run_key_.store(run_key, std::memory_order_relaxed);
+  for (auto& s : seq_) s.store(0, std::memory_order_relaxed);
+}
+
+FaultCounters FaultInjector::counters() const noexcept {
+  FaultCounters out;
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    out.by_event[i] = events_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void FaultInjector::reset_counters() noexcept {
+  for (auto& e : events_) e.store(0, std::memory_order_relaxed);
+}
+
+FaultScope::FaultScope(FaultInjector& injector) noexcept
+    : previous_(g_active.exchange(&injector, std::memory_order_relaxed)) {}
+
+FaultScope::~FaultScope() {
+  g_active.store(previous_, std::memory_order_relaxed);
+}
+
+std::uint64_t key(std::uint64_t a, std::uint64_t b,
+                  std::uint64_t c) noexcept {
+  std::uint64_t h = splitmix64(a);
+  h = splitmix64(h ^ b);
+  h = splitmix64(h ^ c);
+  return h;
+}
+
+}  // namespace capow::fault

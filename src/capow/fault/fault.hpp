@@ -1,0 +1,210 @@
+// capow::fault — deterministic, seeded fault injection.
+//
+// Real platforms fail in ways the paper's measurement methodology has
+// to survive: RAPL energy counters are 32 bits and wrap (~262 s at
+// Haswell TDP), MSR reads return transient EIO, interconnects drop,
+// delay, and corrupt messages, and a single hung rank can stall a
+// 48-configuration experiment matrix. This module makes every one of
+// those failures *injectable and reproducible*: a FaultPlan (parsed
+// from a spec string such as
+//
+//   CAPOW_FAULTS="comm.drop=0.01,rapl.fail=0.05,seed=42"
+//
+// ) names per-site probabilities, and a FaultInjector turns (site, key)
+// pairs into deterministic fire/no-fire decisions via a counter-based
+// hash of the seed — no RNG state, no ordering sensitivity: the same
+// seed and the same logical keys produce the same faults regardless of
+// thread interleaving, so a fault-injected run is a reproducible
+// experiment, not a flake generator.
+//
+// Layering: this module depends on nothing above the standard library,
+// so every layer that can fail (rapl, tasking, dist, harness) can
+// consult it without dependency cycles. The no-fault hot path is one
+// relaxed atomic load per site (the Tracer::active() pattern).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace capow::fault {
+
+/// Injection sites: where a fault decision is drawn.
+enum class Site {
+  kCommDrop = 0,  ///< message lost on the wire (sender retransmits)
+  kCommDelay,     ///< message delayed by plan.comm_delay_ms
+  kCommCorrupt,   ///< payload corrupted in flight (link CRC catches it)
+  kRaplFail,      ///< transient MSR read failure (EIO)
+  kTaskStall,     ///< task stalled by plan.task_stall_ms before running
+  kRunFail,       ///< whole experiment run aborts (crash analogue)
+  kRunStall,      ///< whole experiment run hangs for plan.run_stall_ms
+};
+inline constexpr std::size_t kSiteCount = 7;
+
+/// Spec key of a site ("comm.drop", "rapl.fail", ...).
+const char* site_name(Site s) noexcept;
+
+/// Countable fault and recovery events. Sites record their injections
+/// here; recovery layers (retry loops, watchdogs) record what they did
+/// about them. Determinism of these totals for a fixed seed is asserted
+/// by tests and is part of the subsystem's contract.
+enum class Event {
+  kCommDrop = 0,     ///< messages dropped by the injector
+  kCommDelay,        ///< messages delayed by the injector
+  kCommCorrupt,      ///< messages corrupted (detected + retransmitted)
+  kCommRetry,        ///< sender retransmissions
+  kCommSendFailure,  ///< sends that exhausted every attempt
+  kRaplReadFailure,  ///< injected MSR read failures
+  kRaplRetry,        ///< MSR read retries
+  kRaplDegradedRead, ///< reads that served a stale value after retries
+  kRaplWrap,         ///< 32-bit counter wraps folded by a reader
+  kTaskStall,        ///< injected task stalls
+  kRunRetry,         ///< experiment runs retried by the harness
+  kRunDegraded,      ///< runs completed with degraded measurement
+  kRunFailure,       ///< runs that exhausted every attempt
+  kRunTimeout,       ///< run attempts killed by the watchdog
+};
+inline constexpr std::size_t kEventCount = 14;
+
+/// Metric/report name of an event ("comm_drops", "rapl_retries", ...).
+const char* event_name(Event e) noexcept;
+
+/// Snapshot of every event counter (see FaultInjector::counters()).
+struct FaultCounters {
+  std::array<std::uint64_t, kEventCount> by_event{};
+
+  std::uint64_t operator[](Event e) const noexcept {
+    return by_event[static_cast<std::size_t>(e)];
+  }
+  std::uint64_t total() const noexcept;
+  bool operator==(const FaultCounters&) const = default;
+};
+
+/// A parsed fault specification: per-site probabilities plus the seed
+/// and fault magnitudes. Default-constructed plans inject nothing.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  double comm_drop = 0.0;     ///< P(drop) per delivery attempt
+  double comm_delay = 0.0;    ///< P(delay) per message
+  double comm_delay_ms = 1.0; ///< injected latency when delayed
+  double comm_corrupt = 0.0;  ///< P(corrupt) per delivery attempt
+
+  double rapl_fail = 0.0;     ///< P(transient EIO) per MSR read
+  bool rapl_wrap = false;     ///< bias counters to wrap during each run
+
+  double task_stall = 0.0;    ///< P(stall) per executed task
+  double task_stall_ms = 1.0; ///< stall duration
+
+  double run_fail = 0.0;      ///< P(abort) per experiment run attempt
+  double run_stall = 0.0;     ///< P(hang) per experiment run attempt
+  double run_stall_ms = 1.0;  ///< hang duration
+
+  /// Probability configured for `site`.
+  double probability(Site s) const noexcept;
+
+  /// True when any fault can fire (any probability > 0 or rapl_wrap).
+  bool any() const noexcept;
+
+  /// True when any comm.* fault is configured (dist fast-path gate).
+  bool any_comm() const noexcept {
+    return comm_drop > 0.0 || comm_delay > 0.0 || comm_corrupt > 0.0;
+  }
+
+  /// Canonical spec string ("comm.drop=0.01,...,seed=42"); parse() of
+  /// the result reproduces the plan. Only non-default fields appear.
+  std::string spec() const;
+
+  /// Parses a spec string. Grammar: comma-separated `key=value` pairs;
+  /// keys are the site names plus `comm.delay_ms`, `rapl.wrap`,
+  /// `task.stall_ms`, `run.stall_ms`, and `seed`. Probabilities must
+  /// lie in [0, 1]; durations must be >= 0. Throws
+  /// std::invalid_argument on unknown keys or malformed values.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Plan from the CAPOW_FAULTS environment variable, or nullopt when
+  /// it is unset or empty. Throws like parse() on malformed content.
+  static std::optional<FaultPlan> from_env();
+};
+
+/// Deterministic fault oracle plus fault/recovery event counters.
+///
+/// Install with FaultScope to make it visible to the injection sites
+/// (rapl reads, the dist wire, the task runtime, the harness). Draws
+/// are pure functions of (seed, run context, site, key): no internal
+/// RNG stream, so concurrent sites cannot perturb each other's
+/// decisions — only the *keys* matter, and callers derive keys from
+/// stable logical coordinates (channel sequence numbers, per-run read
+/// indices, matrix positions).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) noexcept;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// The installed injector, or nullptr. Sites gate on this (one
+  /// relaxed atomic load when fault injection is off).
+  static FaultInjector* active() noexcept;
+
+  /// Deterministic draw: true with probability plan().probability(site)
+  /// for this exact (run context, site, key) triple.
+  bool fire(Site site, std::uint64_t key) const noexcept;
+
+  /// Draw keyed by this site's per-run-context sequence counter — for
+  /// sites with no natural logical coordinate (e.g. the Nth MSR read
+  /// of a run). The multiset of outcomes between begin_run() calls is
+  /// deterministic even when several threads draw concurrently.
+  bool fire_next(Site site) noexcept;
+
+  /// Namespaces subsequent draws under `run_key` and resets the
+  /// fire_next() sequence counters, so each experiment run sees the
+  /// same fault schedule regardless of matrix order — the property
+  /// that makes checkpoint/resume reproduce the original tables.
+  void begin_run(std::uint64_t run_key) noexcept;
+
+  /// Records `n` occurrences of `e`.
+  void record(Event e, std::uint64_t n = 1) noexcept {
+    events_[static_cast<std::size_t>(e)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count(Event e) const noexcept {
+    return events_[static_cast<std::size_t>(e)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Snapshot of every event counter.
+  FaultCounters counters() const noexcept;
+
+  /// Zeroes every event counter (counters are cumulative otherwise).
+  void reset_counters() noexcept;
+
+ private:
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> run_key_{0};
+  std::array<std::atomic<std::uint64_t>, kSiteCount> seq_{};
+  std::array<std::atomic<std::uint64_t>, kEventCount> events_{};
+};
+
+/// RAII install/uninstall of the process-wide active injector (mirrors
+/// trace::RecordingScope). Nesting restores the previous injector.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector& injector) noexcept;
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// Mixes up to three 64-bit coordinates into a draw key. Used by sites
+/// whose logical coordinates are multi-dimensional (channel, sequence
+/// number, attempt).
+std::uint64_t key(std::uint64_t a, std::uint64_t b = 0,
+                  std::uint64_t c = 0) noexcept;
+
+}  // namespace capow::fault

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "capow/capsalg/cost_model.hpp"
@@ -30,6 +32,18 @@ inline constexpr Algorithm kAllAlgorithms[] = {
 /// Display name ("OpenBLAS", "Strassen", "CAPS").
 const char* algorithm_name(Algorithm a) noexcept;
 
+/// How a configuration's measurement concluded. Order is precedence:
+/// a run that both retried and finished degraded reports kDegraded.
+enum class RunStatus {
+  kOk = 0,     ///< first attempt, clean measurement
+  kRetried,    ///< succeeded after >= 1 failed attempt
+  kDegraded,   ///< succeeded, but RAPL reads degraded (stale samples)
+  kFailed,     ///< every attempt failed; metrics are zero, error is set
+};
+
+/// Status name ("ok", "retried", "degraded", "failed").
+const char* to_string(RunStatus s) noexcept;
+
 /// Full experiment-matrix configuration.
 struct ExperimentConfig {
   std::vector<std::size_t> sizes{512, 1024, 2048, 4096};
@@ -40,6 +54,22 @@ struct ExperimentConfig {
   double quiesce_seconds = 60.0;
   strassen::StrassenCostOptions strassen_options{};
   capsalg::CapsCostOptions caps_options{};
+
+  // --- fault-tolerance policy -------------------------------------
+  /// Attempts per configuration before it is recorded as kFailed.
+  int max_run_attempts = 3;
+  /// Per-attempt watchdog budget; <= 0 disables the watchdog (attempts
+  /// then run inline on the calling thread).
+  double run_timeout_seconds = 0.0;
+  /// Each retry multiplies the quiesce sleep by this factor (machine
+  /// settle time after a failure — the measurement analogue of
+  /// exponential backoff).
+  double retry_quiesce_factor = 2.0;
+  /// JSONL checkpoint file; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Replay completed configurations from checkpoint_path and run only
+  /// the missing/failed ones.
+  bool resume = false;
 };
 
 /// One of the 48 result sets.
@@ -52,6 +82,9 @@ struct ResultRecord {
   double pp0_watts = 0.0;      ///< RAPL PP0 energy / wall time
   double package_energy_j = 0.0;
   double ep = 0.0;  ///< Eq (1): package_watts / seconds
+  RunStatus status = RunStatus::kOk;
+  int attempts = 1;   ///< attempts consumed (1 = clean first try)
+  std::string error;  ///< last failure message; non-empty iff kFailed
 };
 
 /// Runs the evaluation matrix and answers the paper's table/figure
@@ -72,18 +105,21 @@ class ExperimentRunner {
                            unsigned threads) const;
 
   /// Table II: average slowdown of `a` vs OpenBLAS at size n, averaged
-  /// over thread counts.
+  /// over thread counts. kFailed configurations are excluded; NaN when
+  /// every thread count is excluded.
   double average_slowdown(Algorithm a, std::size_t n) const;
 
   /// Table III: average power (package watts) of `a` at `threads`,
-  /// averaged over problem sizes.
+  /// averaged over problem sizes (kFailed excluded; NaN when empty).
   double average_power(Algorithm a, unsigned threads) const;
 
-  /// Table IV: average EP of `a` at size n, averaged over thread counts.
+  /// Table IV: average EP of `a` at size n, averaged over thread counts
+  /// (kFailed excluded; NaN when empty).
   double average_ep(Algorithm a, std::size_t n) const;
 
   /// Fig 7: the Eq (5) scaling series of `a` at size n across the
-  /// configured thread counts.
+  /// configured thread counts. kFailed configurations are dropped from
+  /// the series; empty when the 1-thread base itself failed.
   std::vector<core::ScalingPoint> ep_scaling(Algorithm a,
                                              std::size_t n) const;
 
@@ -91,7 +127,12 @@ class ExperimentRunner {
   core::ScalingClass scaling_class(Algorithm a, std::size_t n) const;
 
  private:
-  ResultRecord run_one(Algorithm a, std::size_t n, unsigned threads);
+  /// One configuration with the full fault-tolerance envelope: bounded
+  /// retries with quiesce backoff, optional watchdog, RunStatus
+  /// classification. Never throws for injected faults — a kFailed
+  /// record (zeroed metrics + error) is data, not an exception.
+  ResultRecord run_one(Algorithm a, std::size_t n, unsigned threads,
+                       std::uint64_t run_index);
 
   ExperimentConfig config_;
   std::vector<ResultRecord> results_;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "capow/blas/cost_model.hpp"
+#include "capow/fault/fault.hpp"
 #include "capow/sim/executor.hpp"
 #include "capow/telemetry/export.hpp"
 
@@ -103,6 +104,9 @@ void export_jsonl(ExperimentRunner& runner, std::ostream& os) {
         .field("pp0_watts", r.pp0_watts)
         .field("package_energy_j", r.package_energy_j)
         .field("ep_w_per_s", r.ep)
+        .field("status", to_string(r.status))
+        .field("attempts", static_cast<std::uint64_t>(
+                               r.attempts < 0 ? 0 : r.attempts))
         .field("flops", profile.total_flops())
         .field("dram_bytes", profile.total_dram_bytes())
         .field("syncs", static_cast<std::uint64_t>(profile.total_syncs()))
@@ -176,6 +180,30 @@ void export_metrics(ExperimentRunner& runner, std::ostream& os) {
         }
       }
       reg.sample(labels, value);
+    }
+  }
+
+  // Per-run recovery metadata: attempts consumed per configuration,
+  // labeled with the final status.
+  reg.family("capow_run_attempts_total",
+             "Measurement attempts consumed per configuration", "counter");
+  for (const auto& r : records) {
+    reg.sample({{"algorithm", algorithm_name(r.algorithm)},
+                {"n", std::to_string(r.n)},
+                {"threads", std::to_string(r.threads)},
+                {"status", to_string(r.status)}},
+               static_cast<double>(r.attempts));
+  }
+
+  // Fault/recovery event totals from the installed injector (absent
+  // when fault injection is off, so clean scrapes are byte-stable).
+  if (const fault::FaultInjector* inj = fault::FaultInjector::active()) {
+    const fault::FaultCounters counters = inj->counters();
+    reg.family("capow_fault_events_total",
+               "Injected fault and recovery events by kind", "counter");
+    for (std::size_t i = 0; i < fault::kEventCount; ++i) {
+      reg.sample({{"kind", fault::event_name(static_cast<fault::Event>(i))}},
+                 static_cast<double>(counters.by_event[i]));
     }
   }
   reg.write(os);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "capow/fault/fault.hpp"
+
 namespace capow::rapl {
 
 namespace {
@@ -12,6 +14,16 @@ constexpr std::uint64_t kWrap = 1ull << 32;
 
 std::size_t plane_index(machine::PowerPlane p) {
   return static_cast<std::size_t>(p);
+}
+
+/// Draws the injected-EIO decision for one energy-status read.
+void maybe_inject_read_failure(std::uint32_t addr) {
+  fault::FaultInjector* inj = fault::FaultInjector::active();
+  if (inj == nullptr) return;
+  if (!inj->fire_next(fault::Site::kRaplFail)) return;
+  inj->record(fault::Event::kRaplReadFailure);
+  throw TransientReadError("msr: transient EIO reading MSR 0x" +
+                           std::to_string(addr));
 }
 
 }  // namespace
@@ -39,10 +51,13 @@ std::uint64_t SimulatedMsrDevice::read(std::uint32_t addr) const {
       return power_limit_raw_;
     }
     case kMsrPkgEnergyStatus:
+      maybe_inject_read_failure(addr);
       return energy_status_raw(machine::PowerPlane::kPackage);
     case kMsrPp0EnergyStatus:
+      maybe_inject_read_failure(addr);
       return energy_status_raw(machine::PowerPlane::kPP0);
     case kMsrDramEnergyStatus:
+      maybe_inject_read_failure(addr);
       return energy_status_raw(machine::PowerPlane::kDram);
     default:
       throw std::out_of_range("SimulatedMsrDevice: unmapped MSR 0x" +
@@ -113,9 +128,19 @@ RaplReader::RaplReader(const SimulatedMsrDevice& dev)
 }
 
 void RaplReader::reset() {
+  degraded_ = false;
+  wraps_ = 0;
   for (std::size_t i = 0; i < machine::kPowerPlaneCount; ++i) {
-    last_raw_[i] = read_raw(static_cast<machine::PowerPlane>(i));
     accumulated_j_[i] = 0.0;
+    std::uint32_t raw = 0;
+    if (try_read_raw(static_cast<machine::PowerPlane>(i), raw)) {
+      last_raw_[i] = raw;
+      based_[i] = true;
+    } else {
+      // Baseline unavailable: the plane re-bases itself on its first
+      // successful energy_joules() read.
+      based_[i] = false;
+    }
   }
 }
 
@@ -131,10 +156,47 @@ std::uint32_t RaplReader::read_raw(machine::PowerPlane plane) const {
   throw std::invalid_argument("RaplReader: bad plane");
 }
 
+bool RaplReader::try_read_raw(machine::PowerPlane plane, std::uint32_t& out) {
+  for (int attempt = 0; attempt <= kRaplReadRetries; ++attempt) {
+    try {
+      out = read_raw(plane);
+      return true;
+    } catch (const TransientReadError&) {
+      if (attempt < kRaplReadRetries) {
+        if (auto* inj = fault::FaultInjector::active()) {
+          inj->record(fault::Event::kRaplRetry);
+        }
+      }
+    }
+  }
+  degraded_ = true;
+  if (auto* inj = fault::FaultInjector::active()) {
+    inj->record(fault::Event::kRaplDegradedRead);
+  }
+  return false;
+}
+
 double RaplReader::energy_joules(machine::PowerPlane plane) {
   const std::size_t i = static_cast<std::size_t>(plane);
-  const std::uint32_t now = read_raw(plane);
+  std::uint32_t now = 0;
+  if (!try_read_raw(plane, now)) {
+    // Persistent failure: serve the last known value. The counter is
+    // cumulative, so the next good read recovers the missed delta.
+    return accumulated_j_[i];
+  }
+  if (!based_[i]) {
+    // First successful read after a failed baseline latch: re-base.
+    last_raw_[i] = now;
+    based_[i] = true;
+    return accumulated_j_[i];
+  }
   // Unsigned subtraction folds a single wrap automatically.
+  if (now < last_raw_[i]) {
+    ++wraps_;
+    if (auto* inj = fault::FaultInjector::active()) {
+      inj->record(fault::Event::kRaplWrap);
+    }
+  }
   const std::uint32_t delta = now - last_raw_[i];
   last_raw_[i] = now;
   accumulated_j_[i] += static_cast<double>(delta) * unit_j_;

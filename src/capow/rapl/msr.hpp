@@ -12,10 +12,20 @@
 
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 
 #include "capow/machine/machine.hpp"
 
 namespace capow::rapl {
+
+/// Transient MSR read failure — the simulated analogue of the EIO a
+/// real /dev/cpu/N/msr read intermittently returns. Injected via
+/// fault::Site::kRaplFail; clients (RaplReader) retry and degrade
+/// rather than crash a measurement run.
+class TransientReadError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 // Architectural MSR addresses (Intel SDM vol. 4).
 inline constexpr std::uint32_t kMsrRaplPowerUnit = 0x606;
@@ -39,6 +49,8 @@ class SimulatedMsrDevice {
 
   /// Reads a register; throws std::out_of_range for unmapped addresses
   /// (mirroring the EIO a real /dev/cpu/N/msr read would produce).
+  /// Energy-status reads can additionally throw TransientReadError when
+  /// an installed fault::FaultInjector fires rapl.fail for this read.
   std::uint64_t read(std::uint32_t addr) const;
 
   /// Writes a register. Only MSR_PKG_POWER_LIMIT is writable (energy
@@ -79,26 +91,55 @@ class SimulatedMsrDevice {
   std::uint64_t power_limit_raw_ = 0;
 };
 
+/// Bounded retry budget for one logical RAPL read (1 initial attempt +
+/// kRaplReadRetries retries) before the reader degrades.
+inline constexpr int kRaplReadRetries = 3;
+
 /// Client-side RAPL reader: converts ENERGY_STATUS deltas to joules,
 /// correcting 32-bit wraparound (assumes it is polled at least once per
 /// wrap period, as PAPI does).
+///
+/// Reads are fault tolerant: a TransientReadError is retried up to
+/// kRaplReadRetries times; when every attempt fails the reader marks
+/// itself degraded() and serves the last accumulated value instead of
+/// throwing. Because the counters are cumulative, the next successful
+/// read recovers the full energy delta — a degraded read loses
+/// *timeliness*, never *energy*.
 class RaplReader {
  public:
   explicit RaplReader(const SimulatedMsrDevice& dev);
 
-  /// Re-bases all planes to the device's current counters.
+  /// Re-bases all planes to the device's current counters and clears
+  /// the degraded flag. Tolerates read failures: a plane whose baseline
+  /// could not be latched re-bases itself on its next successful read.
   void reset();
 
   /// Joules accumulated on `plane` since construction/reset().
   /// Each call folds in any counter movement since the previous call.
+  /// Never throws on transient device failures (see class comment).
   double energy_joules(machine::PowerPlane plane);
+
+  /// True once any read (or reset) exhausted its retry budget since the
+  /// last reset(). Results are still usable but may lag the device.
+  bool degraded() const noexcept { return degraded_; }
+
+  /// 32-bit counter wraps folded into deltas since construction/reset.
+  std::uint64_t wraps() const noexcept { return wraps_; }
 
  private:
   std::uint32_t read_raw(machine::PowerPlane plane) const;
+  /// Retrying read; false when the retry budget is exhausted.
+  bool try_read_raw(machine::PowerPlane plane, std::uint32_t& out);
 
   const SimulatedMsrDevice* dev_;
   double unit_j_;
+  bool degraded_ = false;
+  std::uint64_t wraps_ = 0;
   std::uint32_t last_raw_[machine::kPowerPlaneCount] = {0, 0, 0};
+  /// False until the plane's baseline counter has been latched; a plane
+  /// whose reset() read failed re-bases on its first successful read so
+  /// a garbage baseline can never produce a bogus 4-gigacount delta.
+  bool based_[machine::kPowerPlaneCount] = {false, false, false};
   double accumulated_j_[machine::kPowerPlaneCount] = {0.0, 0.0, 0.0};
 };
 

@@ -56,6 +56,13 @@ class EventSet {
 
   bool running() const noexcept { return running_; }
 
+  /// True when any read since start() had to serve a stale value after
+  /// exhausting its retry budget (see RaplReader::degraded()). Cleared
+  /// by start(). A degraded measurement is still energy-accurate up to
+  /// the last successful read; the harness downgrades the run's status
+  /// rather than discarding it.
+  bool degraded() const noexcept { return reader_.degraded(); }
+
  private:
   const SimulatedMsrDevice* dev_;
   RaplReader reader_;

@@ -117,6 +117,7 @@ void recurse_classic(const Quadrants<ConstMatrixView>& qa,
     for (int i = 0; i < 7; ++i) {
       trace::count_task_spawn();
       group.run([&, i] {
+        if (group.cancelled()) return;  // a sibling product failed
         classic_product(i, qa, qb, m[i].view(), ctx, depth);
       });
     }
@@ -170,7 +171,10 @@ void recurse_winograd(const Quadrants<ConstMatrixView>& qa,
     tasking::TaskGroup group(*ctx.pool);
     for (int i = 0; i < 7; ++i) {
       trace::count_task_spawn();
-      group.run([&, i] { run_product(i); });
+      group.run([&, i] {
+        if (group.cancelled()) return;  // a sibling product failed
+        run_product(i);
+      });
     }
     group.wait();
     trace::count_sync();

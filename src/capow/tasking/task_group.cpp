@@ -26,10 +26,15 @@ void TaskGroup::wait() {
     std::lock_guard lock(exception_mutex_);
     e = std::exchange(first_exception_, nullptr);
   }
+  cancelled_.store(false, std::memory_order_release);
   if (e) std::rethrow_exception(e);
 }
 
 void TaskGroup::capture_exception(std::exception_ptr e) noexcept {
+  // A failed task cancels its siblings (cooperatively): their results
+  // would be discarded by wait()'s rethrow, so polling tasks can stop
+  // burning cycles on them.
+  cancelled_.store(true, std::memory_order_release);
   std::lock_guard lock(exception_mutex_);
   if (!first_exception_) first_exception_ = e;
 }

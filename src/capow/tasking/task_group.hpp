@@ -22,6 +22,12 @@ namespace capow::tasking {
 ///  - the first exception thrown by any task is captured and rethrown
 ///    from wait(); subsequent exceptions are dropped (matching
 ///    std::task_group-style semantics). Remaining tasks still run.
+///  - cancellation is *cooperative*: cancel() (called explicitly, or
+///    automatically when a task throws) raises a flag that long-running
+///    or recursive tasks poll via cancelled() to cut useless work
+///    short. Tasks that never poll are unaffected — spawned work always
+///    runs, so non-polling code keeps its exact pre-cancellation
+///    semantics.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool& pool) noexcept : pool_(pool) {}
@@ -48,8 +54,19 @@ class TaskGroup {
   }
 
   /// Blocks until every spawned task has finished, helping the pool run
-  /// queued tasks meanwhile. Rethrows the first captured exception.
+  /// queued tasks meanwhile. Rethrows the first captured exception and
+  /// clears the cancellation flag (the group is reusable afterwards).
   void wait();
+
+  /// Requests cooperative cancellation of outstanding tasks.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once cancel() was called or a task threw. Poll from inside
+  /// long-running/recursive tasks to skip work that can no longer
+  /// contribute (its result would be discarded by the rethrow anyway).
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
 
   ThreadPool& pool() const noexcept { return pool_; }
 
@@ -63,6 +80,7 @@ class TaskGroup {
 
   ThreadPool& pool_;
   std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> cancelled_{false};
   std::mutex exception_mutex_;
   std::exception_ptr first_exception_;
 };

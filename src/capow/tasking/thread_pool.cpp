@@ -1,13 +1,30 @@
 #include "capow/tasking/thread_pool.hpp"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "capow/fault/fault.hpp"
 #include "capow/telemetry/telemetry.hpp"
 
 namespace capow::tasking {
 
 namespace {
 thread_local int t_worker_index = -1;
+
+/// Injected scheduling jitter: stall this task before it runs (models a
+/// preempted/throttled worker). Applied at every execution point —
+/// worker loop, inline submit, and helping steals — so the fault
+/// schedule does not depend on who ends up running the task.
+void maybe_stall_task() {
+  fault::FaultInjector* inj = fault::FaultInjector::active();
+  if (inj == nullptr) return;
+  if (!inj->fire_next(fault::Site::kTaskStall)) return;
+  inj->record(fault::Event::kTaskStall);
+  CAPOW_TINSTANT("fault.task.stall", "tasking");
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(inj->plan().task_stall_ms));
+}
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned workers) : workers_(workers) {
@@ -29,6 +46,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   if (workers_ == 0) {
     CAPOW_TSPAN("task.run.inline", "tasking");
+    maybe_stall_task();
     task();
     return;
   }
@@ -52,6 +70,7 @@ bool ThreadPool::try_run_one() {
   // helping scheduler in action; distinct span name so the timeline
   // shows who helped whom.
   CAPOW_TSPAN("task.run.help", "tasking");
+  maybe_stall_task();
   task();
   return true;
 }
@@ -75,6 +94,7 @@ void ThreadPool::worker_loop(unsigned index) {
     }
     {
       CAPOW_TSPAN_ARGS1("task.run", "tasking", "worker", index);
+      maybe_stall_task();
       task();
     }
   }

@@ -9,6 +9,7 @@
 #include "capow/dist/comm.hpp"
 #include "capow/dist/dist_caps.hpp"
 #include "capow/dist/energy.hpp"
+#include "capow/fault/fault.hpp"
 #include "capow/linalg/ops.hpp"
 #include "capow/linalg/random.hpp"
 #include "capow/trace/counters.hpp"
@@ -165,6 +166,172 @@ TEST(Comm, MessageBytesAreCounted) {
   });
   EXPECT_EQ(rec.total().messages, 1u);
   EXPECT_EQ(rec.total().message_bytes, 800u);
+}
+
+// ---- fault tolerance ----------------------------------------------------
+
+WorldOptions fast_timeouts() {
+  WorldOptions o;
+  o.recv_timeout_seconds = 0.25;
+  o.retry_backoff_us = 1.0;
+  return o;
+}
+
+// Regression: recv() from a peer that exited without sending used to
+// block forever on the mailbox condition variable; it must throw.
+TEST(CommFault, RecvFromExitedPeerThrows) {
+  World world(2, fast_timeouts());
+  EXPECT_THROW(world.run([](Communicator& comm) {
+                 if (comm.rank() == 1) comm.recv(0, 42);
+                 // rank 0 exits immediately without sending.
+               }),
+               CommError);
+}
+
+TEST(CommFault, RecvTimesOut) {
+  // Both ranks recv from each other but nobody sends: neither exits, so
+  // only the timeout can unblock them.
+  World world(2, fast_timeouts());
+  EXPECT_THROW(world.run([](Communicator& comm) {
+                 comm.recv(1 - comm.rank(), 0);
+               }),
+               CommError);
+}
+
+TEST(CommFault, PoisonedWorldUnblocksPeersAndKeepsRootCause) {
+  // Rank 0 dies with a logic_error while rank 1 is blocked in recv.
+  // Rank 1 must be woken with CommError, and run() must rethrow the
+  // root cause, not the secondary CommError.
+  World world(2, fast_timeouts());
+  EXPECT_THROW(world.run([](Communicator& comm) {
+                 if (comm.rank() == 0) throw std::logic_error("root cause");
+                 comm.recv(0, 0);
+               }),
+               std::logic_error);
+}
+
+TEST(CommFault, BarrierUnblocksWhenPeerExits) {
+  World world(2, fast_timeouts());
+  EXPECT_THROW(world.run([](Communicator& comm) {
+                 if (comm.rank() == 1) comm.barrier();
+                 // rank 0 never arrives.
+               }),
+               CommError);
+}
+
+TEST(CommFault, SendRetriesThroughDroppedDeliveries) {
+  fault::FaultPlan plan;
+  plan.comm_drop = 0.4;
+  plan.seed = 11;
+  fault::FaultInjector inj(plan);
+  fault::FaultScope scope(inj);
+
+  World world(2, fast_timeouts());
+  std::vector<double> received;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        comm.send(1, i, std::vector<double>{static_cast<double>(i)});
+      }
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        received.push_back(comm.recv(0, i).payload.at(0));
+      }
+    }
+  });
+  ASSERT_EQ(received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(received[static_cast<std::size_t>(i)], i);
+  }
+  // With p=0.4 over 50 messages some drops are statistically certain;
+  // every drop must be matched by a retry that got the message through.
+  EXPECT_GT(inj.count(fault::Event::kCommDrop), 0u);
+  EXPECT_GE(inj.count(fault::Event::kCommRetry),
+            inj.count(fault::Event::kCommDrop));
+  EXPECT_EQ(inj.count(fault::Event::kCommSendFailure), 0u);
+}
+
+TEST(CommFault, SendFailsAfterExhaustingAttempts) {
+  fault::FaultPlan plan;
+  plan.comm_drop = 1.0;  // every delivery attempt is lost
+  fault::FaultInjector inj(plan);
+  fault::FaultScope scope(inj);
+
+  WorldOptions opts = fast_timeouts();
+  opts.max_send_attempts = 3;
+  World world(2, opts);
+  EXPECT_THROW(world.run([](Communicator& comm) {
+                 if (comm.rank() == 0) {
+                   comm.send(1, 0, std::vector<double>{1.0});
+                 } else {
+                   comm.recv(0, 0);
+                 }
+               }),
+               CommError);
+  EXPECT_EQ(inj.count(fault::Event::kCommSendFailure), 1u);
+  EXPECT_EQ(inj.count(fault::Event::kCommDrop), 3u);
+}
+
+TEST(CommFault, CorruptedDeliveriesAreRetransmitted) {
+  fault::FaultPlan plan;
+  plan.comm_corrupt = 0.5;
+  plan.seed = 21;
+  fault::FaultInjector inj(plan);
+  fault::FaultScope scope(inj);
+
+  World world(2, fast_timeouts());
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 40; ++i) {
+        comm.send(1, i, std::vector<double>{3.14});
+      }
+    } else {
+      for (int i = 0; i < 40; ++i) {
+        EXPECT_DOUBLE_EQ(comm.recv(0, i).payload.at(0), 3.14);
+      }
+    }
+  });
+  EXPECT_GT(inj.count(fault::Event::kCommCorrupt), 0u);
+  EXPECT_EQ(inj.count(fault::Event::kCommSendFailure), 0u);
+}
+
+TEST(CommFault, InjectedPingPongIsDeterministic) {
+  // Same seed, two independent worlds: identical fault counters even
+  // though thread interleavings differ between runs.
+  const auto run_once = [](std::uint64_t seed) {
+    fault::FaultPlan plan;
+    plan.comm_drop = 0.2;
+    plan.comm_corrupt = 0.1;
+    plan.seed = seed;
+    fault::FaultInjector inj(plan);
+    fault::FaultScope scope(inj);
+    World world(2, fast_timeouts());
+    world.run([](Communicator& comm) {
+      for (int i = 0; i < 30; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(1, i, std::vector<double>{1.0});
+          comm.recv(1, i);
+        } else {
+          comm.recv(0, i);
+          comm.send(0, i, std::vector<double>{2.0});
+        }
+      }
+    });
+    return inj.counters();
+  };
+  const fault::FaultCounters first = run_once(77);
+  const fault::FaultCounters second = run_once(77);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.total(), 0u);
+}
+
+TEST(CommFault, WorldRejectsBadOptions) {
+  WorldOptions bad_timeout;
+  bad_timeout.recv_timeout_seconds = 0.0;
+  EXPECT_THROW(World(2, bad_timeout), std::invalid_argument);
+  WorldOptions bad_attempts;
+  bad_attempts.max_send_attempts = 0;
+  EXPECT_THROW(World(2, bad_attempts), std::invalid_argument);
 }
 
 class DistCapsTest : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,261 @@
+// Tests for the deterministic fault-injection subsystem: spec parsing,
+// the counter-based draw function's determinism and distribution, and
+// the process-global install scope.
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "capow/fault/fault.hpp"
+
+namespace capow::fault {
+namespace {
+
+TEST(FaultPlan, DefaultInjectsNothing) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  EXPECT_FALSE(plan.any_comm());
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    EXPECT_EQ(plan.probability(static_cast<Site>(i)), 0.0);
+  }
+}
+
+TEST(FaultPlan, ParsesFullSpec) {
+  const FaultPlan plan = FaultPlan::parse(
+      "comm.drop=0.01,comm.delay=0.5,comm.delay_ms=2.5,comm.corrupt=0.02,"
+      "rapl.fail=0.05,rapl.wrap=1,task.stall=0.1,task.stall_ms=3,"
+      "run.fail=0.2,run.stall=0.3,run.stall_ms=40,seed=42");
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.comm_drop, 0.01);
+  EXPECT_DOUBLE_EQ(plan.comm_delay, 0.5);
+  EXPECT_DOUBLE_EQ(plan.comm_delay_ms, 2.5);
+  EXPECT_DOUBLE_EQ(plan.comm_corrupt, 0.02);
+  EXPECT_DOUBLE_EQ(plan.rapl_fail, 0.05);
+  EXPECT_TRUE(plan.rapl_wrap);
+  EXPECT_DOUBLE_EQ(plan.task_stall, 0.1);
+  EXPECT_DOUBLE_EQ(plan.task_stall_ms, 3.0);
+  EXPECT_DOUBLE_EQ(plan.run_fail, 0.2);
+  EXPECT_DOUBLE_EQ(plan.run_stall, 0.3);
+  EXPECT_DOUBLE_EQ(plan.run_stall_ms, 40.0);
+  EXPECT_TRUE(plan.any());
+  EXPECT_TRUE(plan.any_comm());
+}
+
+TEST(FaultPlan, SpecRoundTrips) {
+  const FaultPlan plan =
+      FaultPlan::parse("comm.drop=0.01,rapl.fail=0.05,seed=7");
+  const FaultPlan again = FaultPlan::parse(plan.spec());
+  EXPECT_EQ(again.seed, plan.seed);
+  EXPECT_DOUBLE_EQ(again.comm_drop, plan.comm_drop);
+  EXPECT_DOUBLE_EQ(again.rapl_fail, plan.rapl_fail);
+  EXPECT_EQ(again.spec(), plan.spec());
+}
+
+TEST(FaultPlan, ToleratesEmptySegments) {
+  const FaultPlan plan = FaultPlan::parse(",comm.drop=0.5,,seed=3,");
+  EXPECT_DOUBLE_EQ(plan.comm_drop, 0.5);
+  EXPECT_EQ(plan.seed, 3u);
+  EXPECT_TRUE(FaultPlan::parse("").any() == false);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("bogus.key=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("comm.drop"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("=0.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("comm.drop=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("comm.drop=-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("comm.drop=abc"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("comm.drop=0.5x"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("comm.delay_ms=-1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("rapl.wrap=2"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed=12a"), std::invalid_argument);
+}
+
+TEST(FaultPlan, FromEnvReadsCapowFaults) {
+  ::setenv("CAPOW_FAULTS", "comm.drop=0.25,seed=9", 1);
+  const auto plan = FaultPlan::from_env();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->comm_drop, 0.25);
+  EXPECT_EQ(plan->seed, 9u);
+
+  ::setenv("CAPOW_FAULTS", "", 1);
+  EXPECT_FALSE(FaultPlan::from_env().has_value());
+  ::unsetenv("CAPOW_FAULTS");
+  EXPECT_FALSE(FaultPlan::from_env().has_value());
+}
+
+TEST(FaultInjector, FireIsDeterministicPerKey) {
+  FaultPlan plan;
+  plan.comm_drop = 0.5;
+  plan.seed = 123;
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(a.fire(Site::kCommDrop, k), b.fire(Site::kCommDrop, k));
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsGiveDifferentSchedules) {
+  FaultPlan p1, p2;
+  p1.comm_drop = p2.comm_drop = 0.5;
+  p1.seed = 1;
+  p2.seed = 2;
+  const FaultInjector a(p1);
+  const FaultInjector b(p2);
+  int differing = 0;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    if (a.fire(Site::kCommDrop, k) != b.fire(Site::kCommDrop, k)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 100);  // ~50% expected
+}
+
+TEST(FaultInjector, FireRateTracksProbability) {
+  FaultPlan plan;
+  plan.rapl_fail = 0.1;
+  plan.seed = 99;
+  const FaultInjector inj(plan);
+  int fired = 0;
+  constexpr int kDraws = 20000;
+  for (std::uint64_t k = 0; k < kDraws; ++k) {
+    if (inj.fire(Site::kRaplFail, k)) ++fired;
+  }
+  const double rate = static_cast<double>(fired) / kDraws;
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST(FaultInjector, ZeroAndOneProbabilitiesAreExact) {
+  FaultPlan plan;
+  plan.comm_drop = 1.0;
+  const FaultInjector inj(plan);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(inj.fire(Site::kCommDrop, k));
+    EXPECT_FALSE(inj.fire(Site::kCommDelay, k));  // p = 0
+  }
+}
+
+TEST(FaultInjector, BeginRunNamespacesDraws) {
+  FaultPlan plan;
+  plan.comm_drop = 0.5;
+  FaultInjector inj(plan);
+  inj.begin_run(1);
+  std::vector<bool> run1;
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    run1.push_back(inj.fire(Site::kCommDrop, k));
+  }
+  inj.begin_run(2);
+  std::vector<bool> run2;
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    run2.push_back(inj.fire(Site::kCommDrop, k));
+  }
+  EXPECT_NE(run1, run2);  // different run contexts, different schedules
+  inj.begin_run(1);
+  std::vector<bool> run1_again;
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    run1_again.push_back(inj.fire(Site::kCommDrop, k));
+  }
+  EXPECT_EQ(run1, run1_again);  // same run context, same schedule
+}
+
+TEST(FaultInjector, FireNextSequenceResetsPerRun) {
+  FaultPlan plan;
+  plan.rapl_fail = 0.5;
+  FaultInjector inj(plan);
+  inj.begin_run(7);
+  std::vector<bool> first;
+  for (int i = 0; i < 100; ++i) first.push_back(inj.fire_next(Site::kRaplFail));
+  inj.begin_run(7);
+  std::vector<bool> second;
+  for (int i = 0; i < 100; ++i) {
+    second.push_back(inj.fire_next(Site::kRaplFail));
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjector, FireNextMultisetIsThreadInvariant) {
+  // Concurrent fire_next draws may interleave arbitrarily, but the
+  // *multiset* of outcomes (= total fire count over N draws) is fixed:
+  // each draw consumes a unique sequence number in [0, N).
+  FaultPlan plan;
+  plan.task_stall = 0.3;
+  plan.seed = 5;
+
+  const auto count_fires = [&plan](int threads) {
+    FaultInjector inj(plan);
+    inj.begin_run(1);
+    std::atomic<int> fires{0};
+    std::vector<std::thread> pool;
+    constexpr int kPerThread = 400;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&inj, &fires] {
+        for (int i = 0; i < kPerThread; ++i) {
+          if (inj.fire_next(Site::kTaskStall)) fires.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    // Normalize total draws across thread counts: 4 threads * 400 draws
+    // vs 1 thread * 1600 draws cover the same sequence range.
+    return fires.load();
+  };
+
+  FaultInjector serial(plan);
+  serial.begin_run(1);
+  int serial_fires = 0;
+  for (int i = 0; i < 1600; ++i) {
+    if (serial.fire_next(Site::kTaskStall)) ++serial_fires;
+  }
+  EXPECT_EQ(count_fires(4), serial_fires);
+}
+
+TEST(FaultInjector, CountersRecordAndReset) {
+  FaultInjector inj(FaultPlan{});
+  EXPECT_EQ(inj.counters().total(), 0u);
+  inj.record(Event::kCommDrop);
+  inj.record(Event::kCommDrop);
+  inj.record(Event::kRaplWrap, 3);
+  EXPECT_EQ(inj.count(Event::kCommDrop), 2u);
+  EXPECT_EQ(inj.count(Event::kRaplWrap), 3u);
+  EXPECT_EQ(inj.counters().total(), 5u);
+  EXPECT_EQ(inj.counters()[Event::kRaplWrap], 3u);
+  inj.reset_counters();
+  EXPECT_EQ(inj.counters().total(), 0u);
+}
+
+TEST(FaultScope, InstallsAndRestores) {
+  EXPECT_EQ(FaultInjector::active(), nullptr);
+  FaultInjector outer{FaultPlan{}};
+  {
+    FaultScope scope(outer);
+    EXPECT_EQ(FaultInjector::active(), &outer);
+    FaultInjector inner{FaultPlan{}};
+    {
+      FaultScope nested(inner);
+      EXPECT_EQ(FaultInjector::active(), &inner);
+    }
+    EXPECT_EQ(FaultInjector::active(), &outer);
+  }
+  EXPECT_EQ(FaultInjector::active(), nullptr);
+}
+
+TEST(FaultNames, SiteAndEventNamesAreStable) {
+  EXPECT_STREQ(site_name(Site::kCommDrop), "comm.drop");
+  EXPECT_STREQ(site_name(Site::kRunStall), "run.stall");
+  EXPECT_STREQ(event_name(Event::kCommDrop), "comm_drops");
+  EXPECT_STREQ(event_name(Event::kRunTimeout), "run_timeouts");
+}
+
+TEST(FaultKey, MixesAllCoordinates) {
+  EXPECT_NE(key(1, 2, 3), key(1, 2, 4));
+  EXPECT_NE(key(1, 2), key(2, 1));
+  EXPECT_NE(key(1), key(2));
+  EXPECT_EQ(key(5, 6, 7), key(5, 6, 7));
+}
+
+}  // namespace
+}  // namespace capow::fault

@@ -1,7 +1,16 @@
 // Tests for the experiment runner and table formatting — including the
-// paper's qualitative claims as executable assertions.
+// paper's qualitative claims as executable assertions, and the harness's
+// fault-tolerance envelope (retry/degrade/fail statuses, watchdog,
+// checkpoint/resume).
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "capow/fault/fault.hpp"
+#include "capow/harness/checkpoint.hpp"
 #include "capow/harness/experiment.hpp"
 #include "capow/harness/table.hpp"
 
@@ -185,6 +194,375 @@ TEST_F(PaperClaimsTest, Fig7OpenBlasSuperlinearStrassenFamilyNearLinear) {
             4.0 * 1.15);
   EXPECT_EQ(runner().scaling_class(Algorithm::kOpenBlas, 4096),
             core::ScalingClass::kSuperlinear);
+}
+
+// ---- Fault-tolerance envelope: statuses, watchdog, determinism.
+
+ExperimentConfig fault_config() {
+  ExperimentConfig cfg;
+  cfg.sizes = {256};
+  cfg.thread_counts = {1, 2};
+  cfg.quiesce_seconds = 0.0;
+  return cfg;
+}
+
+TEST(ExperimentFault, CleanRunDefaultsToOkStatus) {
+  ExperimentRunner runner(fault_config());
+  for (const auto& r : runner.run()) {
+    EXPECT_EQ(r.status, RunStatus::kOk);
+    EXPECT_EQ(r.attempts, 1);
+    EXPECT_TRUE(r.error.empty());
+  }
+}
+
+TEST(ExperimentFault, EmptyPlanInjectorLeavesResultsBitIdentical) {
+  ExperimentRunner clean(fault_config());
+  clean.run();
+  fault::FaultInjector inj{fault::FaultPlan{}};
+  fault::FaultScope scope(inj);
+  ExperimentRunner gated(fault_config());
+  gated.run();
+  ASSERT_EQ(clean.run().size(), gated.run().size());
+  for (std::size_t i = 0; i < clean.run().size(); ++i) {
+    const auto& a = clean.run()[i];
+    const auto& b = gated.run()[i];
+    EXPECT_EQ(a.seconds, b.seconds);            // bitwise: same simulation
+    EXPECT_EQ(a.package_watts, b.package_watts);
+    EXPECT_EQ(a.pp0_watts, b.pp0_watts);
+    EXPECT_EQ(a.ep, b.ep);
+    EXPECT_EQ(a.status, b.status);
+  }
+  EXPECT_EQ(inj.counters().total(), 0u);
+}
+
+TEST(ExperimentFault, TransientRunFailuresAreRetried) {
+  fault::FaultPlan plan = fault::FaultPlan::parse("run.fail=0.3,seed=42");
+  fault::FaultInjector inj(plan);
+  fault::FaultScope scope(inj);
+  ExperimentRunner runner(fault_config());
+  int ok = 0, retried = 0;
+  for (const auto& r : runner.run()) {
+    if (r.status == RunStatus::kOk) ++ok;
+    if (r.status == RunStatus::kRetried) {
+      ++retried;
+      EXPECT_GT(r.attempts, 1);
+      EXPECT_GT(r.seconds, 0.0);  // retried runs still carry real data
+      EXPECT_TRUE(r.error.empty());
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(retried, 0);
+  EXPECT_GT(inj.count(fault::Event::kRunRetry), 0u);
+}
+
+TEST(ExperimentFault, ExhaustedAttemptsYieldFailedRecordNotThrow) {
+  fault::FaultPlan plan = fault::FaultPlan::parse("run.fail=1,seed=1");
+  fault::FaultInjector inj(plan);
+  fault::FaultScope scope(inj);
+  ExperimentConfig cfg = fault_config();
+  cfg.max_run_attempts = 2;
+  ExperimentRunner runner(cfg);
+  for (const auto& r : runner.run()) {
+    EXPECT_EQ(r.status, RunStatus::kFailed);
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(r.seconds, 0.0);  // failed records carry zeroed metrics
+    EXPECT_EQ(r.package_watts, 0.0);
+  }
+  EXPECT_EQ(inj.count(fault::Event::kRunFailure), runner.run().size());
+  // Aggregation must survive an all-failed matrix: NaN, not a crash.
+  EXPECT_TRUE(std::isnan(runner.average_power(Algorithm::kOpenBlas, 1)));
+  EXPECT_TRUE(std::isnan(runner.average_ep(Algorithm::kCaps, 256)));
+  EXPECT_TRUE(runner.ep_scaling(Algorithm::kStrassen, 256).empty());
+}
+
+TEST(ExperimentFault, DegradedRaplReadsDowngradeStatus) {
+  fault::FaultPlan plan = fault::FaultPlan::parse("rapl.fail=1,seed=3");
+  fault::FaultInjector inj(plan);
+  fault::FaultScope scope(inj);
+  ExperimentRunner runner(fault_config());
+  for (const auto& r : runner.run()) {
+    // The measurement completes (degraded beats discarded) but the
+    // record is honest about its quality.
+    EXPECT_EQ(r.status, RunStatus::kDegraded);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_TRUE(r.error.empty());
+  }
+  EXPECT_GT(inj.count(fault::Event::kRaplDegradedRead), 0u);
+  EXPECT_EQ(inj.count(fault::Event::kRunDegraded), runner.run().size());
+}
+
+TEST(ExperimentFault, WatchdogTurnsStallsIntoFailedRecords) {
+  fault::FaultPlan plan =
+      fault::FaultPlan::parse("run.stall=1,run.stall_ms=400,seed=5");
+  fault::FaultInjector inj(plan);
+  fault::FaultScope scope(inj);
+  ExperimentConfig cfg = fault_config();
+  cfg.sizes = {256};
+  cfg.thread_counts = {1};
+  cfg.max_run_attempts = 2;
+  cfg.run_timeout_seconds = 0.05;
+  ExperimentRunner runner(cfg);
+  for (const auto& r : runner.run()) {
+    EXPECT_EQ(r.status, RunStatus::kFailed);
+    EXPECT_NE(r.error.find("watchdog"), std::string::npos) << r.error;
+  }
+  // 3 algorithms x 2 attempts, every attempt stalled past the budget.
+  EXPECT_EQ(inj.count(fault::Event::kRunTimeout), 6u);
+}
+
+TEST(ExperimentFault, WrapInjectionPreservesMeasurements) {
+  ExperimentRunner clean(fault_config());
+  clean.run();
+  fault::FaultPlan plan = fault::FaultPlan::parse("rapl.wrap=1,seed=9");
+  fault::FaultInjector inj(plan);
+  fault::FaultScope scope(inj);
+  ExperimentRunner wrapped(fault_config());
+  wrapped.run();
+  ASSERT_EQ(clean.run().size(), wrapped.run().size());
+  EXPECT_GT(inj.count(fault::Event::kRaplWrap), 0u);
+  for (std::size_t i = 0; i < clean.run().size(); ++i) {
+    const auto& a = clean.run()[i];
+    const auto& b = wrapped.run()[i];
+    EXPECT_EQ(b.status, RunStatus::kOk);
+    EXPECT_EQ(a.seconds, b.seconds);
+    // Wrap-corrected energy matches the clean run up to MSR count
+    // quantization (the pre-wrap deposit realigns counter phase).
+    EXPECT_NEAR(a.package_watts, b.package_watts, 0.05);
+    EXPECT_NEAR(a.pp0_watts, b.pp0_watts, 0.05);
+  }
+}
+
+TEST(ExperimentFault, InjectedMatrixIsDeterministicForFixedSeed) {
+  const fault::FaultPlan plan =
+      fault::FaultPlan::parse("run.fail=0.3,rapl.fail=0.5,seed=11");
+  const auto run_once = [&plan](fault::FaultCounters* out) {
+    fault::FaultInjector inj(plan);
+    fault::FaultScope scope(inj);
+    ExperimentRunner runner(fault_config());
+    runner.run();
+    *out = inj.counters();
+    return runner.run();
+  };
+  fault::FaultCounters ca, cb;
+  const std::vector<ResultRecord> a = run_once(&ca);
+  const std::vector<ResultRecord> b = run_once(&cb);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status, b[i].status);
+    EXPECT_EQ(a[i].attempts, b[i].attempts);
+    EXPECT_EQ(a[i].seconds, b[i].seconds);
+    EXPECT_EQ(a[i].package_watts, b[i].package_watts);
+    EXPECT_EQ(a[i].ep, b[i].ep);
+    EXPECT_EQ(a[i].error, b[i].error);
+  }
+  for (std::size_t i = 0; i < fault::kEventCount; ++i) {
+    EXPECT_EQ(ca.by_event[i], cb.by_event[i]);
+  }
+}
+
+// ---- Checkpoint/resume.
+
+ResultRecord sample_record() {
+  ResultRecord r;
+  r.algorithm = Algorithm::kStrassen;
+  r.n = 1024;
+  r.threads = 3;
+  r.seconds = 1.0 / 3.0;           // not representable in decimal
+  r.package_watts = 0.1 + 0.2;     // classic round-trip trap
+  r.pp0_watts = 17.25;
+  r.package_energy_j = 6.0221408e23;
+  r.ep = 2.2250738585072014e-308;  // smallest normal double
+  r.status = RunStatus::kDegraded;
+  r.attempts = 2;
+  return r;
+}
+
+TEST(Checkpoint, LineRoundTripsEveryFieldExactly) {
+  const ResultRecord r = sample_record();
+  const auto parsed = parse_checkpoint_line(checkpoint_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->algorithm, r.algorithm);
+  EXPECT_EQ(parsed->n, r.n);
+  EXPECT_EQ(parsed->threads, r.threads);
+  EXPECT_EQ(parsed->seconds, r.seconds);  // %.17g: bitwise round-trip
+  EXPECT_EQ(parsed->package_watts, r.package_watts);
+  EXPECT_EQ(parsed->pp0_watts, r.pp0_watts);
+  EXPECT_EQ(parsed->package_energy_j, r.package_energy_j);
+  EXPECT_EQ(parsed->ep, r.ep);
+  EXPECT_EQ(parsed->status, r.status);
+  EXPECT_EQ(parsed->attempts, r.attempts);
+  EXPECT_EQ(parsed->error, r.error);
+}
+
+TEST(Checkpoint, ErrorStringsSurviveJsonEscaping) {
+  ResultRecord r = sample_record();
+  r.status = RunStatus::kFailed;
+  r.error = "say \"hi\"\\path\nnewline\ttab";
+  const auto parsed = parse_checkpoint_line(checkpoint_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->error, r.error);
+}
+
+TEST(Checkpoint, TornAndCorruptLinesAreRejected) {
+  const std::string line = checkpoint_line(sample_record());
+  EXPECT_FALSE(parse_checkpoint_line("").has_value());
+  EXPECT_FALSE(parse_checkpoint_line("garbage").has_value());
+  EXPECT_FALSE(parse_checkpoint_line(line.substr(0, line.size() / 2))
+                   .has_value());
+  EXPECT_FALSE(
+      parse_checkpoint_line("{\"algorithm\":\"NoSuchAlgo\",\"n\":4}")
+          .has_value());
+}
+
+TEST(Checkpoint, AlgorithmNamesRoundTrip) {
+  for (Algorithm a : kAllAlgorithms) {
+    const auto back = algorithm_from_name(algorithm_name(a));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, a);
+  }
+  EXPECT_FALSE(algorithm_from_name("DGEMM").has_value());
+}
+
+TEST(Checkpoint, LoadDedupsByConfigAndSkipsTornTail) {
+  const std::string path =
+      ::testing::TempDir() + "capow_ckpt_dedup.jsonl";
+  std::remove(path.c_str());
+  ResultRecord first = sample_record();
+  ResultRecord second = sample_record();
+  second.algorithm = Algorithm::kCaps;
+  ResultRecord rerun = sample_record();  // same config as `first`
+  rerun.seconds = 9.5;
+  rerun.status = RunStatus::kOk;
+  {
+    CheckpointWriter w(path, /*append=*/false);
+    ASSERT_TRUE(w.active());
+    w.append(first);
+    w.append(second);
+    w.append(rerun);
+  }
+  {
+    // Simulate a crash mid-write: torn final line with no newline.
+    std::ofstream os(path, std::ios::app);
+    os << "{\"algorithm\":\"CAPS\",\"n\":51";
+  }
+  const auto records = load_checkpoint(path);
+  ASSERT_EQ(records.size(), 2u);  // last-wins dedup, torn line skipped
+  bool saw_rerun = false;
+  for (const auto& r : records) {
+    if (r.algorithm == first.algorithm && r.n == first.n &&
+        r.threads == first.threads) {
+      EXPECT_EQ(r.seconds, 9.5);
+      EXPECT_EQ(r.status, RunStatus::kOk);
+      saw_rerun = true;
+    }
+  }
+  EXPECT_TRUE(saw_rerun);
+  EXPECT_TRUE(load_checkpoint(path + ".missing").empty());
+  std::remove(path.c_str());
+}
+
+// Truncates `src` into `dst`, keeping `lines` complete lines plus a torn
+// fragment of the next — the on-disk state a kill -9 leaves behind.
+void truncate_checkpoint(const std::string& src, const std::string& dst,
+                         std::size_t lines) {
+  std::ifstream in(src);
+  std::ofstream out(dst, std::ios::trunc);
+  std::string line;
+  std::size_t kept = 0;
+  while (kept < lines && std::getline(in, line)) {
+    out << line << '\n';
+    ++kept;
+  }
+  if (std::getline(in, line)) {
+    out << line.substr(0, line.size() / 2);  // torn, no newline
+  }
+}
+
+TEST(Checkpoint, ResumeCompletesOnlyMissingConfigsIdentically) {
+  const std::string full_path =
+      ::testing::TempDir() + "capow_ckpt_full.jsonl";
+  const std::string torn_path =
+      ::testing::TempDir() + "capow_ckpt_torn.jsonl";
+  std::remove(full_path.c_str());
+  std::remove(torn_path.c_str());
+
+  ExperimentConfig cfg = fault_config();
+  cfg.checkpoint_path = full_path;
+  ExperimentRunner uninterrupted(cfg);
+  uninterrupted.run();
+
+  truncate_checkpoint(full_path, torn_path, 3);
+  ExperimentConfig rcfg = fault_config();
+  rcfg.checkpoint_path = torn_path;
+  rcfg.resume = true;
+  ExperimentRunner resumed(rcfg);
+  resumed.run();
+
+  ASSERT_EQ(resumed.run().size(), uninterrupted.run().size());
+  for (std::size_t i = 0; i < resumed.run().size(); ++i) {
+    const auto& a = uninterrupted.run()[i];
+    const auto& b = resumed.run()[i];
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.threads, b.threads);
+    EXPECT_EQ(a.seconds, b.seconds);  // replay + rerun, both bitwise
+    EXPECT_EQ(a.package_watts, b.package_watts);
+    EXPECT_EQ(a.pp0_watts, b.pp0_watts);
+    EXPECT_EQ(a.package_energy_j, b.package_energy_j);
+    EXPECT_EQ(a.ep, b.ep);
+    EXPECT_EQ(a.status, b.status);
+  }
+  // The resumed run's checkpoint is itself complete and loadable.
+  EXPECT_EQ(load_checkpoint(torn_path).size(), resumed.run().size());
+  std::remove(full_path.c_str());
+  std::remove(torn_path.c_str());
+}
+
+TEST(Checkpoint, FaultedResumeReproducesTheOriginalSchedule) {
+  const std::string full_path =
+      ::testing::TempDir() + "capow_ckpt_fault_full.jsonl";
+  const std::string torn_path =
+      ::testing::TempDir() + "capow_ckpt_fault_torn.jsonl";
+  std::remove(full_path.c_str());
+  std::remove(torn_path.c_str());
+  const fault::FaultPlan plan =
+      fault::FaultPlan::parse("run.fail=0.3,rapl.fail=0.5,seed=13");
+
+  ExperimentConfig cfg = fault_config();
+  cfg.checkpoint_path = full_path;
+  std::vector<ResultRecord> original;
+  {
+    fault::FaultInjector inj(plan);
+    fault::FaultScope scope(inj);
+    ExperimentRunner runner(cfg);
+    original = runner.run();
+  }
+
+  truncate_checkpoint(full_path, torn_path, 2);
+  ExperimentConfig rcfg = fault_config();
+  rcfg.checkpoint_path = torn_path;
+  rcfg.resume = true;
+  std::vector<ResultRecord> resumed;
+  {
+    fault::FaultInjector inj(plan);
+    fault::FaultScope scope(inj);
+    ExperimentRunner runner(rcfg);
+    resumed = runner.run();
+  }
+
+  // Fault draws are keyed by matrix position, not execution history, so
+  // the rerun configurations see the exact schedule the original saw.
+  ASSERT_EQ(resumed.size(), original.size());
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(original[i].status, resumed[i].status);
+    EXPECT_EQ(original[i].attempts, resumed[i].attempts);
+    EXPECT_EQ(original[i].seconds, resumed[i].seconds);
+    EXPECT_EQ(original[i].package_watts, resumed[i].package_watts);
+    EXPECT_EQ(original[i].error, resumed[i].error);
+  }
+  std::remove(full_path.c_str());
+  std::remove(torn_path.c_str());
 }
 
 // ---- Table formatting.

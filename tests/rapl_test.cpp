@@ -1,8 +1,11 @@
-// Tests for the simulated RAPL MSR device, reader, and PAPI-style events.
+// Tests for the simulated RAPL MSR device, reader, and PAPI-style events,
+// including fault-tolerant reads under injected transient failures.
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
+#include "capow/fault/fault.hpp"
 #include "capow/rapl/msr.hpp"
 #include "capow/rapl/papi.hpp"
 
@@ -113,6 +116,160 @@ TEST(RaplReader, ResetRebases) {
   reader.energy_joules(PowerPlane::kPackage);
   reader.reset();
   EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage), 0.0, 1e-9);
+}
+
+TEST(RaplReader, WrapsAccessorCountsFoldedWraps) {
+  SimulatedMsrDevice dev(14);
+  RaplReader reader(dev);
+  EXPECT_EQ(reader.wraps(), 0u);
+  const double wrap_joules = 4294967296.0 / 16384.0;
+  dev.deposit(PowerPlane::kPackage, wrap_joules - 5.0);
+  reader.energy_joules(PowerPlane::kPackage);
+  dev.deposit(PowerPlane::kPackage, 10.0);  // crosses wrap #1
+  reader.energy_joules(PowerPlane::kPackage);
+  EXPECT_EQ(reader.wraps(), 1u);
+  // Cross wrap #2 in sub-wrap steps: the reader assumes at least one
+  // poll per wrap period (a full-wrap delta between polls is invisible
+  // by construction, exactly like hardware).
+  dev.deposit(PowerPlane::kPackage, 0.75 * wrap_joules);
+  reader.energy_joules(PowerPlane::kPackage);
+  dev.deposit(PowerPlane::kPackage, 0.5 * wrap_joules);
+  reader.energy_joules(PowerPlane::kPackage);
+  EXPECT_EQ(reader.wraps(), 2u);
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage),
+              dev.total_joules(PowerPlane::kPackage), 1e-3);
+  reader.reset();
+  EXPECT_EQ(reader.wraps(), 0u);
+}
+
+TEST(RaplFault, TransientFailuresAreRetriedAndRecover) {
+  SimulatedMsrDevice dev;
+  fault::FaultPlan plan;
+  plan.rapl_fail = 0.5;
+  plan.seed = 17;
+  fault::FaultInjector inj(plan);
+  fault::FaultScope scope(inj);
+
+  RaplReader reader(dev);
+  dev.deposit(PowerPlane::kPackage, 4.0);
+  double last = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    last = reader.energy_joules(PowerPlane::kPackage);
+  }
+  // At p=0.5 over 50 logical reads (4 attempts each) at least one read
+  // must have needed a retry, and the retried reads still converge on
+  // the true cumulative energy.
+  EXPECT_GT(inj.count(fault::Event::kRaplRetry), 0u);
+  EXPECT_NEAR(last, 4.0, 1e-3);
+}
+
+TEST(RaplFault, ExhaustedRetriesDegradeAndServeStaleValue) {
+  SimulatedMsrDevice dev;
+  RaplReader reader(dev);  // baseline latched before faults install
+  dev.deposit(PowerPlane::kPackage, 1.0);
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage), 1.0, 1e-3);
+
+  fault::FaultPlan plan;
+  plan.rapl_fail = 1.0;  // every attempt fails: retry budget exhausts
+  fault::FaultInjector inj(plan);
+  {
+    fault::FaultScope scope(inj);
+    dev.deposit(PowerPlane::kPackage, 3.0);
+    // Persistent failure: the reader serves the last accumulated value
+    // instead of throwing, and flags itself degraded.
+    EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage), 1.0, 1e-3);
+    EXPECT_TRUE(reader.degraded());
+    EXPECT_GT(inj.count(fault::Event::kRaplDegradedRead), 0u);
+    EXPECT_EQ(inj.count(fault::Event::kRaplRetry),
+              static_cast<std::uint64_t>(kRaplReadRetries) *
+                  inj.count(fault::Event::kRaplDegradedRead));
+  }
+  // Self-heal: the counter is cumulative, so the first good read after
+  // the outage recovers the full missed delta. A degraded read loses
+  // timeliness, never energy.
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage), 4.0, 1e-3);
+  EXPECT_TRUE(reader.degraded());  // sticky until reset()
+  reader.reset();
+  EXPECT_FALSE(reader.degraded());
+}
+
+TEST(RaplFault, FailedBaselineRebasesOnFirstGoodRead) {
+  SimulatedMsrDevice dev;
+  dev.deposit(PowerPlane::kPackage, 7.0);
+  fault::FaultPlan plan;
+  plan.rapl_fail = 1.0;
+  fault::FaultInjector inj(plan);
+  auto reader = [&] {
+    fault::FaultScope scope(inj);
+    return RaplReader(dev);  // baseline latch fails on every plane
+  }();
+  EXPECT_TRUE(reader.degraded());
+  // First good read re-bases at the current counter: pre-existing energy
+  // must not appear as a bogus delta.
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage), 0.0, 1e-9);
+  dev.deposit(PowerPlane::kPackage, 2.0);
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage), 2.0, 1e-3);
+}
+
+TEST(RaplFault, WrapCorrectionSurvivesTransientFailures) {
+  SimulatedMsrDevice dev(14);
+  RaplReader reader(dev);
+  const double wrap_joules = 4294967296.0 / 16384.0;
+  fault::FaultPlan plan;
+  plan.rapl_fail = 0.5;
+  plan.seed = 23;
+  fault::FaultInjector inj(plan);
+  {
+    fault::FaultScope scope(inj);
+    dev.deposit(PowerPlane::kPackage, wrap_joules - 2.0);
+    reader.energy_joules(PowerPlane::kPackage);
+    dev.deposit(PowerPlane::kPackage, 4.0);  // crosses the wrap
+    reader.energy_joules(PowerPlane::kPackage);
+  }
+  // Clean final read: cumulative energy is exact despite the outage
+  // pattern, and the wrap was folded exactly once.
+  EXPECT_NEAR(reader.energy_joules(PowerPlane::kPackage),
+              wrap_joules + 2.0, 1e-3);
+  EXPECT_EQ(reader.wraps(), 1u);
+}
+
+TEST(RaplFault, InjectedFailuresAreDeterministic) {
+  fault::FaultPlan plan;
+  plan.rapl_fail = 0.4;
+  plan.seed = 101;
+  const auto run_once = [&plan] {
+    SimulatedMsrDevice dev;
+    fault::FaultInjector inj(plan);
+    fault::FaultScope scope(inj);
+    RaplReader reader(dev);
+    for (int i = 0; i < 30; ++i) {
+      dev.deposit(PowerPlane::kPP0, 0.5);
+      reader.energy_joules(PowerPlane::kPP0);
+    }
+    return inj.counters();
+  };
+  const fault::FaultCounters a = run_once();
+  const fault::FaultCounters b = run_once();
+  for (std::size_t i = 0; i < fault::kEventCount; ++i) {
+    EXPECT_EQ(a.by_event[i], b.by_event[i]);
+  }
+  EXPECT_GT(a[fault::Event::kRaplReadFailure], 0u);
+}
+
+TEST(RaplFault, EventSetExposesReaderDegradation) {
+  SimulatedMsrDevice dev;
+  EventSet es(dev);
+  es.add_event(kEventPackageEnergy);
+  EXPECT_FALSE(es.degraded());
+  fault::FaultPlan plan;
+  plan.rapl_fail = 1.0;
+  fault::FaultInjector inj(plan);
+  {
+    fault::FaultScope scope(inj);
+    es.start();  // baseline latch degrades under total read failure
+    EXPECT_TRUE(es.degraded());
+    es.stop();
+  }
 }
 
 TEST(PapiEvents, PlaneMapping) {

@@ -104,6 +104,56 @@ TEST(TaskGroup, ExceptionDoesNotCancelSiblings) {
   EXPECT_EQ(count.load(), 10);
 }
 
+TEST(TaskGroup, ManualCancelSkipsPollingTasks) {
+  ThreadPool pool(0);  // inline pool: deterministic execution order
+  TaskGroup group(pool);
+  int executed = 0;
+  group.run([&] { ++executed; });
+  EXPECT_FALSE(group.cancelled());
+  group.cancel();
+  EXPECT_TRUE(group.cancelled());
+  // A polling task sees the flag and skips its work; a non-polling task
+  // keeps its exact pre-cancellation semantics (it still runs).
+  group.run([&] {
+    if (group.cancelled()) return;
+    ++executed;
+  });
+  group.run([&] { ++executed; });
+  group.wait();
+  EXPECT_EQ(executed, 2);
+  EXPECT_FALSE(group.cancelled());  // wait() re-arms the group
+}
+
+TEST(TaskGroup, ThrowingTaskCancelsCooperatively) {
+  ThreadPool pool(0);
+  TaskGroup group(pool);
+  group.run([] { throw std::runtime_error("boom"); });
+  // The inline pool already ran (and captured) the throwing task, so
+  // the cancellation flag is visible before wait().
+  EXPECT_TRUE(group.cancelled());
+  int skipped = 0;
+  group.run([&] {
+    if (group.cancelled()) ++skipped;
+  });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(skipped, 1);
+  EXPECT_FALSE(group.cancelled());  // cleared even on the throwing path
+}
+
+TEST(TaskGroup, CancelIsVisibleAcrossWorkers) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.cancel();
+  std::atomic<int> saw{0};
+  for (int i = 0; i < 16; ++i) {
+    group.run([&] {
+      if (group.cancelled()) saw.fetch_add(1);
+    });
+  }
+  group.wait();
+  EXPECT_EQ(saw.load(), 16);
+}
+
 // The critical property for Strassen: nested spawn/wait must complete on
 // a 1-worker pool (the waiting parent helps run its children).
 TEST(TaskGroup, NestedRecursionOnSingleWorker) {

@@ -12,15 +12,24 @@
 //     --trace=FILE                     Chrome trace JSON (Perfetto)
 //     --jsonl=FILE                     one JSON record per run
 //     --metrics=FILE                   Prometheus text metrics
+//     --faults=SPEC                    fault injection spec (or env
+//                                      CAPOW_FAULTS), e.g.
+//                                      comm.drop=0.01,rapl.fail=0.05,seed=42
+//     --checkpoint=FILE                append each finished run to FILE
+//     --resume=FILE                    replay finished runs from FILE,
+//                                      run only missing/failed ones
 //     --help
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "capow/core/ep_model.hpp"
+#include "capow/fault/fault.hpp"
 #include "capow/harness/experiment.hpp"
 #include "capow/harness/table.hpp"
 #include "capow/harness/telemetry_export.hpp"
@@ -74,7 +83,8 @@ void print_usage(const char* argv0) {
   std::printf(
       "usage: %s [--machine=haswell|quad|compact] [--sizes=a,b,...]\n"
       "          [--threads=a,b,...] [--csv] [--quiesce=SECONDS]\n"
-      "          [--trace=FILE] [--jsonl=FILE] [--metrics=FILE]\n",
+      "          [--trace=FILE] [--jsonl=FILE] [--metrics=FILE]\n"
+      "          [--faults=SPEC] [--checkpoint=FILE] [--resume=FILE]\n",
       argv0);
 }
 
@@ -92,6 +102,13 @@ int main(int argc, char** argv) {
   harness::ExperimentConfig cfg;
   bool csv = false;
   std::string trace_path, jsonl_path, metrics_path;
+  std::optional<fault::FaultPlan> fault_plan;
+  try {
+    fault_plan = fault::FaultPlan::from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad CAPOW_FAULTS: %s\n", e.what());
+    return 1;
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,6 +134,13 @@ int main(int argc, char** argv) {
         jsonl_path = v6;
       } else if (const char* v7 = value_of("--metrics=")) {
         metrics_path = v7;
+      } else if (const char* v8 = value_of("--faults=")) {
+        fault_plan = fault::FaultPlan::parse(v8);
+      } else if (const char* v9 = value_of("--checkpoint=")) {
+        cfg.checkpoint_path = v9;
+      } else if (const char* v10 = value_of("--resume=")) {
+        cfg.checkpoint_path = v10;
+        cfg.resume = true;
       } else if (arg == "--csv") {
         csv = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -132,6 +156,16 @@ int main(int argc, char** argv) {
                    e.what());
       return 1;
     }
+  }
+
+  // Fault runs get a watchdog by default so an injected hang turns into
+  // a retried/failed record instead of a hung report.
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<fault::FaultScope> fault_scope;
+  if (fault_plan) {
+    if (cfg.run_timeout_seconds <= 0.0) cfg.run_timeout_seconds = 30.0;
+    injector = std::make_unique<fault::FaultInjector>(*fault_plan);
+    fault_scope = std::make_unique<fault::FaultScope>(*injector);
   }
 
   harness::ExperimentRunner runner(cfg);
@@ -164,7 +198,8 @@ int main(int argc, char** argv) {
   // Raw result matrix.
   {
     harness::TextTable t({"algorithm", "n", "threads", "seconds",
-                          "package_w", "pp0_w", "energy_j", "ep_w_per_s"});
+                          "package_w", "pp0_w", "energy_j", "ep_w_per_s",
+                          "status", "attempts"});
     for (const auto& r : runner.run()) {
       t.add_row({harness::algorithm_name(r.algorithm),
                  std::to_string(r.n), std::to_string(r.threads),
@@ -172,9 +207,22 @@ int main(int argc, char** argv) {
                  harness::fmt(r.package_watts, 3),
                  harness::fmt(r.pp0_watts, 3),
                  harness::fmt(r.package_energy_j, 3),
-                 harness::fmt(r.ep, 4)});
+                 harness::fmt(r.ep, 4), harness::to_string(r.status),
+                 std::to_string(r.attempts)});
     }
     emit(t, csv, "result matrix");
+  }
+
+  // Fault/recovery event summary (only under fault injection).
+  if (injector) {
+    const fault::FaultCounters counters = injector->counters();
+    harness::TextTable t({"fault event", "count"});
+    for (std::size_t i = 0; i < fault::kEventCount; ++i) {
+      t.add_row({fault::event_name(static_cast<fault::Event>(i)),
+                 std::to_string(counters.by_event[i])});
+    }
+    emit(t, csv, ("fault events (spec: " + injector->plan().spec() + ")")
+                     .c_str());
   }
 
   // Table II analogue.
@@ -241,8 +289,19 @@ int main(int argc, char** argv) {
         const auto series = runner.ep_scaling(a, n);
         std::vector<std::string> row{harness::algorithm_name(a),
                                      std::to_string(n)};
-        for (const auto& pt : series) row.push_back(harness::fmt(pt.s, 3));
-        row.push_back(core::to_string(core::classify_scaling(series)));
+        // Failed configurations leave holes in the series; keep the
+        // surviving points aligned to their thread-count columns.
+        for (unsigned th : cfg.thread_counts) {
+          const auto pt = std::find_if(
+              series.begin(), series.end(),
+              [th](const core::ScalingPoint& p) {
+                return p.parallelism == th;
+              });
+          row.push_back(pt != series.end() ? harness::fmt(pt->s, 3) : "-");
+        }
+        row.push_back(series.empty()
+                          ? "-"
+                          : core::to_string(core::classify_scaling(series)));
         t.add_row(row);
       }
     }
