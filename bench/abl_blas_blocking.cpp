@@ -7,6 +7,8 @@
 #include "capow/blas/blocked_gemm.hpp"
 #include "capow/blas/cost_model.hpp"
 #include "capow/blas/gemm_ref.hpp"
+#include "capow/blas/microkernel.hpp"
+#include "capow/blas/workspace.hpp"
 #include "capow/linalg/random.hpp"
 
 namespace {
@@ -50,7 +52,55 @@ void print_reproduction() {
       "\nreading: the cache-derived blocking minimizes streaming traffic;\n"
       "degenerate blockings re-stream A and C many times over — the\n"
       "difference Algorithm 1's blocking-factor selection exists to avoid.\n");
+
+  std::printf("\nregistered microkernels (BM_KernelGflops sweeps these):\n");
+  harness::TextTable kernels({"kernel", "tile", "supported"});
+  for (const auto& k : blas::kernel_registry()) {
+    kernels.add_row({k.name,
+                     std::to_string(k.mr) + "x" + std::to_string(k.nr),
+                     k.supported() ? "yes" : "no"});
+  }
+  std::printf("%s", kernels.str().c_str());
 }
+
+// Per-kernel single-thread throughput at the paper's N=1024 working
+// size. The `gflops` user counter lands in the bench JSONL; the arena
+// counters show the packing buffers pooling (hit rate -> 1 after the
+// first iteration).
+void BM_KernelGflops(benchmark::State& state) {
+  const auto& kern =
+      blas::kernel_registry()[static_cast<std::size_t>(state.range(0))];
+  if (!kern.supported()) {
+    state.SkipWithError("kernel not supported on this CPU");
+    return;
+  }
+  const std::size_t n = 1024;
+  auto a = linalg::random_square(n, 1);
+  auto b = linalg::random_square(n, 2);
+  linalg::Matrix c(n, n);
+  blas::GemmOptions opts;
+  opts.kernel = kern.id;
+  blas::gemm(a.view(), b.view(), c.view(), opts);  // warm the arena
+  auto& arena = blas::WorkspaceArena::process_arena();
+  const blas::ArenaStats before = arena.stats();
+  for (auto _ : state) {
+    blas::gemm(a.view(), b.view(), c.view(), opts);
+    benchmark::DoNotOptimize(c.data());
+  }
+  const blas::ArenaStats after = arena.stats();
+  const double flops = 2.0 * n * n * n;
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(flops));
+  state.SetLabel(kern.name);
+  state.counters["gflops"] = benchmark::Counter(
+      flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  const double acquires =
+      static_cast<double>(after.acquires - before.acquires);
+  state.counters["arena_hit_rate"] =
+      acquires > 0.0
+          ? static_cast<double>(after.hits - before.hits) / acquires
+          : 0.0;
+}
+BENCHMARK(BM_KernelGflops)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 void BM_RealGemmBlocking(benchmark::State& state) {
   const std::size_t n = 256;
@@ -70,8 +120,10 @@ void BM_RealGemmBlocking(benchmark::State& state) {
       bp = blas::BlockingParams{.mc = 8, .kc = 8, .nc = 8, .mr = 4, .nr = 4};
       break;
   }
+  blas::GemmOptions opts;
+  opts.blocking = bp;
   for (auto _ : state) {
-    blas::blocked_gemm(a.view(), b.view(), c.view(), bp);
+    blas::gemm(a.view(), b.view(), c.view(), opts);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);

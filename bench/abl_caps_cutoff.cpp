@@ -50,7 +50,7 @@ void BM_CapsRealCutoffDepth(benchmark::State& state) {
   opts.base_cutoff = 32;
   opts.bfs_cutoff_depth = state.range(0);
   for (auto _ : state) {
-    capsalg::caps_multiply(a.view(), b.view(), c.view(), opts);
+    capsalg::multiply(a.view(), b.view(), c.view(), opts);
     benchmark::DoNotOptimize(c.data());
   }
 }

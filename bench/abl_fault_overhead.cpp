@@ -31,10 +31,10 @@ void time_strassen_pair(int reps, double* clean, double* gated) {
   auto b = linalg::random_square(n, 2);
   linalg::Matrix c(n, n);
   tasking::ThreadPool pool(0);
-  strassen::strassen_multiply(a.view(), b.view(), c.view(), {}, &pool);
+  strassen::multiply(a.view(), b.view(), c.view(), {}, &pool);
   const auto one_rep = [&] {
     const auto t0 = std::chrono::steady_clock::now();
-    strassen::strassen_multiply(a.view(), b.view(), c.view(), {}, &pool);
+    strassen::multiply(a.view(), b.view(), c.view(), {}, &pool);
     const auto t1 = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(t1 - t0).count();
   };

@@ -48,7 +48,7 @@ void BM_StrassenRealCutoff(benchmark::State& state) {
   strassen::StrassenOptions opts;
   opts.base_cutoff = state.range(0);
   for (auto _ : state) {
-    strassen::strassen_multiply(a.view(), b.view(), c.view(), opts);
+    strassen::multiply(a.view(), b.view(), c.view(), opts);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
@@ -64,7 +64,7 @@ void BM_WinogradVsClassic(benchmark::State& state) {
   opts.base_cutoff = 32;
   opts.winograd = state.range(0) != 0;
   for (auto _ : state) {
-    strassen::strassen_multiply(a.view(), b.view(), c.view(), opts);
+    strassen::multiply(a.view(), b.view(), c.view(), opts);
     benchmark::DoNotOptimize(c.data());
   }
 }

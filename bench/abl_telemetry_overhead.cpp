@@ -21,10 +21,10 @@ double time_gemm_seconds(std::size_t n, int reps) {
   auto a = linalg::random_square(n, 1);
   auto b = linalg::random_square(n, 2);
   linalg::Matrix c(n, n);
-  blas::blocked_gemm(a.view(), b.view(), c.view());  // warm-up
+  blas::gemm(a.view(), b.view(), c.view());  // warm-up
   const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < reps; ++r) {
-    blas::blocked_gemm(a.view(), b.view(), c.view());
+    blas::gemm(a.view(), b.view(), c.view());
   }
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count() /
@@ -95,7 +95,7 @@ void BM_GemmUntraced(benchmark::State& state) {
   auto b = linalg::random_square(n, 2);
   linalg::Matrix c(n, n);
   for (auto _ : state) {
-    blas::blocked_gemm(a.view(), b.view(), c.view());
+    blas::gemm(a.view(), b.view(), c.view());
     benchmark::DoNotOptimize(c.view().row(0));
   }
 }
@@ -109,7 +109,7 @@ void BM_GemmTraced(benchmark::State& state) {
   telemetry::Tracer tracer;
   telemetry::TracingScope scope(tracer);
   for (auto _ : state) {
-    blas::blocked_gemm(a.view(), b.view(), c.view());
+    blas::gemm(a.view(), b.view(), c.view());
     benchmark::DoNotOptimize(c.view().row(0));
   }
 }

@@ -51,7 +51,7 @@ void print_reproduction() {
   opts.base_cutoff = 16;  // 4 levels at n = 256
   opts.bfs_cutoff_depth = 2;
   capsalg::CapsStats stats;
-  capsalg::caps_multiply(a.view(), b.view(), c.view(), opts, nullptr,
+  capsalg::multiply(a.view(), b.view(), c.view(), opts, nullptr,
                          &stats);
   std::printf(
       "\nmeasured traversal at n=256, cutoff 16, CUTOFF_DEPTH 2:\n"
@@ -85,7 +85,7 @@ void BM_CapsTraversalBookkeeping(benchmark::State& state) {
   opts.bfs_cutoff_depth = state.range(0);
   for (auto _ : state) {
     capsalg::CapsStats stats;
-    capsalg::caps_multiply(a.view(), b.view(), c.view(), opts, nullptr,
+    capsalg::multiply(a.view(), b.view(), c.view(), opts, nullptr,
                            &stats);
     benchmark::DoNotOptimize(stats.peak_buffer_bytes);
   }

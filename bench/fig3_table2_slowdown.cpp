@@ -70,7 +70,7 @@ void BM_RealBlockedGemm(benchmark::State& state) {
   auto b = linalg::random_square(n, 2);
   linalg::Matrix c(n, n);
   for (auto _ : state) {
-    blas::blocked_gemm(a.view(), b.view(), c.view());
+    blas::gemm(a.view(), b.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
@@ -85,7 +85,7 @@ void BM_RealStrassen(benchmark::State& state) {
   strassen::StrassenOptions opts;
   opts.base_cutoff = 64;
   for (auto _ : state) {
-    strassen::strassen_multiply(a.view(), b.view(), c.view(), opts);
+    strassen::multiply(a.view(), b.view(), c.view(), opts);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
@@ -100,7 +100,7 @@ void BM_RealCaps(benchmark::State& state) {
   capsalg::CapsOptions opts;
   opts.base_cutoff = 64;
   for (auto _ : state) {
-    capsalg::caps_multiply(a.view(), b.view(), c.view(), opts);
+    capsalg::multiply(a.view(), b.view(), c.view(), opts);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);

@@ -26,9 +26,10 @@ void BM_BlockedGemmThreads(benchmark::State& state) {
   auto b = linalg::random_square(n, 2);
   linalg::Matrix c(n, n);
   tasking::ThreadPool pool(workers);
+  blas::GemmOptions opts;
+  opts.pool = workers > 0 ? &pool : nullptr;
   for (auto _ : state) {
-    blas::blocked_gemm(a.view(), b.view(), c.view(),
-                       workers > 0 ? &pool : nullptr);
+    blas::gemm(a.view(), b.view(), c.view(), opts);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);

@@ -27,7 +27,7 @@ void BM_StrassenThreads(benchmark::State& state) {
   strassen::StrassenOptions opts;
   opts.base_cutoff = 64;
   for (auto _ : state) {
-    strassen::strassen_multiply(a.view(), b.view(), c.view(), opts,
+    strassen::multiply(a.view(), b.view(), c.view(), opts,
                                 workers > 0 ? &pool : nullptr);
     benchmark::DoNotOptimize(c.data());
   }
@@ -44,7 +44,7 @@ void BM_StrassenWinograd(benchmark::State& state) {
   opts.base_cutoff = 64;
   opts.winograd = true;
   for (auto _ : state) {
-    strassen::strassen_multiply(a.view(), b.view(), c.view(), opts);
+    strassen::multiply(a.view(), b.view(), c.view(), opts);
     benchmark::DoNotOptimize(c.data());
   }
 }

@@ -26,7 +26,7 @@ void BM_CapsThreads(benchmark::State& state) {
   capsalg::CapsOptions opts;
   opts.base_cutoff = 64;
   for (auto _ : state) {
-    capsalg::caps_multiply(a.view(), b.view(), c.view(), opts,
+    capsalg::multiply(a.view(), b.view(), c.view(), opts,
                            workers > 0 ? &pool : nullptr);
     benchmark::DoNotOptimize(c.data());
   }
@@ -43,7 +43,7 @@ void BM_CapsBfsDepth(benchmark::State& state) {
   opts.base_cutoff = 32;
   opts.bfs_cutoff_depth = state.range(0);
   for (auto _ : state) {
-    capsalg::caps_multiply(a.view(), b.view(), c.view(), opts);
+    capsalg::multiply(a.view(), b.view(), c.view(), opts);
     benchmark::DoNotOptimize(c.data());
   }
 }

@@ -10,9 +10,8 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "capow/blas/blocked_gemm.hpp"
+#include "capow/api/matmul.hpp"
 #include "capow/blas/cost_model.hpp"
-#include "capow/capsalg/caps.hpp"
 #include "capow/core/ep_model.hpp"
 #include "capow/linalg/ops.hpp"
 #include "capow/linalg/random.hpp"
@@ -48,17 +47,21 @@ int main() {
        {}},
   };
 
-  {
-    trace::RecordingScope scope(runs[0].rec);
-    blas::blocked_gemm(a.view(), b.view(), c_blas.view());
-  }
-  {
-    trace::RecordingScope scope(runs[1].rec);
-    strassen::strassen_multiply(a.view(), b.view(), c_strassen.view());
-  }
-  {
-    trace::RecordingScope scope(runs[2].rec);
-    capsalg::caps_multiply(a.view(), b.view(), c_caps.view());
+  // One entry point for all three algorithms: capow::matmul() selects
+  // the implementation (and the fastest SIMD microkernel the CPU
+  // supports — override with CAPOW_KERNEL=generic|avx2|fma).
+  const struct {
+    core::AlgorithmId id;
+    linalg::Matrix* out;
+    trace::Recorder* rec;
+  } calls[3] = {{core::AlgorithmId::kOpenBlas, &c_blas, &runs[0].rec},
+                {core::AlgorithmId::kStrassen, &c_strassen, &runs[1].rec},
+                {core::AlgorithmId::kCaps, &c_caps, &runs[2].rec}};
+  for (const auto& call : calls) {
+    trace::RecordingScope scope(*call.rec);
+    MatmulOptions opts;
+    opts.algorithm = call.id;
+    matmul(a.view(), b.view(), call.out->view(), opts);
   }
 
   if (!linalg::allclose(c_strassen.view(), c_blas.view(), 1e-9, 1e-9) ||

@@ -1,0 +1,93 @@
+#include "capow/api/matmul.hpp"
+
+#include "capow/telemetry/telemetry.hpp"
+
+namespace capow {
+
+namespace {
+
+/// Strassen/CAPS base-kernel resolution: facade override, then the
+/// algorithm option, then the CAPOW_KERNEL environment (a whole-stack
+/// A/B switch), then the BOTS kernel (null).
+std::optional<blas::MicroKernelId> resolve_base_kernel(
+    std::optional<blas::MicroKernelId> facade,
+    std::optional<blas::MicroKernelId> algorithm_option) {
+  if (facade) return facade;
+  if (algorithm_option) return algorithm_option;
+  return blas::env_kernel_override();
+}
+
+blas::GemmOptions gemm_options(const MatmulOptions& opts) {
+  blas::GemmOptions g;
+  g.blocking = opts.blocking;
+  g.kernel = opts.kernel;
+  g.machine = opts.machine;
+  g.arena = opts.arena;
+  g.pool = opts.pool;
+  return g;
+}
+
+}  // namespace
+
+const blas::MicroKernel* matmul_kernel(const MatmulOptions& opts) {
+  switch (opts.algorithm) {
+    case core::AlgorithmId::kOpenBlas:
+      return &blas::resolve_kernel(gemm_options(opts));
+    case core::AlgorithmId::kStrassen: {
+      const auto id =
+          resolve_base_kernel(opts.kernel, opts.strassen.base_kernel);
+      return id ? blas::find_kernel(*id) : nullptr;
+    }
+    case core::AlgorithmId::kCaps: {
+      const auto id = resolve_base_kernel(opts.kernel, opts.caps.base_kernel);
+      return id ? blas::find_kernel(*id) : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+void matmul(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+            linalg::MatrixView c, const MatmulOptions& opts) {
+  blas::WorkspaceArena& arena = opts.arena != nullptr
+                                    ? *opts.arena
+                                    : blas::WorkspaceArena::process_arena();
+  [[maybe_unused]] const blas::MicroKernel* kern = matmul_kernel(opts);
+  // Span args: the resolved kernel id (-1 = BOTS base kernel) and the
+  // algorithm id, so trace consumers can attribute each multiply.
+  CAPOW_TSPAN_ARGS2("matmul", "api", "algorithm",
+                    static_cast<int>(opts.algorithm), "kernel",
+                    kern != nullptr ? static_cast<int>(kern->id) : -1);
+#if CAPOW_TELEMETRY_ENABLED
+  const blas::ArenaStats before = arena.stats();
+#endif
+
+  switch (opts.algorithm) {
+    case core::AlgorithmId::kOpenBlas:
+      blas::gemm(a, b, c, gemm_options(opts));
+      break;
+    case core::AlgorithmId::kStrassen: {
+      strassen::StrassenOptions s = opts.strassen;
+      if (s.arena == nullptr) s.arena = &arena;
+      s.base_kernel = resolve_base_kernel(opts.kernel, s.base_kernel);
+      strassen::multiply(a, b, c, s, opts.pool);
+      break;
+    }
+    case core::AlgorithmId::kCaps: {
+      capsalg::CapsOptions o = opts.caps;
+      if (o.arena == nullptr) o.arena = &arena;
+      o.base_kernel = resolve_base_kernel(opts.kernel, o.base_kernel);
+      capsalg::multiply(a, b, c, o, opts.pool, opts.caps_stats);
+      break;
+    }
+  }
+
+#if CAPOW_TELEMETRY_ENABLED
+  const blas::ArenaStats after = arena.stats();
+  CAPOW_TCOUNTER("matmul.arena.hits",
+                 static_cast<double>(after.hits - before.hits));
+  CAPOW_TCOUNTER("matmul.arena.misses",
+                 static_cast<double>(after.misses - before.misses));
+#endif
+}
+
+}  // namespace capow

@@ -1,0 +1,77 @@
+// capow::matmul() — the single entrypoint for the paper's three
+// multiplication algorithms.
+//
+// Every call site (harness, benches, examples, tools) goes through this
+// facade; the per-algorithm entrypoints (blas::blocked_gemm,
+// strassen::strassen_multiply, capsalg::caps_multiply) survive only as
+// deprecated shims. One options struct carries everything the paper's
+// experiments vary: the algorithm (core::AlgorithmId registry), the
+// register microkernel (explicit > CAPOW_KERNEL env > fastest
+// supported), blocking/cutoff tuning, the thread pool, and the
+// workspace arena the hot paths lease their buffers from.
+//
+// The facade also owns the per-call observability: a "matmul" telemetry
+// span tagged with the resolved algorithm/kernel, plus arena hit/miss
+// counter samples, so JSONL exports can attribute every measurement to
+// the exact kernel variant and buffer-reuse behaviour that produced it.
+#pragma once
+
+#include <optional>
+
+#include "capow/blas/blocked_gemm.hpp"
+#include "capow/capsalg/caps.hpp"
+#include "capow/core/algorithms.hpp"
+#include "capow/linalg/matrix.hpp"
+#include "capow/machine/machine.hpp"
+#include "capow/strassen/strassen.hpp"
+#include "capow/tasking/thread_pool.hpp"
+
+namespace capow {
+
+/// Options for capow::matmul().
+struct MatmulOptions {
+  /// Which of the paper's algorithms runs (registry: core/algorithms.hpp).
+  core::AlgorithmId algorithm = core::AlgorithmId::kOpenBlas;
+
+  /// Register-microkernel override. Precedence, for every algorithm:
+  /// this field > the per-algorithm option (blocking tile / base_kernel)
+  /// > the CAPOW_KERNEL environment variable > the algorithm default
+  /// (blocked GEMM: fastest supported; Strassen/CAPS: the BOTS-style
+  /// base kernel the paper models).
+  std::optional<blas::MicroKernelId> kernel;
+
+  /// Worker pool; null runs serially.
+  tasking::ThreadPool* pool = nullptr;
+
+  /// Workspace pool for packed panels and recursion temporaries; null
+  /// uses blas::WorkspaceArena::process_arena().
+  blas::WorkspaceArena* arena = nullptr;
+
+  /// Blocked-GEMM path: explicit blocking parameters. The (mr, nr) tile
+  /// must match a registered kernel, which it then pins.
+  std::optional<blas::BlockingParams> blocking;
+  /// Blocked-GEMM path: choose blocking for this machine's caches.
+  std::optional<machine::MachineSpec> machine;
+
+  /// Strassen path tuning (cutoff, winograd, spawn depth).
+  strassen::StrassenOptions strassen{};
+  /// CAPS path tuning (cutoffs, thresholds).
+  capsalg::CapsOptions caps{};
+  /// CAPS path: receives traversal statistics when non-null.
+  capsalg::CapsStats* caps_stats = nullptr;
+};
+
+/// C = A * B via the selected algorithm. Validation, padding and
+/// instrumentation follow the selected algorithm's contract; all three
+/// count logical traffic through capow::trace identically to their
+/// closed-form cost models.
+void matmul(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+            linalg::MatrixView c, const MatmulOptions& opts = {});
+
+/// The microkernel matmul() would run for `opts` — the facade-level
+/// resolution including per-algorithm defaults. Returns null when the
+/// Strassen/CAPS base case would use the BOTS kernel. Throws exactly
+/// when matmul() would reject the kernel/blocking combination.
+const blas::MicroKernel* matmul_kernel(const MatmulOptions& opts);
+
+}  // namespace capow

@@ -1,7 +1,8 @@
 #include "capow/blas/blocked_gemm.hpp"
 
 #include <algorithm>
-#include <vector>
+#include <stdexcept>
+#include <string>
 
 #include "capow/blas/gemm_ref.hpp"
 #include "capow/tasking/parallel_for.hpp"
@@ -12,91 +13,24 @@ namespace capow::blas {
 
 namespace {
 
-// Packs the mc_cur x kc_cur block of A anchored at (ic, pc) into
-// mr-high row stripes laid out kernel-friendly: stripe-major, then
-// k-index, then row-in-stripe. Edge rows are zero-padded so the kernel
-// never branches on the A side.
-void pack_a(linalg::ConstMatrixView a, std::size_t ic, std::size_t pc,
-            std::size_t mc_cur, std::size_t kc_cur, std::size_t mr,
-            double* buf) {
-  std::size_t out = 0;
-  for (std::size_t ir = 0; ir < mc_cur; ir += mr) {
-    const std::size_t rows = std::min(mr, mc_cur - ir);
-    for (std::size_t p = 0; p < kc_cur; ++p) {
-      for (std::size_t r = 0; r < mr; ++r) {
-        buf[out++] = r < rows ? a(ic + ir + r, pc + p) : 0.0;
-      }
-    }
-  }
-  trace::count_dram_read(mc_cur * kc_cur * sizeof(double));
+std::size_t round_up_multiple(std::size_t v, std::size_t m) {
+  return ((v + m - 1) / m) * m;
 }
-
-// Packs the kc_cur x nc_cur panel of B anchored at (pc, jc) into nr-wide
-// column stripes (stripe-major, then k-index, then column-in-stripe),
-// zero-padding edge columns.
-void pack_b(linalg::ConstMatrixView b, std::size_t pc, std::size_t jc,
-            std::size_t kc_cur, std::size_t nc_cur, std::size_t nr,
-            double* buf) {
-  std::size_t out = 0;
-  for (std::size_t jr = 0; jr < nc_cur; jr += nr) {
-    const std::size_t cols = std::min(nr, nc_cur - jr);
-    for (std::size_t p = 0; p < kc_cur; ++p) {
-      const double* brow = b.row(pc + p);
-      for (std::size_t cdx = 0; cdx < nr; ++cdx) {
-        buf[out++] = cdx < cols ? brow[jc + jr + cdx] : 0.0;
-      }
-    }
-  }
-  trace::count_dram_read(kc_cur * nc_cur * sizeof(double));
-}
-
-// mr x nr register-tile microkernel over packed stripes:
-//   Ctile += Astripe(kc x mr) * Bstripe(kc x nr)
-// `rows`/`cols` handle C-edge tiles; the packed stripes are padded so
-// the inner loop is always full-width.
-template <std::size_t MR, std::size_t NR>
-void micro_kernel(const double* astripe, const double* bstripe,
-                  std::size_t kc_cur, linalg::MatrixView c, std::size_t i0,
-                  std::size_t j0, std::size_t rows, std::size_t cols) {
-  double acc[MR][NR] = {};
-  for (std::size_t p = 0; p < kc_cur; ++p) {
-    const double* ap = astripe + p * MR;
-    const double* bp = bstripe + p * NR;
-    for (std::size_t r = 0; r < MR; ++r) {
-      const double ar = ap[r];
-      for (std::size_t cdx = 0; cdx < NR; ++cdx) {
-        acc[r][cdx] += ar * bp[cdx];
-      }
-    }
-  }
-  for (std::size_t r = 0; r < rows; ++r) {
-    double* crow = c.row(i0 + r) + j0;
-    for (std::size_t cdx = 0; cdx < cols; ++cdx) crow[cdx] += acc[r][cdx];
-  }
-}
-
-struct AlignedScratch {
-  std::vector<double> storage;
-  double* get(std::size_t count) {
-    if (storage.size() < count) storage.resize(count);
-    return storage.data();
-  }
-};
 
 // Multiplies one packed A block against the packed B panel, accumulating
 // into the C tile anchored at (ic, jc).
-void block_multiply(const double* packed_a, const double* packed_b,
-                    std::size_t mc_cur, std::size_t nc_cur,
-                    std::size_t kc_cur, const BlockingParams& bp,
+void block_multiply(const MicroKernel& k, const double* packed_a,
+                    const double* packed_b, std::size_t mc_cur,
+                    std::size_t nc_cur, std::size_t kc_cur,
                     linalg::MatrixView c, std::size_t ic, std::size_t jc) {
-  for (std::size_t jr = 0; jr < nc_cur; jr += bp.nr) {
+  for (std::size_t jr = 0; jr < nc_cur; jr += k.nr) {
     const double* bstripe = packed_b + jr * kc_cur;
-    const std::size_t cols = std::min(bp.nr, nc_cur - jr);
-    for (std::size_t ir = 0; ir < mc_cur; ir += bp.mr) {
+    const std::size_t cols = std::min(k.nr, nc_cur - jr);
+    for (std::size_t ir = 0; ir < mc_cur; ir += k.mr) {
       const double* astripe = packed_a + ir * kc_cur;
-      const std::size_t rows = std::min(bp.mr, mc_cur - ir);
-      micro_kernel<4, 4>(astripe, bstripe, kc_cur, c, ic + ir, jc + jr,
-                         rows, cols);
+      const std::size_t rows = std::min(k.mr, mc_cur - ir);
+      run_micro_tile(k, astripe, bstripe, kc_cur, c, ic + ir, jc + jr, rows,
+                     cols);
     }
   }
   // One C tile pass: read + write mc x nc, plus the 2*mc*nc*kc flops.
@@ -107,14 +41,41 @@ void block_multiply(const double* packed_a, const double* packed_b,
 
 }  // namespace
 
-void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
-                  linalg::MatrixView c, const BlockingParams& bp,
-                  tasking::ThreadPool* pool) {
-  check_gemm_shapes(a, b, c);
-  if (bp.mr != 4 || bp.nr != 4) {
-    throw std::invalid_argument(
-        "blocked_gemm: this build provides a 4x4 microkernel");
+const MicroKernel& resolve_kernel(const GemmOptions& opts) {
+  if (opts.blocking) {
+    const MicroKernel* k =
+        find_kernel_for_tile(opts.blocking->mr, opts.blocking->nr);
+    if (k == nullptr) {
+      throw std::invalid_argument(
+          "blocked_gemm: no registered microkernel matches the requested "
+          "mr x nr tile");
+    }
+    if (opts.kernel && *opts.kernel != k->id) {
+      throw std::invalid_argument(
+          "blocked_gemm: requested kernel disagrees with the blocking "
+          "parameters' mr x nr tile");
+    }
+    if (!k->supported()) {
+      throw std::runtime_error(std::string("blocked_gemm: kernel '") +
+                               k->name + "' is not supported by this CPU");
+    }
+    return *k;
   }
+  return select_kernel(opts.kernel);
+}
+
+void gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+          linalg::MatrixView c, const GemmOptions& opts) {
+  check_gemm_shapes(a, b, c);
+  const MicroKernel& kern = resolve_kernel(opts);
+  const BlockingParams bp =
+      opts.blocking ? *opts.blocking
+      : opts.machine ? select_blocking(*opts.machine, kern)
+                     : default_blocking_for(kern);
+  WorkspaceArena& arena =
+      opts.arena != nullptr ? *opts.arena : WorkspaceArena::process_arena();
+  tasking::ThreadPool* pool = opts.pool;
+
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
@@ -123,27 +84,31 @@ void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
   c.zero();
   trace::count_dram_write(m * n * sizeof(double));
 
-  AlignedScratch b_scratch;
   for (std::size_t jc = 0; jc < n; jc += bp.nc) {
     const std::size_t nc_cur = std::min(bp.nc, n - jc);
     for (std::size_t pc = 0; pc < k; pc += bp.kc) {
       const std::size_t kc_cur = std::min(bp.kc, k - pc);
       CAPOW_TSPAN_ARGS2("gemm.panel", "blas", "jc", jc, "pc", pc);
-      const std::size_t padded_nc = ((nc_cur + bp.nr - 1) / bp.nr) * bp.nr;
-      double* packed_b = b_scratch.get(padded_nc * kc_cur);
-      pack_b(b, pc, jc, kc_cur, nc_cur, bp.nr, packed_b);
+      const std::size_t padded_nc = round_up_multiple(nc_cur, bp.nr);
+      WorkspaceCheckout b_lease = arena.acquire(padded_nc * kc_cur);
+      double* packed_b = b_lease.data();
+      kern.pack_b(b, pc, jc, kc_cur, nc_cur, packed_b);
+      trace::count_dram_read(kc_cur * nc_cur * sizeof(double));
 
       const std::size_t mblocks = (m + bp.mc - 1) / bp.mc;
+      // Each worker leases one A buffer sized for a full mc block and
+      // reuses it across all its row blocks.
+      const std::size_t a_capacity =
+          round_up_multiple(std::min(bp.mc, m), bp.mr) * kc_cur;
       auto body = [&](std::size_t blk_lo, std::size_t blk_hi) {
-        AlignedScratch a_scratch;
+        WorkspaceCheckout a_lease = arena.acquire(a_capacity);
+        double* packed_a = a_lease.data();
         for (std::size_t blk = blk_lo; blk < blk_hi; ++blk) {
           const std::size_t ic = blk * bp.mc;
           const std::size_t mc_cur = std::min(bp.mc, m - ic);
-          const std::size_t padded_mc =
-              ((mc_cur + bp.mr - 1) / bp.mr) * bp.mr;
-          double* packed_a = a_scratch.get(padded_mc * kc_cur);
-          pack_a(a, ic, pc, mc_cur, kc_cur, bp.mr, packed_a);
-          block_multiply(packed_a, packed_b, mc_cur, nc_cur, kc_cur, bp, c,
+          kern.pack_a(a, ic, pc, mc_cur, kc_cur, packed_a);
+          trace::count_dram_read(mc_cur * kc_cur * sizeof(double));
+          block_multiply(kern, packed_a, packed_b, mc_cur, nc_cur, kc_cur, c,
                          ic, jc);
         }
       };
@@ -157,15 +122,64 @@ void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
   }
 }
 
+void small_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                linalg::MatrixView c, const MicroKernel& kern,
+                WorkspaceArena& arena, bool accumulate) {
+  check_gemm_shapes(a, b, c);
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  const std::size_t padded_m = round_up_multiple(m, kern.mr);
+  const std::size_t padded_n = round_up_multiple(n, kern.nr);
+
+  // Both packed operands share one lease; B follows A.
+  WorkspaceCheckout lease = arena.acquire((padded_m + padded_n) * k);
+  double* packed_a = lease.data();
+  double* packed_b = packed_a + padded_m * k;
+  kern.pack_a(a, 0, 0, m, k, packed_a);
+  kern.pack_b(b, 0, 0, k, n, packed_b);
+
+  if (!accumulate) c.zero();
+  for (std::size_t jr = 0; jr < n; jr += kern.nr) {
+    const double* bstripe = packed_b + jr * k;
+    const std::size_t cols = std::min(kern.nr, n - jr);
+    for (std::size_t ir = 0; ir < m; ir += kern.mr) {
+      const double* astripe = packed_a + ir * k;
+      const std::size_t rows = std::min(kern.mr, m - ir);
+      run_micro_tile(kern, astripe, bstripe, k, c, ir, jr, rows, cols);
+    }
+  }
+
+  // Logical traffic identical to strassen::base_gemm so the packed base
+  // case is cost-model-neutral: operands in, result out, 2mnk flops.
+  trace::count_flops(2ull * m * n * k);
+  trace::count_dram_read((m * k + k * n) * sizeof(double));
+  trace::count_dram_write(m * n * sizeof(double));
+}
+
+void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                  linalg::MatrixView c, const BlockingParams& bp,
+                  tasking::ThreadPool* pool) {
+  GemmOptions opts;
+  opts.blocking = bp;
+  opts.pool = pool;
+  gemm(a, b, c, opts);
+}
+
 void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
                   linalg::MatrixView c, const machine::MachineSpec& spec,
                   tasking::ThreadPool* pool) {
-  blocked_gemm(a, b, c, select_blocking(spec), pool);
+  GemmOptions opts;
+  opts.machine = spec;
+  opts.pool = pool;
+  gemm(a, b, c, opts);
 }
 
 void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
                   linalg::MatrixView c, tasking::ThreadPool* pool) {
-  blocked_gemm(a, b, c, default_blocking(), pool);
+  GemmOptions opts;
+  opts.pool = pool;
+  gemm(a, b, c, opts);
 }
 
 }  // namespace capow::blas

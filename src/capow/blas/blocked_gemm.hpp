@@ -3,33 +3,82 @@
 //
 // Structure: C is swept in nc-wide column panels; for each kc-deep slice
 // the B panel is packed once (LLC-resident), then mc x kc blocks of A are
-// packed (L2-resident) and an mr x nr register microkernel accumulates
-// into C tiles. Parallelism is work-sharing over the mc row blocks, the
-// same loop OpenBLAS threads via OpenMP on the paper's platform.
+// packed (L2-resident) and a runtime-dispatched mr x nr register
+// microkernel (microkernel.hpp) accumulates into C tiles. Packed panels
+// come from a WorkspaceArena, so steady-state calls never malloc.
+// Parallelism is work-sharing over the mc row blocks, the same loop
+// OpenBLAS threads via OpenMP on the paper's platform.
 //
 // Every pack and C-tile update records its logical streaming traffic via
 // capow::trace so that instrumented runs can be checked against the
-// closed-form cost model (cost_model.hpp) byte-for-byte.
+// closed-form cost model (cost_model.hpp) byte-for-byte. The traffic
+// model depends only on mc/kc/nc — never on the register tile — so every
+// kernel variant satisfies the same cross-check.
 #pragma once
 
+#include <optional>
+
 #include "capow/blas/blocking.hpp"
+#include "capow/blas/microkernel.hpp"
+#include "capow/blas/workspace.hpp"
 #include "capow/linalg/matrix.hpp"
 #include "capow/tasking/thread_pool.hpp"
 
 namespace capow::blas {
 
+/// Options for blas::gemm. Kernel/blocking resolution:
+///  - explicit `blocking` pins the register tile: the kernel is the
+///    registry entry whose tile matches (mr, nr) exactly, and both
+///    `kernel` (if also set) and the tile must agree — this keeps runs
+///    with pinned BlockingParams deterministic under CAPOW_KERNEL.
+///  - otherwise the kernel is select_kernel(kernel) — explicit request,
+///    else CAPOW_KERNEL, else fastest supported — and blocking is
+///    select_blocking(machine, kernel) or default_blocking_for(kernel).
+struct GemmOptions {
+  std::optional<BlockingParams> blocking;
+  std::optional<MicroKernelId> kernel;
+  std::optional<machine::MachineSpec> machine;
+  /// Packing-buffer pool; null uses WorkspaceArena::process_arena().
+  WorkspaceArena* arena = nullptr;
+  /// Null runs serially.
+  tasking::ThreadPool* pool = nullptr;
+};
+
+/// C = A * B through the packed, blocked path. Shapes are validated.
+void gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+          linalg::MatrixView c, const GemmOptions& opts = {});
+
+/// The kernel gemm() would run for `opts` (after full resolution);
+/// throws exactly when gemm() would. Exposed so harness/telemetry can
+/// record the variant without re-implementing the resolution rules.
+const MicroKernel& resolve_kernel(const GemmOptions& opts);
+
+/// C = A * B (or C += A * B) for small unpacked blocks through the
+/// registry microkernel: the packed-stripe path of gemm() without the
+/// cache-blocking loop nest, packing both operands into one arena
+/// buffer. Traffic accounting is identical to strassen::base_gemm
+/// (2*m*n*k flops, (m*k + k*n) bytes read, m*n written) so it can stand
+/// in for the recursion base case without moving the cost-model
+/// cross-checks.
+void small_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                linalg::MatrixView c, const MicroKernel& kernel,
+                WorkspaceArena& arena, bool accumulate = false);
+
 /// C = A * B with explicit blocking parameters.
 /// `pool` may be null (serial execution). Shapes are validated.
+[[deprecated("use capow::matmul() or blas::gemm(GemmOptions)")]]
 void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
                   linalg::MatrixView c, const BlockingParams& bp,
                   tasking::ThreadPool* pool = nullptr);
 
 /// C = A * B with blocking chosen for `spec` via select_blocking().
+[[deprecated("use capow::matmul() or blas::gemm(GemmOptions)")]]
 void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
                   linalg::MatrixView c, const machine::MachineSpec& spec,
                   tasking::ThreadPool* pool = nullptr);
 
 /// C = A * B with default blocking.
+[[deprecated("use capow::matmul() or blas::gemm(GemmOptions)")]]
 void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
                   linalg::MatrixView c,
                   tasking::ThreadPool* pool = nullptr);

@@ -13,14 +13,20 @@ std::size_t round_down_multiple(std::size_t v, std::size_t m) {
 }  // namespace
 
 BlockingParams select_blocking(const machine::MachineSpec& spec) {
+  // Legacy entry: the seed's 4x4 scalar tile.
+  return select_blocking(spec, *find_kernel(MicroKernelId::kGeneric));
+}
+
+BlockingParams select_blocking(const machine::MachineSpec& spec,
+                               const MicroKernel& kernel) {
   BlockingParams p{};
-  p.mr = 4;
-  p.nr = 4;
+  p.mr = kernel.mr;
+  p.nr = kernel.nr;
 
   const std::size_t l1 = spec.cache_capacity_bytes(0);
   const std::size_t l2 = spec.cache_capacity_bytes(1);
   const std::size_t llc = spec.llc_capacity_bytes();
-  if (l1 == 0 || l2 == 0 || llc == 0) return default_blocking();
+  if (l1 == 0 || l2 == 0 || llc == 0) return default_blocking_for(kernel);
 
   // kc: an mr x kc A-stripe plus a kc x nr B-stripe should fit in half
   // of L1 alongside the C tile.
@@ -41,6 +47,15 @@ BlockingParams select_blocking(const machine::MachineSpec& spec) {
 
 BlockingParams default_blocking() {
   return BlockingParams{.mc = 128, .kc = 256, .nc = 2048, .mr = 4, .nr = 4};
+}
+
+BlockingParams default_blocking_for(const MicroKernel& kernel) {
+  BlockingParams p = default_blocking();
+  p.mr = kernel.mr;
+  p.nr = kernel.nr;
+  p.mc = round_down_multiple(p.mc, p.mr);
+  p.nc = round_down_multiple(p.nc, p.nr);
+  return p;
 }
 
 }  // namespace capow::blas

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 
+#include "capow/blas/microkernel.hpp"
 #include "capow/machine/machine.hpp"
 
 namespace capow::blas {
@@ -33,8 +34,19 @@ struct BlockingParams {
 /// tile. Falls back to conservative defaults when the spec has no caches.
 BlockingParams select_blocking(const machine::MachineSpec& spec);
 
+/// Kernel-aware variant: the register tile (mr, nr) is taken from
+/// `kernel`, and mc/kc/nc are sized around that tile. The single-arg
+/// overload above keeps the seed's 4x4 tile for legacy callers.
+BlockingParams select_blocking(const machine::MachineSpec& spec,
+                               const MicroKernel& kernel);
+
 /// Default blocking used when no machine is supplied (sized for the
 /// Haswell preset).
 BlockingParams default_blocking();
+
+/// Default blocking matched to `kernel`'s register tile: the same
+/// Haswell-preset mc/kc/nc footprint with mc rounded to a multiple of
+/// the kernel's mr and nc to a multiple of its nr.
+BlockingParams default_blocking_for(const MicroKernel& kernel);
 
 }  // namespace capow::blas

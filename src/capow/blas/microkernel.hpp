@@ -1,0 +1,113 @@
+// Runtime-dispatched register microkernels for the packed GEMM family.
+//
+// The paper's "OpenBLAS tuned" baseline (Algorithm 1) is only meaningful
+// if the local multiply runs as fast as the hardware allows. This module
+// provides the mr x nr register kernels that blocked_gemm (and, when
+// requested, the Strassen/CAPS dense base case) executes over packed
+// operand stripes:
+//
+//   * generic — portable scalar 4x4 tile, compiled for the baseline ISA,
+//   * avx2    — 4x8 tile of 256-bit mul+add vectors,
+//   * fma     — 6x8 tile of fused multiply-adds (the BLIS-style Haswell
+//               shape: 12 independent accumulator vectors).
+//
+// Every kernel ships with matching pack routines that lay A out in
+// mr-high row stripes and B in nr-wide column stripes, zero-padded so
+// the kernel never branches on a partial tile. All SIMD variants are
+// compiled with per-function target attributes and gated behind runtime
+// CPU detection, so one binary carries every kernel and selects at run
+// time — `CAPOW_KERNEL={generic,avx2,fma,auto}` pins the choice for A/B
+// experiments.
+//
+// Kernels are *pure*: they move no logical-traffic counters. The callers
+// (blocked_gemm, small_gemm) account packing and tile traffic exactly as
+// the closed-form cost models do, which keeps the instrumented-vs-model
+// cross-checks byte-exact regardless of the kernel variant.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "capow/linalg/matrix.hpp"
+
+namespace capow::blas {
+
+/// Identity of one registered microkernel variant.
+enum class MicroKernelId : int { kGeneric = 0, kAvx2 = 1, kFma = 2 };
+
+/// Computes one full MR x NR tile over packed stripes:
+///   C[r*ldc + j] += sum_p astripe[p*MR + r] * bstripe[p*NR + j].
+using MicroKernelFn = void (*)(const double* astripe, const double* bstripe,
+                               std::size_t kc, double* c, std::size_t ldc);
+
+/// Packs the mc x kc block of `a` anchored at (ic, pc) into mr-high row
+/// stripes (stripe-major, then k-index, then row-in-stripe), zero-padding
+/// edge rows to the kernel's mr.
+using PackAFn = void (*)(linalg::ConstMatrixView a, std::size_t ic,
+                         std::size_t pc, std::size_t mc, std::size_t kc,
+                         double* buf);
+
+/// Packs the kc x nc panel of `b` anchored at (pc, jc) into nr-wide
+/// column stripes, zero-padding edge columns to the kernel's nr.
+using PackBFn = void (*)(linalg::ConstMatrixView b, std::size_t pc,
+                         std::size_t jc, std::size_t kc, std::size_t nc,
+                         double* buf);
+
+/// One registered microkernel variant plus its pack routines.
+struct MicroKernel {
+  MicroKernelId id{};
+  const char* name = "";  ///< registry key; also the CAPOW_KERNEL value
+  std::size_t mr = 0;     ///< register-tile rows
+  std::size_t nr = 0;     ///< register-tile columns
+  MicroKernelFn kernel = nullptr;
+  PackAFn pack_a = nullptr;
+  PackBFn pack_b = nullptr;
+  bool (*supported)() = nullptr;  ///< runtime CPU capability check
+};
+
+/// Largest tile any registered kernel uses (sizes edge-tile scratch).
+inline constexpr std::size_t kMaxMicroTileRows = 8;
+inline constexpr std::size_t kMaxMicroTileCols = 8;
+
+/// All registered kernels, in ascending-preference order (the last
+/// supported entry is the "auto" choice).
+std::span<const MicroKernel> kernel_registry() noexcept;
+
+/// Lookup by id; never null for a valid id.
+const MicroKernel* find_kernel(MicroKernelId id) noexcept;
+
+/// Lookup by registry name ("generic", "avx2", "fma"); null when unknown.
+const MicroKernel* find_kernel(std::string_view name) noexcept;
+
+/// Registered kernel whose register tile is exactly mr x nr; null when
+/// none matches. Tiles are unique per kernel, so legacy BlockingParams
+/// (whose mr/nr predate the registry) resolve to exactly one variant.
+const MicroKernel* find_kernel_for_tile(std::size_t mr,
+                                        std::size_t nr) noexcept;
+
+/// The CAPOW_KERNEL environment override, parsed once per process:
+/// nullopt when unset or "auto"; throws std::invalid_argument the first
+/// time for an unknown value.
+std::optional<MicroKernelId> env_kernel_override();
+
+/// Resolves the kernel to run:
+///   1. `requested` when provided,
+///   2. else the CAPOW_KERNEL environment override,
+///   3. else the fastest variant this CPU supports.
+/// Throws std::runtime_error when the resolved variant is not supported
+/// by the executing CPU (an explicit request for an unavailable ISA is
+/// an experiment-setup error, not something to paper over silently).
+const MicroKernel& select_kernel(
+    std::optional<MicroKernelId> requested = std::nullopt);
+
+/// Runs one (possibly partial) tile: full tiles go straight to the
+/// kernel; edge tiles accumulate into a zeroed scratch tile first and
+/// add back only the live rows x cols window of C.
+void run_micro_tile(const MicroKernel& k, const double* astripe,
+                    const double* bstripe, std::size_t kc,
+                    linalg::MatrixView c, std::size_t i0, std::size_t j0,
+                    std::size_t rows, std::size_t cols);
+
+}  // namespace capow::blas

@@ -2,9 +2,11 @@
 
 #include <array>
 #include <atomic>
-#include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
+#include "capow/blas/blocked_gemm.hpp"
 #include "capow/linalg/ops.hpp"
 #include "capow/linalg/partition.hpp"
 #include "capow/strassen/base_kernel.hpp"
@@ -31,6 +33,8 @@ using strassen::counted_sub_inplace;
 struct Ctx {
   CapsOptions opts;
   tasking::ThreadPool* pool;
+  blas::WorkspaceArena* arena = nullptr;          ///< never null
+  const blas::MicroKernel* base_kernel = nullptr; ///< null = BOTS kernel
   std::atomic<std::uint64_t> cur_bytes{0};
   std::atomic<std::uint64_t> peak_bytes{0};
   std::atomic<std::uint64_t> bfs_nodes{0};
@@ -52,10 +56,13 @@ struct Ctx {
 
 /// An h x h scratch matrix whose allocation is charged against the CAPS
 /// buffer high-water mark (the "additional buffer memory" of BFS).
+/// Physical storage comes from the workspace arena; the *logical* charge
+/// stays the exact h*h*8 the cost model predicts, independent of arena
+/// size-class rounding or pool reuse.
 class TrackedMatrix {
  public:
   TrackedMatrix(Ctx& ctx, std::size_t h)
-      : ctx_(&ctx), bytes_(h * h * sizeof(double)), m_(h, h) {
+      : ctx_(&ctx), bytes_(h * h * sizeof(double)), m_(*ctx.arena, h, h) {
     ctx_->track_alloc(bytes_);
   }
   ~TrackedMatrix() { ctx_->track_free(bytes_); }
@@ -68,7 +75,7 @@ class TrackedMatrix {
  private:
   Ctx* ctx_;
   std::uint64_t bytes_;
-  Matrix m_;
+  blas::ArenaMatrix m_;
 };
 
 void recurse(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
@@ -117,13 +124,16 @@ void bfs_step(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
   const auto qc = linalg::partition(c);
   const std::size_t h = a.rows() / 2;
 
-  std::array<std::unique_ptr<TrackedMatrix>, 7> la;
-  std::array<std::unique_ptr<TrackedMatrix>, 7> lb;
-  std::array<std::unique_ptr<TrackedMatrix>, 7> q;
+  // In-place optionals, not unique_ptr: the buffers themselves lease
+  // arena storage, and the handles must not re-introduce a heap
+  // allocation per node.
+  std::array<std::optional<TrackedMatrix>, 7> la;
+  std::array<std::optional<TrackedMatrix>, 7> lb;
+  std::array<std::optional<TrackedMatrix>, 7> q;
   for (int i = 0; i < 7; ++i) {
-    la[i] = std::make_unique<TrackedMatrix>(ctx, h);
-    lb[i] = std::make_unique<TrackedMatrix>(ctx, h);
-    q[i] = std::make_unique<TrackedMatrix>(ctx, h);
+    la[i].emplace(ctx, h);
+    lb[i].emplace(ctx, h);
+    q[i].emplace(ctx, h);
   }
 
   const bool parallel = ctx.pool != nullptr && ctx.pool->concurrency() > 1;
@@ -271,54 +281,54 @@ void dfs_step(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
   for (int i = 0; i < 7; ++i) {
     // Form this product's operands (transient temporaries only).
     {
-      std::unique_ptr<TrackedMatrix> ta;
-      std::unique_ptr<TrackedMatrix> tb;
+      std::optional<TrackedMatrix> ta;
+      std::optional<TrackedMatrix> tb;
       ConstMatrixView lhs;
       ConstMatrixView rhs;
       switch (i) {
         case 0:
-          ta = std::make_unique<TrackedMatrix>(ctx, h);
-          tb = std::make_unique<TrackedMatrix>(ctx, h);
+          ta.emplace(ctx, h);
+          tb.emplace(ctx, h);
           dfs_add(ctx, qa.q11, qa.q22, ta->view());
           dfs_add(ctx, qb.q11, qb.q22, tb->view());
           lhs = ta->cview();
           rhs = tb->cview();
           break;
         case 1:
-          ta = std::make_unique<TrackedMatrix>(ctx, h);
+          ta.emplace(ctx, h);
           dfs_add(ctx, qa.q21, qa.q22, ta->view());
           lhs = ta->cview();
           rhs = qb.q11;
           break;
         case 2:
-          tb = std::make_unique<TrackedMatrix>(ctx, h);
+          tb.emplace(ctx, h);
           dfs_sub(ctx, qb.q12, qb.q22, tb->view());
           lhs = qa.q11;
           rhs = tb->cview();
           break;
         case 3:
-          tb = std::make_unique<TrackedMatrix>(ctx, h);
+          tb.emplace(ctx, h);
           dfs_sub(ctx, qb.q21, qb.q11, tb->view());
           lhs = qa.q22;
           rhs = tb->cview();
           break;
         case 4:
-          ta = std::make_unique<TrackedMatrix>(ctx, h);
+          ta.emplace(ctx, h);
           dfs_add(ctx, qa.q11, qa.q12, ta->view());
           lhs = ta->cview();
           rhs = qb.q22;
           break;
         case 5:
-          ta = std::make_unique<TrackedMatrix>(ctx, h);
-          tb = std::make_unique<TrackedMatrix>(ctx, h);
+          ta.emplace(ctx, h);
+          tb.emplace(ctx, h);
           dfs_sub(ctx, qa.q21, qa.q11, ta->view());
           dfs_add(ctx, qb.q11, qb.q12, tb->view());
           lhs = ta->cview();
           rhs = tb->cview();
           break;
         case 6:
-          ta = std::make_unique<TrackedMatrix>(ctx, h);
-          tb = std::make_unique<TrackedMatrix>(ctx, h);
+          ta.emplace(ctx, h);
+          tb.emplace(ctx, h);
           dfs_sub(ctx, qa.q12, qa.q22, ta->view());
           dfs_add(ctx, qb.q21, qb.q22, tb->view());
           lhs = ta->cview();
@@ -368,7 +378,11 @@ void recurse(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
   const std::size_t n = a.rows();
   if (n <= ctx.opts.base_cutoff) {
     ctx.base_products.fetch_add(1, std::memory_order_relaxed);
-    strassen::base_gemm(a, b, c);
+    if (ctx.base_kernel != nullptr) {
+      blas::small_gemm(a, b, c, *ctx.base_kernel, *ctx.arena);
+    } else {
+      strassen::base_gemm(a, b, c);
+    }
     return;
   }
   if (depth < ctx.opts.bfs_cutoff_depth) {
@@ -380,19 +394,32 @@ void recurse(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
 
 }  // namespace
 
-void caps_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
-                   const CapsOptions& opts, tasking::ThreadPool* pool,
-                   CapsStats* stats) {
+void multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+              const CapsOptions& opts, tasking::ThreadPool* pool,
+              CapsStats* stats) {
   if (!a.square() || !b.square() || !c.square() || a.rows() != b.rows() ||
       a.rows() != c.rows()) {
     throw std::invalid_argument(
-        "caps_multiply: operands must be square with equal dimension");
+        "capsalg::multiply: operands must be square with equal dimension");
   }
   if (opts.base_cutoff == 0) {
-    throw std::invalid_argument("caps_multiply: base_cutoff == 0");
+    throw std::invalid_argument("capsalg::multiply: base_cutoff == 0");
   }
 
-  Ctx ctx{opts, pool};
+  // Explicit option first, then the CAPOW_KERNEL environment override
+  // (applied here so the deprecated shim and the facade agree), else
+  // the BOTS loop kernel.
+  const std::optional<blas::MicroKernelId> base =
+      opts.base_kernel ? opts.base_kernel : blas::env_kernel_override();
+  Ctx ctx{opts, pool,
+          opts.arena != nullptr ? opts.arena
+                                : &blas::WorkspaceArena::process_arena(),
+          base ? blas::find_kernel(*base) : nullptr};
+  if (base && !ctx.base_kernel->supported()) {
+    throw std::runtime_error(
+        std::string("capsalg::multiply: base kernel '") +
+        ctx.base_kernel->name + "' is not supported by this CPU");
+  }
   const std::size_t n = a.rows();
   CAPOW_TSPAN_ARGS2("caps.multiply", "caps", "n", n, "bfs_cutoff_depth",
                     opts.bfs_cutoff_depth);
@@ -403,21 +430,27 @@ void caps_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
 
   if (n <= opts.base_cutoff) {
     ctx.base_products.fetch_add(1, std::memory_order_relaxed);
-    strassen::base_gemm(a, b, c);
+    if (ctx.base_kernel != nullptr) {
+      blas::small_gemm(a, b, c, *ctx.base_kernel, *ctx.arena);
+    } else {
+      strassen::base_gemm(a, b, c);
+    }
   } else {
     const std::size_t padded =
         linalg::pad_dimension_for_recursion(n, opts.base_cutoff);
     if (padded == n) {
       recurse(a, b, c, ctx, 0);
     } else {
-      Matrix ap(padded, padded), bp(padded, padded), cp(padded, padded);
+      blas::ArenaMatrix ap(*ctx.arena, padded, padded);
+      blas::ArenaMatrix bp(*ctx.arena, padded, padded);
+      blas::ArenaMatrix cp(*ctx.arena, padded, padded);
       linalg::copy_padded(a, ap.view());
       linalg::copy_padded(b, bp.view());
       trace::count_dram_read(2 * n * n * sizeof(double));
       trace::count_dram_write(2 * padded * padded * sizeof(double));
       ctx.track_alloc(3 * padded * padded * sizeof(double));
       recurse(ap.view(), bp.view(), cp.view(), ctx, 0);
-      counted_copy(cp.block(0, 0, n, n), c);
+      counted_copy(cp.view().block(0, 0, n, n), c);
       ctx.track_free(3 * padded * padded * sizeof(double));
     }
   }
@@ -430,6 +463,12 @@ void caps_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
     stats->base_products =
         ctx.base_products.load(std::memory_order_relaxed);
   }
+}
+
+void caps_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                   const CapsOptions& opts, tasking::ThreadPool* pool,
+                   CapsStats* stats) {
+  multiply(a, b, c, opts, pool, stats);
 }
 
 }  // namespace capow::capsalg

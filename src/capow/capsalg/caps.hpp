@@ -23,13 +23,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
+#include "capow/blas/microkernel.hpp"
+#include "capow/blas/workspace.hpp"
 #include "capow/linalg/matrix.hpp"
 #include "capow/tasking/thread_pool.hpp"
 
 namespace capow::capsalg {
 
-/// Tuning knobs for caps_multiply.
+/// Tuning knobs for capsalg::multiply.
 struct CapsOptions {
   /// Dense base-kernel cutoff dimension (paper: 64).
   std::size_t base_cutoff = 64;
@@ -38,6 +41,14 @@ struct CapsOptions {
   std::size_t bfs_cutoff_depth = 4;
   /// Minimum quadrant dimension for work-sharing the DFS additions.
   std::size_t dfs_parallel_threshold = 256;
+  /// Pool backing the BFS/DFS buffers (physical storage only — the
+  /// CapsStats peak-buffer accounting still charges logical sizes, so
+  /// the cost-model cross-check stays exact); null uses
+  /// blas::WorkspaceArena::process_arena().
+  blas::WorkspaceArena* arena = nullptr;
+  /// When set, the dense base case runs through the packed registry
+  /// microkernel (blas::small_gemm) instead of the BOTS-style kernel.
+  std::optional<blas::MicroKernelId> base_kernel;
 };
 
 /// Execution statistics: the memory/communication trade CAPS makes.
@@ -49,9 +60,16 @@ struct CapsStats {
 };
 
 /// C = A * B for square matrices via CAPS. Padding, validation and
-/// instrumentation conventions match strassen_multiply. `stats` (optional)
-/// receives the traversal statistics. Throws std::invalid_argument for
-/// non-square operands or zero cutoffs.
+/// instrumentation conventions match strassen::multiply. `stats`
+/// (optional) receives the traversal statistics. Throws
+/// std::invalid_argument for non-square operands or zero cutoffs.
+void multiply(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+              linalg::MatrixView c, const CapsOptions& opts = {},
+              tasking::ThreadPool* pool = nullptr,
+              CapsStats* stats = nullptr);
+
+/// Legacy name for multiply().
+[[deprecated("use capow::matmul() or capsalg::multiply()")]]
 void caps_multiply(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
                    linalg::MatrixView c, const CapsOptions& opts = {},
                    tasking::ThreadPool* pool = nullptr,

@@ -1,0 +1,40 @@
+#include "capow/core/algorithms.hpp"
+
+namespace capow::core {
+
+namespace {
+
+constexpr AlgorithmInfo kAlgorithms[] = {
+    {AlgorithmId::kOpenBlas, "OpenBLAS", "openblas",
+     "Goto-style packed blocked DGEMM (the paper's tuned EP baseline)"},
+    {AlgorithmId::kStrassen, "Strassen", "strassen",
+     "task-parallel seven-product recursion (BOTS-derived, Section IV-B)"},
+    {AlgorithmId::kCaps, "CAPS", "caps",
+     "communication-avoiding BFS/DFS Strassen traversal (Section IV-C)"},
+};
+
+}  // namespace
+
+std::span<const AlgorithmInfo> algorithm_registry() noexcept {
+  return kAlgorithms;
+}
+
+const AlgorithmInfo& algorithm_info(AlgorithmId id) noexcept {
+  for (const AlgorithmInfo& info : kAlgorithms) {
+    if (info.id == id) return info;
+  }
+  return kAlgorithms[0];
+}
+
+const AlgorithmInfo* find_algorithm(std::string_view name_or_key) noexcept {
+  for (const AlgorithmInfo& info : kAlgorithms) {
+    if (name_or_key == info.name || name_or_key == info.key) return &info;
+  }
+  return nullptr;
+}
+
+const char* algorithm_name(AlgorithmId id) noexcept {
+  return algorithm_info(id).name;
+}
+
+}  // namespace capow::core

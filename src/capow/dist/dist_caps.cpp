@@ -118,7 +118,7 @@ void solve_group(Communicator& comm, const Group& group,
   // Termination: solve locally on the leader.
   if (group.size() == 1 || n <= opts.distribute_threshold || n % 2 != 0 ||
       depth >= opts.max_distribution_levels) {
-    if (leader) capsalg::caps_multiply(a, b, c, opts.local);
+    if (leader) capsalg::multiply(a, b, c, opts.local);
     return;
   }
 
@@ -144,7 +144,7 @@ void solve_group(Communicator& comm, const Group& group,
       for (int i = 0; i < 7; ++i) {
         q[i] = Matrix(h, h);
         if (owner_of(i) == me) {
-          capsalg::caps_multiply(la[i].view(), lb[i].view(), q[i].view(),
+          capsalg::multiply(la[i].view(), lb[i].view(), q[i].view(),
                                  opts.local);
         }
       }
@@ -162,7 +162,7 @@ void solve_group(Communicator& comm, const Group& group,
                   la.view());
         unflatten(comm.recv(group.leader(), op_tag + i).payload,
                   lb.view());
-        capsalg::caps_multiply(la.view(), lb.view(), q.view(), opts.local);
+        capsalg::multiply(la.view(), lb.view(), q.view(), opts.local);
         comm.send(group.leader(), res_tag + i, flatten(q.view()));
       }
     }

@@ -141,10 +141,9 @@ bool parse_u64(const std::string& tok, unsigned long long& out) {
 }  // namespace
 
 std::optional<Algorithm> algorithm_from_name(const std::string& name) {
-  for (Algorithm a : kAllAlgorithms) {
-    if (name == algorithm_name(a)) return a;
-  }
-  return std::nullopt;
+  const core::AlgorithmInfo* info = core::find_algorithm(name);
+  if (info == nullptr) return std::nullopt;
+  return info->id;
 }
 
 std::string checkpoint_line(const ResultRecord& r) {

@@ -20,18 +20,6 @@
 
 namespace capow::harness {
 
-const char* algorithm_name(Algorithm a) noexcept {
-  switch (a) {
-    case Algorithm::kOpenBlas:
-      return "OpenBLAS";
-    case Algorithm::kStrassen:
-      return "Strassen";
-    case Algorithm::kCaps:
-      return "CAPS";
-  }
-  return "?";
-}
-
 const char* to_string(RunStatus s) noexcept {
   switch (s) {
     case RunStatus::kOk:

@@ -18,19 +18,22 @@
 #include <vector>
 
 #include "capow/capsalg/cost_model.hpp"
+#include "capow/core/algorithms.hpp"
 #include "capow/core/ep_model.hpp"
 #include "capow/machine/machine.hpp"
 #include "capow/strassen/cost_model.hpp"
 
 namespace capow::harness {
 
-/// The three algorithms of the paper's Section IV.
-enum class Algorithm { kOpenBlas = 0, kStrassen = 1, kCaps = 2 };
+/// The paper's algorithms — an alias of the shared core registry enum,
+/// so the harness matrix, the capow::matmul facade, and capow-report all
+/// agree on ids and names by construction.
+using Algorithm = core::AlgorithmId;
 inline constexpr Algorithm kAllAlgorithms[] = {
     Algorithm::kOpenBlas, Algorithm::kStrassen, Algorithm::kCaps};
 
-/// Display name ("OpenBLAS", "Strassen", "CAPS").
-const char* algorithm_name(Algorithm a) noexcept;
+/// Display name ("OpenBLAS", "Strassen", "CAPS") — the registry's.
+using core::algorithm_name;
 
 /// How a configuration's measurement concluded. Order is precedence:
 /// a run that both retried and finished degraded reports kDegraded.

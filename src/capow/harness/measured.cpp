@@ -3,7 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
-#include "capow/blas/blocked_gemm.hpp"
+#include "capow/api/matmul.hpp"
 #include "capow/blas/cost_model.hpp"
 #include "capow/blas/gemm_ref.hpp"
 #include "capow/capsalg/caps.hpp"
@@ -32,25 +32,14 @@ MeasuredRecord run_measured(Algorithm a, std::size_t n, unsigned threads,
     trace::RecordingScope scope(*rec);
     CAPOW_TSPAN_ARGS2(algorithm_name(a), "harness", "n", n, "threads",
                       threads);
-    switch (a) {
-      case Algorithm::kOpenBlas:
-        blas::blocked_gemm(ma.view(), mb.view(), mc.view(), machine_spec,
-                           threads > 1 ? &pool : nullptr);
-        efficiency = blas::kTunedGemmEfficiency;
-        break;
-      case Algorithm::kStrassen: {
-        strassen::strassen_multiply(ma.view(), mb.view(), mc.view(), {},
-                                    threads > 1 ? &pool : nullptr);
-        efficiency = strassen::kBotsBaseKernelEfficiency;
-        break;
-      }
-      case Algorithm::kCaps: {
-        capsalg::caps_multiply(ma.view(), mb.view(), mc.view(), {},
-                               threads > 1 ? &pool : nullptr);
-        efficiency = strassen::kBotsBaseKernelEfficiency;
-        break;
-      }
-    }
+    MatmulOptions opts;
+    opts.algorithm = a;
+    opts.pool = threads > 1 ? &pool : nullptr;
+    opts.machine = machine_spec;
+    matmul(ma.view(), mb.view(), mc.view(), opts);
+    efficiency = a == Algorithm::kOpenBlas
+                     ? blas::kTunedGemmEfficiency
+                     : strassen::kBotsBaseKernelEfficiency;
   }
 
   MeasuredRecord out;

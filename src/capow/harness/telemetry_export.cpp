@@ -4,6 +4,8 @@
 #include <string>
 
 #include "capow/blas/cost_model.hpp"
+#include "capow/blas/microkernel.hpp"
+#include "capow/blas/workspace.hpp"
 #include "capow/fault/fault.hpp"
 #include "capow/sim/executor.hpp"
 #include "capow/telemetry/export.hpp"
@@ -15,6 +17,16 @@ namespace {
 std::string run_label(Algorithm a, std::size_t n, unsigned threads) {
   return std::string(algorithm_name(a)) + " n=" + std::to_string(n) +
          " t=" + std::to_string(threads);
+}
+
+// The microkernel this process resolves for `a` under the current
+// CAPOW_KERNEL setting — what capow::matmul() with default options runs.
+// Deterministic for a given environment, so exports stay byte-stable
+// across repeat runs.
+const char* resolved_kernel_name(Algorithm a) {
+  if (a == Algorithm::kOpenBlas) return blas::select_kernel().name;
+  const auto env = blas::env_kernel_override();
+  return env ? blas::find_kernel(*env)->name : "bots";
 }
 
 }  // namespace
@@ -110,6 +122,7 @@ void export_jsonl(ExperimentRunner& runner, std::ostream& os) {
         .field("flops", profile.total_flops())
         .field("dram_bytes", profile.total_dram_bytes())
         .field("syncs", static_cast<std::uint64_t>(profile.total_syncs()))
+        .field("kernel", resolved_kernel_name(r.algorithm))
         .field("machine", cfg.machine.name);
     os << obj.str() << '\n';
   }
@@ -193,6 +206,39 @@ void export_metrics(ExperimentRunner& runner, std::ostream& os) {
                 {"threads", std::to_string(r.threads)},
                 {"status", to_string(r.status)}},
                static_cast<double>(r.attempts));
+  }
+
+  // Which microkernel each algorithm resolves under the current
+  // CAPOW_KERNEL setting. Info-style gauge (value 1, identity in the
+  // label) — deterministic per environment, so clean scrapes stay
+  // byte-stable across repeat runs.
+  reg.family("capow_selected_kernel_info",
+             "Resolved microkernel per algorithm (info gauge)", "gauge");
+  for (Algorithm a : kAllAlgorithms) {
+    reg.sample({{"algorithm", algorithm_name(a)},
+                {"kernel", resolved_kernel_name(a)}},
+               1.0);
+  }
+
+  // Workspace-arena pooling counters from the process arena. Hit/miss
+  // splits depend on worker interleaving, so — like the fault counters
+  // below — the family is emitted only when the arena actually saw
+  // traffic; scrapes from arena-free runs stay byte-identical.
+  const blas::ArenaStats arena =
+      blas::WorkspaceArena::process_arena().stats();
+  if (arena.acquires > 0) {
+    reg.family("capow_arena_acquires_total",
+               "Workspace arena checkouts by pool outcome", "counter");
+    reg.sample({{"result", "hit"}}, static_cast<double>(arena.hits));
+    reg.sample({{"result", "miss"}}, static_cast<double>(arena.misses));
+    reg.family("capow_arena_bytes",
+               "Workspace arena bytes by state", "gauge");
+    reg.sample({{"state", "allocated"}},
+               static_cast<double>(arena.allocated_bytes));
+    reg.sample({{"state", "pooled"}},
+               static_cast<double>(arena.pooled_bytes));
+    reg.sample({{"state", "peak_outstanding"}},
+               static_cast<double>(arena.peak_outstanding_bytes));
   }
 
   // Fault/recovery event totals from the installed injector (absent

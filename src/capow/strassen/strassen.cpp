@@ -2,7 +2,9 @@
 
 #include <array>
 #include <stdexcept>
+#include <string>
 
+#include "capow/blas/blocked_gemm.hpp"
 #include "capow/linalg/ops.hpp"
 #include "capow/linalg/partition.hpp"
 #include "capow/strassen/base_kernel.hpp"
@@ -15,6 +17,7 @@ namespace capow::strassen {
 
 namespace {
 
+using blas::ArenaMatrix;
 using linalg::ConstMatrixView;
 using linalg::Matrix;
 using linalg::MatrixView;
@@ -23,6 +26,8 @@ using linalg::Quadrants;
 struct Ctx {
   StrassenOptions opts;
   tasking::ThreadPool* pool;
+  blas::WorkspaceArena* arena;               ///< never null
+  const blas::MicroKernel* base_kernel;      ///< null = BOTS base kernel
 };
 
 void recurse(ConstMatrixView a, ConstMatrixView b, MatrixView c,
@@ -36,47 +41,50 @@ void classic_product(int i, const Quadrants<ConstMatrixView>& qa,
                      const Quadrants<ConstMatrixView>& qb, MatrixView out,
                      const Ctx& ctx, std::size_t depth) {
   const std::size_t h = out.rows();
+  // Operand-sum temporaries lease arena storage: after the first level
+  // warms the pool, recursion levels reuse the same L2/LLC-resident
+  // buffers instead of touching the allocator.
   switch (i) {
     case 0: {
-      Matrix ta(h, h), tb(h, h);
+      ArenaMatrix ta(*ctx.arena, h, h), tb(*ctx.arena, h, h);
       counted_add(qa.q11, qa.q22, ta.view());
       counted_add(qb.q11, qb.q22, tb.view());
       recurse(ta.view(), tb.view(), out, ctx, depth + 1);
       break;
     }
     case 1: {
-      Matrix ta(h, h);
+      ArenaMatrix ta(*ctx.arena, h, h);
       counted_add(qa.q21, qa.q22, ta.view());
       recurse(ta.view(), qb.q11, out, ctx, depth + 1);
       break;
     }
     case 2: {
-      Matrix tb(h, h);
+      ArenaMatrix tb(*ctx.arena, h, h);
       counted_sub(qb.q12, qb.q22, tb.view());
       recurse(qa.q11, tb.view(), out, ctx, depth + 1);
       break;
     }
     case 3: {
-      Matrix tb(h, h);
+      ArenaMatrix tb(*ctx.arena, h, h);
       counted_sub(qb.q21, qb.q11, tb.view());
       recurse(qa.q22, tb.view(), out, ctx, depth + 1);
       break;
     }
     case 4: {
-      Matrix ta(h, h);
+      ArenaMatrix ta(*ctx.arena, h, h);
       counted_add(qa.q11, qa.q12, ta.view());
       recurse(ta.view(), qb.q22, out, ctx, depth + 1);
       break;
     }
     case 5: {
-      Matrix ta(h, h), tb(h, h);
+      ArenaMatrix ta(*ctx.arena, h, h), tb(*ctx.arena, h, h);
       counted_sub(qa.q21, qa.q11, ta.view());
       counted_add(qb.q11, qb.q12, tb.view());
       recurse(ta.view(), tb.view(), out, ctx, depth + 1);
       break;
     }
     case 6: {
-      Matrix ta(h, h), tb(h, h);
+      ArenaMatrix ta(*ctx.arena, h, h), tb(*ctx.arena, h, h);
       counted_sub(qa.q12, qa.q22, ta.view());
       counted_add(qb.q21, qb.q22, tb.view());
       recurse(ta.view(), tb.view(), out, ctx, depth + 1);
@@ -87,7 +95,7 @@ void classic_product(int i, const Quadrants<ConstMatrixView>& qa,
   }
 }
 
-void classic_combine(const std::array<Matrix, 7>& m,
+void classic_combine(const std::array<ArenaMatrix, 7>& m,
                      const Quadrants<MatrixView>& qc) {
   // C11 = M1 + M4 - M5 + M7
   counted_add(m[0].view(), m[3].view(), qc.q11);
@@ -107,8 +115,7 @@ void recurse_classic(const Quadrants<ConstMatrixView>& qa,
                      const Quadrants<ConstMatrixView>& qb,
                      const Quadrants<MatrixView>& qc, std::size_t h,
                      const Ctx& ctx, std::size_t depth) {
-  std::array<Matrix, 7> m;
-  for (auto& mi : m) mi = Matrix(h, h);
+  auto m = blas::make_arena_matrices<7>(*ctx.arena, h, h);
 
   const bool spawn = ctx.pool != nullptr && ctx.pool->concurrency() > 1 &&
                      depth < ctx.opts.task_spawn_depth;
@@ -138,8 +145,10 @@ void recurse_winograd(const Quadrants<ConstMatrixView>& qa,
                       const Quadrants<ConstMatrixView>& qb,
                       const Quadrants<MatrixView>& qc, std::size_t h,
                       const Ctx& ctx, std::size_t depth) {
-  Matrix s1(h, h), s2(h, h), s3(h, h), s4(h, h);
-  Matrix t1(h, h), t2(h, h), t3(h, h), t4(h, h);
+  ArenaMatrix s1(*ctx.arena, h, h), s2(*ctx.arena, h, h),
+      s3(*ctx.arena, h, h), s4(*ctx.arena, h, h);
+  ArenaMatrix t1(*ctx.arena, h, h), t2(*ctx.arena, h, h),
+      t3(*ctx.arena, h, h), t4(*ctx.arena, h, h);
   counted_add(qa.q21, qa.q22, s1.view());  // S1 = A21 + A22
   counted_sub(s1.view(), qa.q11, s2.view());  // S2 = S1 - A11
   counted_sub(qa.q11, qa.q21, s3.view());  // S3 = A11 - A21
@@ -149,8 +158,7 @@ void recurse_winograd(const Quadrants<ConstMatrixView>& qa,
   counted_sub(qb.q22, qb.q12, t3.view());  // T3 = B22 - B12
   counted_sub(t2.view(), qb.q21, t4.view());  // T4 = T2 - B21
 
-  std::array<Matrix, 7> p;
-  for (auto& pi : p) pi = Matrix(h, h);
+  auto p = blas::make_arena_matrices<7>(*ctx.arena, h, h);
 
   const auto run_product = [&](int i) {
     switch (i) {
@@ -195,7 +203,11 @@ void recurse(ConstMatrixView a, ConstMatrixView b, MatrixView c,
              const Ctx& ctx, std::size_t depth) {
   const std::size_t n = a.rows();
   if (n <= ctx.opts.base_cutoff) {
-    base_gemm(a, b, c);
+    if (ctx.base_kernel != nullptr) {
+      blas::small_gemm(a, b, c, *ctx.base_kernel, *ctx.arena);
+    } else {
+      base_gemm(a, b, c);
+    }
     return;
   }
   CAPOW_TSPAN_ARGS2("strassen.recurse", "strassen", "depth", depth, "n", n);
@@ -234,23 +246,39 @@ std::size_t recursion_levels(std::size_t n, std::size_t base_cutoff) {
   return levels;
 }
 
-void strassen_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
-                       const StrassenOptions& opts,
-                       tasking::ThreadPool* pool) {
+void multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+              const StrassenOptions& opts, tasking::ThreadPool* pool) {
   validate_square_inputs(a, b, c);
   if (opts.base_cutoff == 0) {
-    throw std::invalid_argument("strassen_multiply: base_cutoff == 0");
+    throw std::invalid_argument("strassen::multiply: base_cutoff == 0");
+  }
+  // Explicit option first, then the CAPOW_KERNEL environment override
+  // (applied here so the deprecated shim and the facade agree), else
+  // the BOTS loop kernel.
+  const std::optional<blas::MicroKernelId> base =
+      opts.base_kernel ? opts.base_kernel : blas::env_kernel_override();
+  Ctx ctx{opts, pool,
+          opts.arena != nullptr ? opts.arena
+                                : &blas::WorkspaceArena::process_arena(),
+          base ? blas::find_kernel(*base) : nullptr};
+  if (base && !ctx.base_kernel->supported()) {
+    throw std::runtime_error(
+        std::string("strassen::multiply: base kernel '") +
+        ctx.base_kernel->name + "' is not supported by this CPU");
   }
   const std::size_t n = a.rows();
   CAPOW_TSPAN_ARGS2("strassen.multiply", "strassen", "n", n, "winograd",
                     opts.winograd ? 1 : 0);
   if (n == 0) return;
   if (n <= opts.base_cutoff) {
-    base_gemm(a, b, c);
+    if (ctx.base_kernel != nullptr) {
+      blas::small_gemm(a, b, c, *ctx.base_kernel, *ctx.arena);
+    } else {
+      base_gemm(a, b, c);
+    }
     return;
   }
 
-  const Ctx ctx{opts, pool};
   const std::size_t padded =
       linalg::pad_dimension_for_recursion(n, opts.base_cutoff);
   if (padded == n) {
@@ -260,13 +288,21 @@ void strassen_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
 
   // Zero-pad to a recursion-friendly dimension; the padded product's
   // top-left n x n block equals A*B.
-  Matrix ap(padded, padded), bp(padded, padded), cp(padded, padded);
+  ArenaMatrix ap(*ctx.arena, padded, padded);
+  ArenaMatrix bp(*ctx.arena, padded, padded);
+  ArenaMatrix cp(*ctx.arena, padded, padded);
   linalg::copy_padded(a, ap.view());
   linalg::copy_padded(b, bp.view());
   trace::count_dram_read(2 * n * n * sizeof(double));
   trace::count_dram_write(2 * padded * padded * sizeof(double));
   recurse(ap.view(), bp.view(), cp.view(), ctx, 0);
-  counted_copy(cp.block(0, 0, n, n), c);
+  counted_copy(cp.view().block(0, 0, n, n), c);
+}
+
+void strassen_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                       const StrassenOptions& opts,
+                       tasking::ThreadPool* pool) {
+  multiply(a, b, c, opts, pool);
 }
 
 }  // namespace capow::strassen

@@ -18,13 +18,16 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
+#include "capow/blas/microkernel.hpp"
+#include "capow/blas/workspace.hpp"
 #include "capow/linalg/matrix.hpp"
 #include "capow/tasking/thread_pool.hpp"
 
 namespace capow::strassen {
 
-/// Tuning knobs for strassen_multiply.
+/// Tuning knobs for strassen::multiply.
 struct StrassenOptions {
   /// Sub-matrix dimension at (or below) which the dense base kernel
   /// runs. The paper's empirical optimum on its platform is 64.
@@ -35,6 +38,16 @@ struct StrassenOptions {
   /// deeper levels recurse serially inside their owning task. 7^3 = 343
   /// tasks comfortably feeds any SMP-scale pool.
   std::size_t task_spawn_depth = 3;
+  /// Pool backing every quadrant temporary (operand sums, the seven
+  /// product buffers, padding copies); null uses
+  /// blas::WorkspaceArena::process_arena(). After one warm-up multiply
+  /// the recursion performs no heap allocation.
+  blas::WorkspaceArena* arena = nullptr;
+  /// When set, the dense base case runs through the packed registry
+  /// microkernel (blas::small_gemm) instead of the BOTS-style unrolled
+  /// kernel. Default keeps the paper's BOTS base case — the Strassen /
+  /// OpenBLAS efficiency gap is part of what the paper measures.
+  std::optional<blas::MicroKernelId> base_kernel;
 };
 
 /// C = A * B for square matrices via task-parallel Strassen.
@@ -44,6 +57,12 @@ struct StrassenOptions {
 /// product). `pool` may be null for serial execution. Throws
 /// std::invalid_argument for non-square inputs, shape mismatches, or a
 /// zero base_cutoff.
+void multiply(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+              linalg::MatrixView c, const StrassenOptions& opts = {},
+              tasking::ThreadPool* pool = nullptr);
+
+/// Legacy name for multiply().
+[[deprecated("use capow::matmul() or strassen::multiply()")]]
 void strassen_multiply(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
                        linalg::MatrixView c, const StrassenOptions& opts = {},
                        tasking::ThreadPool* pool = nullptr);

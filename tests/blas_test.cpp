@@ -84,7 +84,7 @@ TEST_P(BlockedGemmSizeTest, MatchesReference) {
   Matrix b = random_matrix(n, n, n * 3 + 2);
   Matrix expect(n, n), got(n, n);
   gemm_reference(a.view(), b.view(), expect.view());
-  blocked_gemm(a.view(), b.view(), got.view());
+  gemm(a.view(), b.view(), got.view());
   EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-12, 1e-12))
       << "n=" << n
       << " maxdiff=" << linalg::max_abs_diff(got.view(), expect.view());
@@ -103,7 +103,7 @@ TEST(BlockedGemm, RectangularShapes) {
     Matrix b = random_matrix(k, n, 12);
     Matrix expect(m, n), got(m, n);
     gemm_reference(a.view(), b.view(), expect.view());
-    blocked_gemm(a.view(), b.view(), got.view());
+    gemm(a.view(), b.view(), got.view());
     EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-12, 1e-12))
         << m << "x" << k << "x" << n;
   }
@@ -116,7 +116,9 @@ TEST(BlockedGemm, TinyBlockingExercisesAllEdges) {
   Matrix b = random_matrix(29, 23, 6);
   Matrix expect(37, 23), got(37, 23);
   gemm_reference(a.view(), b.view(), expect.view());
-  blocked_gemm(a.view(), b.view(), got.view(), bp);
+  GemmOptions opts;
+  opts.blocking = bp;
+  gemm(a.view(), b.view(), got.view(), opts);
   EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-12, 1e-12));
 }
 
@@ -125,19 +127,24 @@ TEST(BlockedGemm, ParallelMatchesSerialBitwise) {
   Matrix a = random_matrix(n, n, 1);
   Matrix b = random_matrix(n, n, 2);
   Matrix serial(n, n), parallel(n, n);
-  blocked_gemm(a.view(), b.view(), serial.view());
+  gemm(a.view(), b.view(), serial.view());
   tasking::ThreadPool pool(3);
-  BlockingParams bp{.mc = 32, .kc = 64, .nc = 64, .mr = 4, .nr = 4};
-  blocked_gemm(a.view(), b.view(), serial.view(), bp);
-  blocked_gemm(a.view(), b.view(), parallel.view(), bp, &pool);
+  GemmOptions serial_opts;
+  serial_opts.blocking = BlockingParams{.mc = 32, .kc = 64, .nc = 64,
+                                        .mr = 4, .nr = 4};
+  GemmOptions parallel_opts = serial_opts;
+  parallel_opts.pool = &pool;
+  gemm(a.view(), b.view(), serial.view(), serial_opts);
+  gemm(a.view(), b.view(), parallel.view(), parallel_opts);
   // Identical block decomposition => identical floating point results.
   EXPECT_TRUE(allclose(parallel.view(), serial.view(), 0.0, 0.0));
 }
 
 TEST(BlockedGemm, RejectsUnsupportedMicrokernel) {
-  BlockingParams bp{.mc = 8, .kc = 8, .nc = 8, .mr = 8, .nr = 8};
+  GemmOptions opts;
+  opts.blocking = BlockingParams{.mc = 8, .kc = 8, .nc = 8, .mr = 8, .nr = 8};
   Matrix a(8, 8), b(8, 8), c(8, 8);
-  EXPECT_THROW(blocked_gemm(a.view(), b.view(), c.view(), bp),
+  EXPECT_THROW(gemm(a.view(), b.view(), c.view(), opts),
                std::invalid_argument);
 }
 
@@ -159,7 +166,9 @@ TEST_P(GemmTrafficTest, InstrumentedCountsMatchModelExactly) {
   trace::Recorder rec;
   {
     trace::RecordingScope scope(rec);
-    blocked_gemm(a.view(), b.view(), c.view(), bp);
+    GemmOptions opts;
+    opts.blocking = bp;
+    gemm(a.view(), b.view(), c.view(), opts);
   }
   const auto total = rec.total();
   EXPECT_EQ(static_cast<double>(total.flops), gemm_flops(n, n, n));

@@ -36,7 +36,7 @@ TEST_P(CapsCorrectnessTest, MatchesReference) {
   CapsOptions opts;
   opts.base_cutoff = p.cutoff;
   opts.bfs_cutoff_depth = p.bfs_depth;
-  caps_multiply(a.view(), b.view(), got.view(), opts);
+  multiply(a.view(), b.view(), got.view(), opts);
   EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-10, 1e-10))
       << "n=" << p.n << " cutoff=" << p.cutoff << " bfs=" << p.bfs_depth;
 }
@@ -65,15 +65,15 @@ TEST(Caps, ParallelMatchesSerialBitwise) {
   opts.base_cutoff = 16;
   opts.bfs_cutoff_depth = 2;
   opts.dfs_parallel_threshold = 16;  // exercise work-shared DFS adds
-  caps_multiply(a.view(), b.view(), serial.view(), opts);
+  multiply(a.view(), b.view(), serial.view(), opts);
   tasking::ThreadPool pool(3);
-  caps_multiply(a.view(), b.view(), parallel.view(), opts, &pool);
+  multiply(a.view(), b.view(), parallel.view(), opts, &pool);
   EXPECT_TRUE(allclose(parallel.view(), serial.view(), 0.0, 0.0));
 }
 
 TEST(Caps, NonSquareThrows) {
   Matrix a(4, 6), b(6, 4), c(4, 4);
-  EXPECT_THROW(caps_multiply(a.view(), b.view(), c.view()),
+  EXPECT_THROW(multiply(a.view(), b.view(), c.view()),
                std::invalid_argument);
 }
 
@@ -81,14 +81,14 @@ TEST(Caps, ZeroCutoffThrows) {
   Matrix a(4, 4), b(4, 4), c(4, 4);
   CapsOptions opts;
   opts.base_cutoff = 0;
-  EXPECT_THROW(caps_multiply(a.view(), b.view(), c.view(), opts),
+  EXPECT_THROW(multiply(a.view(), b.view(), c.view(), opts),
                std::invalid_argument);
 }
 
 TEST(Caps, EmptyIsNoop) {
   Matrix a, b, c;
   CapsStats stats;
-  EXPECT_NO_THROW(caps_multiply(a.view(), b.view(), c.view(), {}, nullptr,
+  EXPECT_NO_THROW(multiply(a.view(), b.view(), c.view(), {}, nullptr,
                                 &stats));
   EXPECT_EQ(stats.base_products, 0u);
 }
@@ -102,7 +102,7 @@ TEST(CapsStats, NodeCountsFollowAlgorithm2) {
   opts.base_cutoff = 16;
   opts.bfs_cutoff_depth = 2;
   CapsStats stats;
-  caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &stats);
+  multiply(a.view(), b.view(), c.view(), opts, nullptr, &stats);
   EXPECT_EQ(stats.bfs_nodes, 1u + 7u);
   EXPECT_EQ(stats.dfs_nodes, 49u + 343u);
   EXPECT_EQ(stats.base_products, 2401u);
@@ -116,13 +116,13 @@ TEST(CapsStats, PureBfsAndPureDfs) {
 
   opts.bfs_cutoff_depth = 99;
   CapsStats bfs;
-  caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &bfs);
+  multiply(a.view(), b.view(), c.view(), opts, nullptr, &bfs);
   EXPECT_EQ(bfs.bfs_nodes, 1u + 7u + 49u);
   EXPECT_EQ(bfs.dfs_nodes, 0u);
 
   opts.bfs_cutoff_depth = 0;
   CapsStats dfs;
-  caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &dfs);
+  multiply(a.view(), b.view(), c.view(), opts, nullptr, &dfs);
   EXPECT_EQ(dfs.bfs_nodes, 0u);
   EXPECT_EQ(dfs.dfs_nodes, 1u + 7u + 49u);
 }
@@ -138,7 +138,7 @@ TEST(CapsStats, SerialPeakBufferMatchesModelExactly) {
     opts.base_cutoff = cse.cutoff;
     opts.bfs_cutoff_depth = cse.bfs_depth;
     CapsStats stats;
-    caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &stats);
+    multiply(a.view(), b.view(), c.view(), opts, nullptr, &stats);
     CapsCostOptions cost;
     cost.base_cutoff = cse.cutoff;
     cost.bfs_cutoff_depth = cse.bfs_depth;
@@ -157,11 +157,11 @@ TEST(CapsStats, BfsTradesMemoryForCommunication) {
 
   opts.bfs_cutoff_depth = 99;
   CapsStats bfs;
-  caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &bfs);
+  multiply(a.view(), b.view(), c.view(), opts, nullptr, &bfs);
 
   opts.bfs_cutoff_depth = 0;
   CapsStats dfs;
-  caps_multiply(a.view(), b.view(), c.view(), opts, nullptr, &dfs);
+  multiply(a.view(), b.view(), c.view(), opts, nullptr, &dfs);
 
   EXPECT_GT(bfs.peak_buffer_bytes, 3 * dfs.peak_buffer_bytes);
 }
@@ -179,7 +179,7 @@ TEST_P(CapsCountTest, InstrumentedCountsMatchClosedForm) {
   trace::Recorder rec;
   {
     trace::RecordingScope scope(rec);
-    caps_multiply(a.view(), b.view(), c.view(), opts);
+    multiply(a.view(), b.view(), c.view(), opts);
   }
   CapsCostOptions cost;
   cost.base_cutoff = p.cutoff;
@@ -218,9 +218,9 @@ TEST(Caps, DfsThresholdControlsWorkSharing) {
   opts.base_cutoff = 8;
   opts.bfs_cutoff_depth = 0;
   opts.dfs_parallel_threshold = 8;
-  caps_multiply(a.view(), b.view(), c1.view(), opts, &pool);
+  multiply(a.view(), b.view(), c1.view(), opts, &pool);
   opts.dfs_parallel_threshold = 1u << 30;
-  caps_multiply(a.view(), b.view(), c2.view(), opts, &pool);
+  multiply(a.view(), b.view(), c2.view(), opts, &pool);
   EXPECT_TRUE(allclose(c1.view(), c2.view(), 0.0, 0.0));
 }
 

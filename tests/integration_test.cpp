@@ -4,7 +4,7 @@
 // at sizes small enough to execute for real.
 #include <gtest/gtest.h>
 
-#include "capow/blas/blocked_gemm.hpp"
+#include "capow/api/matmul.hpp"
 #include "capow/blas/cost_model.hpp"
 #include "capow/capsalg/caps.hpp"
 #include "capow/capsalg/cost_model.hpp"
@@ -37,14 +37,16 @@ TEST(Integration, AllThreeAlgorithmsAgreeNumerically) {
   const std::size_t n = 192;
   Matrix a = random_matrix(n, n, 100), b = random_matrix(n, n, 101);
   Matrix c_blas(n, n), c_str(n, n), c_caps(n, n);
-  blas::blocked_gemm(a.view(), b.view(), c_blas.view());
-  strassen::StrassenOptions sopts;
-  sopts.base_cutoff = 32;
-  strassen::strassen_multiply(a.view(), b.view(), c_str.view(), sopts);
-  capsalg::CapsOptions copts;
-  copts.base_cutoff = 32;
-  copts.bfs_cutoff_depth = 1;
-  capsalg::caps_multiply(a.view(), b.view(), c_caps.view(), copts);
+  matmul(a.view(), b.view(), c_blas.view());
+  MatmulOptions sopts;
+  sopts.algorithm = core::AlgorithmId::kStrassen;
+  sopts.strassen.base_cutoff = 32;
+  matmul(a.view(), b.view(), c_str.view(), sopts);
+  MatmulOptions copts;
+  copts.algorithm = core::AlgorithmId::kCaps;
+  copts.caps.base_cutoff = 32;
+  copts.caps.bfs_cutoff_depth = 1;
+  matmul(a.view(), b.view(), c_caps.view(), copts);
   EXPECT_TRUE(linalg::allclose(c_str.view(), c_blas.view(), 1e-9, 1e-9));
   EXPECT_TRUE(linalg::allclose(c_caps.view(), c_blas.view(), 1e-9, 1e-9));
 }
@@ -56,9 +58,11 @@ TEST(Integration, MeasuredProfileThroughSimulatorGivesFiniteRun) {
   Matrix c(n, n);
   tasking::ThreadPool pool(2);
   const auto rec = instrumented([&] {
-    strassen::StrassenOptions opts;
-    opts.base_cutoff = 32;
-    strassen::strassen_multiply(a.view(), b.view(), c.view(), opts, &pool);
+    MatmulOptions opts;
+    opts.algorithm = core::AlgorithmId::kStrassen;
+    opts.strassen.base_cutoff = 32;
+    opts.pool = &pool;
+    matmul(a.view(), b.view(), c.view(), opts);
   });
   const auto profile = sim::profile_from_recorder(
       *rec, "measured-strassen", strassen::kBotsBaseKernelEfficiency);
@@ -74,25 +78,27 @@ TEST(Integration, MeasuredFlopsTrackAnalyticModelAcrossAlgorithms) {
   Matrix c(n, n);
 
   const auto blas_rec = instrumented(
-      [&] { blas::blocked_gemm(a.view(), b.view(), c.view()); });
+      [&] { matmul(a.view(), b.view(), c.view()); });
   EXPECT_EQ(static_cast<double>(blas_rec->total().flops),
             blas::gemm_flops(n, n, n));
 
-  strassen::StrassenOptions sopts;
-  sopts.base_cutoff = 32;
+  MatmulOptions sopts;
+  sopts.algorithm = core::AlgorithmId::kStrassen;
+  sopts.strassen.base_cutoff = 32;
   const auto str_rec = instrumented([&] {
-    strassen::strassen_multiply(a.view(), b.view(), c.view(), sopts);
+    matmul(a.view(), b.view(), c.view(), sopts);
   });
   strassen::StrassenCostOptions scost;
   scost.base_cutoff = 32;
   EXPECT_EQ(static_cast<double>(str_rec->total().flops),
             strassen::strassen_total_flops(n, scost));
 
-  capsalg::CapsOptions copts;
-  copts.base_cutoff = 32;
-  copts.bfs_cutoff_depth = 2;
+  MatmulOptions copts;
+  copts.algorithm = core::AlgorithmId::kCaps;
+  copts.caps.base_cutoff = 32;
+  copts.caps.bfs_cutoff_depth = 2;
   const auto caps_rec = instrumented([&] {
-    capsalg::caps_multiply(a.view(), b.view(), c.view(), copts);
+    matmul(a.view(), b.view(), c.view(), copts);
   });
   capsalg::CapsCostOptions ccost;
   ccost.base_cutoff = 32;
@@ -110,11 +116,12 @@ TEST(Integration, StrassenMovesMoreAdditionTrafficThanBlas) {
   Matrix a = random_matrix(n, n, 9), b = random_matrix(n, n, 10);
   Matrix c(n, n);
   const auto blas_rec = instrumented(
-      [&] { blas::blocked_gemm(a.view(), b.view(), c.view()); });
-  strassen::StrassenOptions sopts;
-  sopts.base_cutoff = 32;
+      [&] { matmul(a.view(), b.view(), c.view()); });
+  MatmulOptions sopts;
+  sopts.algorithm = core::AlgorithmId::kStrassen;
+  sopts.strassen.base_cutoff = 32;
   const auto str_rec = instrumented([&] {
-    strassen::strassen_multiply(a.view(), b.view(), c.view(), sopts);
+    matmul(a.view(), b.view(), c.view(), sopts);
   });
   const double blas_intensity =
       static_cast<double>(blas_rec->total().flops) /
@@ -133,7 +140,7 @@ TEST(Integration, FullMeasurementPathEndToEnd) {
   Matrix a = random_matrix(n, n, 1), b = random_matrix(n, n, 2);
   Matrix c(n, n);
   const auto rec = instrumented(
-      [&] { blas::blocked_gemm(a.view(), b.view(), c.view()); });
+      [&] { matmul(a.view(), b.view(), c.view()); });
   const auto profile = sim::profile_from_recorder(
       *rec, "measured-gemm", blas::kTunedGemmEfficiency);
 
@@ -176,14 +183,15 @@ TEST(Integration, CapsBuffersExceedStrassenWorkspaceStory) {
   const std::size_t n = 256;
   Matrix a = random_matrix(n, n, 1), b = random_matrix(n, n, 2);
   Matrix c(n, n);
-  capsalg::CapsOptions opts;
-  opts.base_cutoff = 32;
+  MatmulOptions opts;
+  opts.algorithm = core::AlgorithmId::kCaps;
+  opts.caps.base_cutoff = 32;
   std::uint64_t prev = 0;
   for (std::size_t depth : {0u, 1u, 2u, 3u}) {
-    opts.bfs_cutoff_depth = depth;
+    opts.caps.bfs_cutoff_depth = depth;
     capsalg::CapsStats stats;
-    capsalg::caps_multiply(a.view(), b.view(), c.view(), opts, nullptr,
-                           &stats);
+    opts.caps_stats = &stats;
+    matmul(a.view(), b.view(), c.view(), opts);
     EXPECT_GE(stats.peak_buffer_bytes, prev) << "depth=" << depth;
     prev = stats.peak_buffer_bytes;
   }

@@ -1,0 +1,179 @@
+// Tests for the capow::matmul() facade, the shared algorithm registry,
+// and the deprecated legacy entry points it replaces.
+#include <gtest/gtest.h>
+
+#include "capow/api/matmul.hpp"
+#include "capow/blas/gemm_ref.hpp"
+#include "capow/core/algorithms.hpp"
+#include "capow/linalg/ops.hpp"
+#include "capow/linalg/random.hpp"
+
+namespace capow {
+namespace {
+
+using core::AlgorithmId;
+using linalg::allclose;
+using linalg::Matrix;
+using linalg::random_matrix;
+
+TEST(AlgorithmRegistry, ThreeAlgorithmsWithStableIdsAndKeys) {
+  const auto algos = core::algorithm_registry();
+  ASSERT_EQ(algos.size(), 3u);
+  EXPECT_EQ(algos[0].id, AlgorithmId::kOpenBlas);
+  EXPECT_STREQ(algos[0].name, "OpenBLAS");
+  EXPECT_STREQ(algos[0].key, "openblas");
+  EXPECT_EQ(algos[1].id, AlgorithmId::kStrassen);
+  EXPECT_EQ(algos[2].id, AlgorithmId::kCaps);
+}
+
+TEST(AlgorithmRegistry, FindByNameOrKey) {
+  const core::AlgorithmInfo* byname = core::find_algorithm("Strassen");
+  ASSERT_NE(byname, nullptr);
+  EXPECT_EQ(byname->id, AlgorithmId::kStrassen);
+  const core::AlgorithmInfo* bykey = core::find_algorithm("caps");
+  ASSERT_NE(bykey, nullptr);
+  EXPECT_EQ(bykey->id, AlgorithmId::kCaps);
+  EXPECT_EQ(core::find_algorithm("cannon"), nullptr);
+}
+
+TEST(AlgorithmRegistry, NamesMatchLegacySpelling) {
+  EXPECT_STREQ(core::algorithm_name(AlgorithmId::kOpenBlas), "OpenBLAS");
+  EXPECT_STREQ(core::algorithm_name(AlgorithmId::kStrassen), "Strassen");
+  EXPECT_STREQ(core::algorithm_name(AlgorithmId::kCaps), "CAPS");
+}
+
+TEST(MatmulFacade, DefaultsToBlockedGemm) {
+  const std::size_t n = 96;
+  Matrix a = random_matrix(n, n, 1), b = random_matrix(n, n, 2);
+  Matrix expect(n, n), got(n, n);
+  blas::gemm_reference(a.view(), b.view(), expect.view());
+  matmul(a.view(), b.view(), got.view());
+  EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-11, 1e-11));
+}
+
+TEST(MatmulFacade, ShapeErrorsPropagate) {
+  Matrix a(4, 6), b(5, 4), c(4, 4);
+  EXPECT_THROW(matmul(a.view(), b.view(), c.view()), std::invalid_argument);
+}
+
+TEST(MatmulFacade, ExplicitKernelSelection) {
+  const std::size_t n = 80;
+  Matrix a = random_matrix(n, n, 3), b = random_matrix(n, n, 4);
+  Matrix expect(n, n);
+  blas::gemm_reference(a.view(), b.view(), expect.view());
+  for (const auto& kern : blas::kernel_registry()) {
+    if (!kern.supported()) continue;
+    Matrix got(n, n);
+    MatmulOptions opts;
+    opts.kernel = kern.id;
+    matmul(a.view(), b.view(), got.view(), opts);
+    EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-11, 1e-11))
+        << kern.name;
+  }
+}
+
+TEST(MatmulFacade, MatmulKernelReportsResolution) {
+  MatmulOptions opts;
+  const blas::MicroKernel* k = matmul_kernel(opts);
+  ASSERT_NE(k, nullptr);  // blocked GEMM always runs a microkernel
+  EXPECT_TRUE(k->supported());
+
+  opts.algorithm = AlgorithmId::kStrassen;
+  // Default Strassen base case is the BOTS-style loop kernel (null),
+  // unless the CAPOW_KERNEL environment pins one for the whole stack...
+  const auto env = blas::env_kernel_override();
+  const blas::MicroKernel* def = matmul_kernel(opts);
+  if (env) {
+    ASSERT_NE(def, nullptr);
+    EXPECT_EQ(def->id, *env);
+  } else {
+    EXPECT_EQ(def, nullptr);
+  }
+  // ...until a kernel is requested through the facade.
+  opts.kernel = blas::MicroKernelId::kGeneric;
+  const blas::MicroKernel* sk = matmul_kernel(opts);
+  ASSERT_NE(sk, nullptr);
+  EXPECT_EQ(sk->id, blas::MicroKernelId::kGeneric);
+}
+
+TEST(MatmulFacade, CapsStatsFlowThrough) {
+  const std::size_t n = 64;
+  Matrix a = random_matrix(n, n, 1), b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  capsalg::CapsStats stats;
+  MatmulOptions opts;
+  opts.algorithm = AlgorithmId::kCaps;
+  opts.caps.base_cutoff = 8;
+  opts.caps.bfs_cutoff_depth = 2;
+  opts.caps_stats = &stats;
+  matmul(a.view(), b.view(), c.view(), opts);
+  EXPECT_GT(stats.base_products, 0u);
+  EXPECT_GT(stats.peak_buffer_bytes, 0u);
+}
+
+TEST(MatmulFacade, ParallelPoolThreadsThrough) {
+  const std::size_t n = 192;
+  Matrix a = random_matrix(n, n, 7), b = random_matrix(n, n, 8);
+  Matrix serial(n, n), parallel(n, n);
+  MatmulOptions opts;
+  opts.algorithm = AlgorithmId::kStrassen;
+  opts.strassen.base_cutoff = 32;
+  matmul(a.view(), b.view(), serial.view(), opts);
+  tasking::ThreadPool pool(3);
+  opts.pool = &pool;
+  matmul(a.view(), b.view(), parallel.view(), opts);
+  EXPECT_TRUE(allclose(parallel.view(), serial.view(), 0.0, 0.0));
+}
+
+// ---------------------------------------------------------------------
+// Legacy-shim equivalence. The deprecated entry points must produce
+// bitwise-identical results to the facade on the paper's shapes —
+// they are now thin wrappers over the same implementation.
+// ---------------------------------------------------------------------
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(LegacyShims, BlockedGemmMatchesFacadeBitwise) {
+  for (std::size_t n : {64u, 512u}) {
+    Matrix a = random_matrix(n, n, n), b = random_matrix(n, n, n + 1);
+    Matrix legacy(n, n), facade(n, n);
+    blas::blocked_gemm(a.view(), b.view(), legacy.view());
+    matmul(a.view(), b.view(), facade.view());
+    EXPECT_TRUE(allclose(facade.view(), legacy.view(), 0.0, 0.0))
+        << "n=" << n;
+  }
+}
+
+TEST(LegacyShims, StrassenMatchesFacadeBitwise) {
+  const std::size_t n = 256;
+  Matrix a = random_matrix(n, n, 31), b = random_matrix(n, n, 32);
+  Matrix legacy(n, n), facade(n, n);
+  strassen::StrassenOptions sopts;
+  sopts.base_cutoff = 32;
+  strassen::strassen_multiply(a.view(), b.view(), legacy.view(), sopts);
+  MatmulOptions opts;
+  opts.algorithm = AlgorithmId::kStrassen;
+  opts.strassen = sopts;
+  matmul(a.view(), b.view(), facade.view(), opts);
+  EXPECT_TRUE(allclose(facade.view(), legacy.view(), 0.0, 0.0));
+}
+
+TEST(LegacyShims, CapsMatchesFacadeBitwise) {
+  const std::size_t n = 128;
+  Matrix a = random_matrix(n, n, 41), b = random_matrix(n, n, 42);
+  Matrix legacy(n, n), facade(n, n);
+  capsalg::CapsOptions copts;
+  copts.base_cutoff = 16;
+  copts.bfs_cutoff_depth = 1;
+  capsalg::caps_multiply(a.view(), b.view(), legacy.view(), copts);
+  MatmulOptions opts;
+  opts.algorithm = AlgorithmId::kCaps;
+  opts.caps = copts;
+  matmul(a.view(), b.view(), facade.view(), opts);
+  EXPECT_TRUE(allclose(facade.view(), legacy.view(), 0.0, 0.0));
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace capow

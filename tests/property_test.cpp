@@ -152,11 +152,11 @@ TEST(AlgorithmAlgebra, StrassenDistributesOverAddition) {
   linalg::Matrix sum(n, n);
   linalg::add(a.view(), b.view(), sum.view());
   linalg::Matrix lhs(n, n);
-  strassen::strassen_multiply(sum.view(), c.view(), lhs.view(), opts);
+  strassen::multiply(sum.view(), c.view(), lhs.view(), opts);
 
   linalg::Matrix ac(n, n), bc(n, n), rhs(n, n);
-  strassen::strassen_multiply(a.view(), c.view(), ac.view(), opts);
-  strassen::strassen_multiply(b.view(), c.view(), bc.view(), opts);
+  strassen::multiply(a.view(), c.view(), ac.view(), opts);
+  strassen::multiply(b.view(), c.view(), bc.view(), opts);
   linalg::add(ac.view(), bc.view(), rhs.view());
 
   EXPECT_TRUE(linalg::allclose(lhs.view(), rhs.view(), 1e-9, 1e-9));
@@ -170,7 +170,7 @@ TEST(AlgorithmAlgebra, IdentityIsNeutralForAllCutoffs) {
     strassen::StrassenOptions opts;
     opts.base_cutoff = cutoff;
     linalg::Matrix out(n, n);
-    strassen::strassen_multiply(a.view(), id.view(), out.view(), opts);
+    strassen::multiply(a.view(), id.view(), out.view(), opts);
     EXPECT_TRUE(linalg::allclose(out.view(), a.view(), 1e-10, 1e-10))
         << cutoff;
   }

@@ -84,7 +84,7 @@ TEST_P(StrassenCorrectnessTest, MatchesReference) {
   StrassenOptions opts;
   opts.base_cutoff = p.cutoff;
   opts.winograd = p.winograd;
-  strassen_multiply(a.view(), b.view(), got.view(), opts);
+  multiply(a.view(), b.view(), got.view(), opts);
   EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-10, 1e-10))
       << "n=" << p.n << " cutoff=" << p.cutoff << " wino=" << p.winograd
       << " relerr=" << linalg::relative_error(got.view(), expect.view());
@@ -116,9 +116,9 @@ TEST(Strassen, ParallelMatchesSerialBitwise) {
   Matrix serial(n, n), parallel(n, n);
   StrassenOptions opts;
   opts.base_cutoff = 32;
-  strassen_multiply(a.view(), b.view(), serial.view(), opts);
+  multiply(a.view(), b.view(), serial.view(), opts);
   tasking::ThreadPool pool(3);
-  strassen_multiply(a.view(), b.view(), parallel.view(), opts, &pool);
+  multiply(a.view(), b.view(), parallel.view(), opts, &pool);
   // Task scheduling cannot change any arithmetic order.
   EXPECT_TRUE(allclose(parallel.view(), serial.view(), 0.0, 0.0));
 }
@@ -130,18 +130,18 @@ TEST(Strassen, WinogradParallelMatchesSerial) {
   StrassenOptions opts;
   opts.base_cutoff = 16;
   opts.winograd = true;
-  strassen_multiply(a.view(), b.view(), serial.view(), opts);
+  multiply(a.view(), b.view(), serial.view(), opts);
   tasking::ThreadPool pool(2);
-  strassen_multiply(a.view(), b.view(), parallel.view(), opts, &pool);
+  multiply(a.view(), b.view(), parallel.view(), opts, &pool);
   EXPECT_TRUE(allclose(parallel.view(), serial.view(), 0.0, 0.0));
 }
 
 TEST(Strassen, NonSquareThrows) {
   Matrix a(4, 6), b(6, 4), c(4, 4);
-  EXPECT_THROW(strassen_multiply(a.view(), b.view(), c.view()),
+  EXPECT_THROW(multiply(a.view(), b.view(), c.view()),
                std::invalid_argument);
   Matrix a2(4, 4), b2(4, 4), c2(6, 6);
-  EXPECT_THROW(strassen_multiply(a2.view(), b2.view(), c2.view()),
+  EXPECT_THROW(multiply(a2.view(), b2.view(), c2.view()),
                std::invalid_argument);
 }
 
@@ -149,13 +149,13 @@ TEST(Strassen, ZeroCutoffThrows) {
   Matrix a(4, 4), b(4, 4), c(4, 4);
   StrassenOptions opts;
   opts.base_cutoff = 0;
-  EXPECT_THROW(strassen_multiply(a.view(), b.view(), c.view(), opts),
+  EXPECT_THROW(multiply(a.view(), b.view(), c.view(), opts),
                std::invalid_argument);
 }
 
 TEST(Strassen, EmptyMatrixIsNoop) {
   Matrix a, b, c;
-  EXPECT_NO_THROW(strassen_multiply(a.view(), b.view(), c.view()));
+  EXPECT_NO_THROW(multiply(a.view(), b.view(), c.view()));
 }
 
 class StrassenCountTest : public ::testing::TestWithParam<StrassenCase> {};
@@ -173,7 +173,7 @@ TEST_P(StrassenCountTest, InstrumentedCountsMatchClosedForm) {
   trace::Recorder rec;
   {
     trace::RecordingScope scope(rec);
-    strassen_multiply(a.view(), b.view(), c.view(), opts);
+    multiply(a.view(), b.view(), c.view(), opts);
   }
   StrassenCostOptions cost;
   cost.base_cutoff = p.cutoff;
@@ -224,7 +224,7 @@ TEST(Strassen, StabilityWithinHighamStyleBound) {
   blas::gemm_reference(a.view(), b.view(), expect.view());
   StrassenOptions opts;
   opts.base_cutoff = 16;  // 4 levels of recursion
-  strassen_multiply(a.view(), b.view(), got.view(), opts);
+  multiply(a.view(), b.view(), got.view(), opts);
   const double err = linalg::relative_error(got.view(), expect.view());
   // 12^depth * n * eps is the classic growth envelope; depth 4, n 256.
   const double bound = std::pow(12.0, 4) * n * 2.2e-16;
@@ -240,7 +240,7 @@ TEST(Strassen, DeeperRecursionStillAccurate) {
     Matrix got(n, n);
     StrassenOptions opts;
     opts.base_cutoff = cutoff;
-    strassen_multiply(a.view(), b.view(), got.view(), opts);
+    multiply(a.view(), b.view(), got.view(), opts);
     EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-9, 1e-9))
         << "cutoff=" << cutoff;
   }
@@ -258,7 +258,7 @@ TEST(Strassen, TaskSpawnDepthZeroRunsSerially) {
   trace::Recorder rec;
   {
     trace::RecordingScope scope(rec);
-    strassen_multiply(a.view(), b.view(), c.view(), opts, &pool);
+    multiply(a.view(), b.view(), c.view(), opts, &pool);
   }
   EXPECT_TRUE(allclose(c.view(), expect.view(), 1e-11, 1e-11));
   EXPECT_EQ(rec.total().tasks_spawned, 0u);
@@ -275,7 +275,7 @@ TEST(Strassen, SpawnsSevenTasksPerNode) {
   trace::Recorder rec;
   {
     trace::RecordingScope scope(rec);
-    strassen_multiply(a.view(), b.view(), c.view(), opts, &pool);
+    multiply(a.view(), b.view(), c.view(), opts, &pool);
   }
   // Level 0: 7 spawns; level 1: 7 nodes x 7 spawns.
   EXPECT_EQ(rec.total().tasks_spawned, 7u + 49u);

@@ -83,16 +83,16 @@ TEST(Stress, ConcurrentStrassenRunsShareOnePool) {
   linalg::Matrix c1(n, n), c2(n, n), e1(n, n), e2(n, n);
   strassen::StrassenOptions opts;
   opts.base_cutoff = 32;
-  strassen::strassen_multiply(a1.view(), b1.view(), e1.view(), opts);
-  strassen::strassen_multiply(a2.view(), b2.view(), e2.view(), opts);
+  strassen::multiply(a1.view(), b1.view(), e1.view(), opts);
+  strassen::multiply(a2.view(), b2.view(), e2.view(), opts);
 
   tasking::TaskGroup group(pool);
   group.run([&] {
-    strassen::strassen_multiply(a1.view(), b1.view(), c1.view(), opts,
+    strassen::multiply(a1.view(), b1.view(), c1.view(), opts,
                                 &pool);
   });
   group.run([&] {
-    strassen::strassen_multiply(a2.view(), b2.view(), c2.view(), opts,
+    strassen::multiply(a2.view(), b2.view(), c2.view(), opts,
                                 &pool);
   });
   group.wait();

@@ -230,11 +230,12 @@ int main(int argc, char** argv) {
     std::vector<std::string> head{"avg slowdown"};
     for (std::size_t n : cfg.sizes) head.push_back(std::to_string(n));
     harness::TextTable t(head);
-    for (auto a :
-         {harness::Algorithm::kStrassen, harness::Algorithm::kCaps}) {
-      std::vector<std::string> row{harness::algorithm_name(a)};
+    // Every registered algorithm except the OpenBLAS baseline itself.
+    for (const auto& info : core::algorithm_registry()) {
+      if (info.id == harness::Algorithm::kOpenBlas) continue;
+      std::vector<std::string> row{info.name};
       for (std::size_t n : cfg.sizes) {
-        row.push_back(harness::fmt(runner.average_slowdown(a, n), 3));
+        row.push_back(harness::fmt(runner.average_slowdown(info.id, n), 3));
       }
       t.add_row(row);
     }
