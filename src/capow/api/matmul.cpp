@@ -63,12 +63,20 @@ void matmul(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
 
   switch (opts.algorithm) {
     case core::AlgorithmId::kOpenBlas:
-      blas::gemm(a, b, c, gemm_options(opts));
+      // abft::guarded_gemm is the checksum wrapper for the blocked path
+      // (it falls straight through to blas::gemm when the mode resolves
+      // to off, so the default path is untouched).
+      if (abft::resolve_mode(opts.abft) != abft::AbftMode::kOff) {
+        abft::guarded_gemm(a, b, c, gemm_options(opts), opts.abft);
+      } else {
+        blas::gemm(a, b, c, gemm_options(opts));
+      }
       break;
     case core::AlgorithmId::kStrassen: {
       strassen::StrassenOptions s = opts.strassen;
       if (s.arena == nullptr) s.arena = &arena;
       s.base_kernel = resolve_base_kernel(opts.kernel, s.base_kernel);
+      if (!s.abft.mode) s.abft = opts.abft;
       strassen::multiply(a, b, c, s, opts.pool);
       break;
     }
@@ -76,6 +84,7 @@ void matmul(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
       capsalg::CapsOptions o = opts.caps;
       if (o.arena == nullptr) o.arena = &arena;
       o.base_kernel = resolve_base_kernel(opts.kernel, o.base_kernel);
+      if (!o.abft.mode) o.abft = opts.abft;
       capsalg::multiply(a, b, c, o, opts.pool, opts.caps_stats);
       break;
     }

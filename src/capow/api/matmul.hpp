@@ -18,6 +18,7 @@
 
 #include <optional>
 
+#include "capow/abft/abft.hpp"
 #include "capow/blas/blocked_gemm.hpp"
 #include "capow/capsalg/caps.hpp"
 #include "capow/core/algorithms.hpp"
@@ -59,6 +60,13 @@ struct MatmulOptions {
   capsalg::CapsOptions caps{};
   /// CAPS path: receives traversal statistics when non-null.
   capsalg::CapsStats* caps_stats = nullptr;
+
+  /// ABFT protection, applied to whichever algorithm runs: off (default),
+  /// detect (checksum-verify, throw abft::AbftError on silent
+  /// corruption), or correct (localized recomputation, then bounded full
+  /// retries). An unset mode defers to the CAPOW_ABFT environment
+  /// variable (abft::resolve_mode).
+  abft::AbftConfig abft{};
 };
 
 /// C = A * B via the selected algorithm. Validation, padding and

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "capow/blas/gemm_ref.hpp"
+#include "capow/fault/fault.hpp"
 #include "capow/tasking/parallel_for.hpp"
 #include "capow/telemetry/telemetry.hpp"
 #include "capow/trace/counters.hpp"
@@ -64,14 +65,18 @@ const MicroKernel& resolve_kernel(const GemmOptions& opts) {
   return select_kernel(opts.kernel);
 }
 
+BlockingParams resolve_blocking(const GemmOptions& opts) {
+  const MicroKernel& kern = resolve_kernel(opts);
+  return opts.blocking ? *opts.blocking
+         : opts.machine ? select_blocking(*opts.machine, kern)
+                        : default_blocking_for(kern);
+}
+
 void gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
           linalg::MatrixView c, const GemmOptions& opts) {
   check_gemm_shapes(a, b, c);
   const MicroKernel& kern = resolve_kernel(opts);
-  const BlockingParams bp =
-      opts.blocking ? *opts.blocking
-      : opts.machine ? select_blocking(*opts.machine, kern)
-                     : default_blocking_for(kern);
+  const BlockingParams bp = resolve_blocking(opts);
   WorkspaceArena& arena =
       opts.arena != nullptr ? *opts.arena : WorkspaceArena::process_arena();
   tasking::ThreadPool* pool = opts.pool;
@@ -84,6 +89,10 @@ void gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
   c.zero();
   trace::count_dram_write(m * n * sizeof(double));
 
+  // Flip draws are keyed on (salt, panel coordinates, element) only, so
+  // the injected-fault set is independent of thread interleaving.
+  const std::uint64_t flip_base = fault::key(0xb1a5u, opts.fault_salt);
+
   for (std::size_t jc = 0; jc < n; jc += bp.nc) {
     const std::size_t nc_cur = std::min(bp.nc, n - jc);
     for (std::size_t pc = 0; pc < k; pc += bp.kc) {
@@ -94,6 +103,9 @@ void gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
       double* packed_b = b_lease.data();
       kern.pack_b(b, pc, jc, kc_cur, nc_cur, packed_b);
       trace::count_dram_read(kc_cur * nc_cur * sizeof(double));
+      fault::maybe_flip(fault::Site::kComputeFlip,
+                        fault::key(flip_base, jc, pc), packed_b, 1,
+                        padded_nc * kc_cur, padded_nc * kc_cur);
 
       const std::size_t mblocks = (m + bp.mc - 1) / bp.mc;
       // Each worker leases one A buffer sized for a full mc block and
@@ -119,6 +131,10 @@ void gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
         body(0, mblocks);
       }
     }
+    // Silent in-memory corruption of the finished C column panel.
+    linalg::MatrixView panel = c.block(0, jc, m, nc_cur);
+    fault::maybe_flip(fault::Site::kMemFlip, fault::key(flip_base, 0xc0u, jc),
+                      panel.data(), panel.rows(), panel.cols(), panel.ld());
   }
 }
 

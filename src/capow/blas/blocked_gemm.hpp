@@ -16,6 +16,7 @@
 // kernel variant satisfies the same cross-check.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "capow/blas/blocking.hpp"
@@ -42,6 +43,11 @@ struct GemmOptions {
   WorkspaceArena* arena = nullptr;
   /// Null runs serially.
   tasking::ThreadPool* pool = nullptr;
+  /// Namespaces the deterministic mem.flip/compute.flip fault draws of
+  /// this call. Recovery layers (abft) re-run damaged panels with a
+  /// fresh salt so the retry re-draws its faults instead of re-firing
+  /// the identical flip; plain callers leave it at 0.
+  std::uint64_t fault_salt = 0;
 };
 
 /// C = A * B through the packed, blocked path. Shapes are validated.
@@ -52,6 +58,14 @@ void gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
 /// throws exactly when gemm() would. Exposed so harness/telemetry can
 /// record the variant without re-implementing the resolution rules.
 const MicroKernel& resolve_kernel(const GemmOptions& opts);
+
+/// The blocking parameters gemm() would use for `opts` after kernel
+/// resolution. Exposed so recovery layers (abft) can pin them when
+/// recomputing a damaged panel through a sub-view: the same blocking on
+/// the same operand values replays the identical floating-point
+/// schedule, making localized recomputation bit-identical to the
+/// original sweep.
+BlockingParams resolve_blocking(const GemmOptions& opts);
 
 /// C = A * B (or C += A * B) for small unpacked blocks through the
 /// registry microkernel: the packed-stripe path of gemm() without the

@@ -6,7 +6,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "capow/abft/abft.hpp"
 #include "capow/blas/blocked_gemm.hpp"
+#include "capow/fault/fault.hpp"
 #include "capow/linalg/ops.hpp"
 #include "capow/linalg/partition.hpp"
 #include "capow/strassen/base_kernel.hpp"
@@ -35,6 +37,11 @@ struct Ctx {
   tasking::ThreadPool* pool;
   blas::WorkspaceArena* arena = nullptr;          ///< never null
   const blas::MicroKernel* base_kernel = nullptr; ///< null = BOTS kernel
+  abft::AbftMode abft_mode = abft::AbftMode::kOff;
+  double abft_tolerance = 1e-7;
+  int abft_retries = 2;
+  bool flips = false;           ///< flip fault sites armed this run
+  std::uint64_t flip_salt = 0;  ///< set once per top-level attempt
   std::atomic<std::uint64_t> cur_bytes{0};
   std::atomic<std::uint64_t> peak_bytes{0};
   std::atomic<std::uint64_t> bfs_nodes{0};
@@ -162,22 +169,69 @@ void bfs_step(ConstMatrixView a, ConstMatrixView b, MatrixView c, Ctx& ctx,
   }
 
   // Stage 2: the seven sub-products, breadth-first on disjoint workers.
+  // At the top level each product can run checksum-guarded: the private
+  // operands make recovery cheap — a damaged product is re-materialized
+  // from the pristine parent quadrants and re-run, without touching its
+  // siblings. Deeper flips still surface in the depth-0 checksums.
+  const bool protect =
+      depth == 0 && (ctx.abft_mode != abft::AbftMode::kOff || ctx.flips);
+  const auto product = [&](int i) {
+    if (!protect) {
+      recurse(la[i]->cview(), lb[i]->cview(), q[i]->view(), ctx, depth + 1);
+      return;
+    }
+    const std::uint64_t site =
+        fault::key(0xca95u, ctx.flip_salt, static_cast<std::uint64_t>(i));
+    for (int attempt = 0;; ++attempt) {
+      if (attempt > 0) {
+        // Restore the operands from the pristine parents: a compute.flip
+        // corrupted the private copies, never the caller's quadrants.
+        materialize_a(i, qa, la[i]->view());
+        materialize_b(i, qb, lb[i]->view());
+      }
+      std::optional<abft::AbftGuard> guard;
+      if (ctx.abft_mode != abft::AbftMode::kOff) {
+        guard.emplace(la[i]->cview(), lb[i]->cview(), *ctx.arena,
+                      ctx.abft_tolerance);
+      }
+      const std::uint64_t akey =
+          fault::key(site, static_cast<std::uint64_t>(attempt));
+      abft::inject_flip(fault::Site::kComputeFlip, fault::key(akey, 1),
+                        la[i]->view());
+      abft::inject_flip(fault::Site::kComputeFlip, fault::key(akey, 2),
+                        lb[i]->view());
+      recurse(la[i]->cview(), lb[i]->cview(), q[i]->view(), ctx, depth + 1);
+      abft::inject_flip(fault::Site::kMemFlip, fault::key(akey, 3),
+                        q[i]->view());
+      if (!guard) return;
+      const abft::VerifyReport rep = guard->verify(q[i]->cview());
+      if (rep.ok) return;
+      if (ctx.abft_mode == abft::AbftMode::kDetect) {
+        throw abft::AbftError(
+            "abft: silent corruption detected in caps product " +
+            std::to_string(i + 1));
+      }
+      if (attempt >= ctx.abft_retries) {
+        throw abft::AbftError("abft: caps product " + std::to_string(i + 1) +
+                              " still corrupt after " +
+                              std::to_string(attempt + 1) + " attempt(s)");
+      }
+      abft::record_recomputed();
+    }
+  };
   if (parallel) {
     tasking::TaskGroup group(*ctx.pool);
     for (int i = 0; i < 7; ++i) {
       trace::count_task_spawn();
       group.run([&, i] {
         if (group.cancelled()) return;  // a sibling sub-product failed
-        recurse(la[i]->cview(), lb[i]->cview(), q[i]->view(), ctx,
-                depth + 1);
+        product(i);
       });
     }
     group.wait();
     trace::count_sync();
   } else {
-    for (int i = 0; i < 7; ++i) {
-      recurse(la[i]->cview(), lb[i]->cview(), q[i]->view(), ctx, depth + 1);
-    }
+    for (int i = 0; i < 7; ++i) product(i);
   }
 
   // Stage 3: assemble C (one job per quadrant).
@@ -420,6 +474,11 @@ void multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
         std::string("capsalg::multiply: base kernel '") +
         ctx.base_kernel->name + "' is not supported by this CPU");
   }
+  ctx.abft_mode = abft::resolve_mode(opts.abft);
+  ctx.abft_tolerance = opts.abft.tolerance;
+  ctx.abft_retries = opts.abft.max_retries;
+  ctx.flips = abft::flips_armed();
+
   const std::size_t n = a.rows();
   CAPOW_TSPAN_ARGS2("caps.multiply", "caps", "n", n, "bfs_cutoff_depth",
                     opts.bfs_cutoff_depth);
@@ -428,30 +487,61 @@ void multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
     return;
   }
 
-  if (n <= opts.base_cutoff) {
-    ctx.base_products.fetch_add(1, std::memory_order_relaxed);
-    if (ctx.base_kernel != nullptr) {
-      blas::small_gemm(a, b, c, *ctx.base_kernel, *ctx.arena);
+  // Ctx is shared (the traversal counters are atomics), so the
+  // per-attempt flip salt is set here, at the only single-threaded point.
+  const auto compute = [&](std::uint64_t salt) {
+    ctx.flip_salt = salt;
+    if (n <= opts.base_cutoff) {
+      ctx.base_products.fetch_add(1, std::memory_order_relaxed);
+      if (ctx.base_kernel != nullptr) {
+        blas::small_gemm(a, b, c, *ctx.base_kernel, *ctx.arena);
+      } else {
+        strassen::base_gemm(a, b, c);
+      }
     } else {
-      strassen::base_gemm(a, b, c);
+      const std::size_t padded =
+          linalg::pad_dimension_for_recursion(n, opts.base_cutoff);
+      if (padded == n) {
+        recurse(a, b, c, ctx, 0);
+      } else {
+        blas::ArenaMatrix ap(*ctx.arena, padded, padded);
+        blas::ArenaMatrix bp(*ctx.arena, padded, padded);
+        blas::ArenaMatrix cp(*ctx.arena, padded, padded);
+        linalg::copy_padded(a, ap.view());
+        linalg::copy_padded(b, bp.view());
+        trace::count_dram_read(2 * n * n * sizeof(double));
+        trace::count_dram_write(2 * padded * padded * sizeof(double));
+        ctx.track_alloc(3 * padded * padded * sizeof(double));
+        recurse(ap.view(), bp.view(), cp.view(), ctx, 0);
+        counted_copy(cp.view().block(0, 0, n, n), c);
+        ctx.track_free(3 * padded * padded * sizeof(double));
+      }
     }
+    // Combine-stage / final-result corruption site — only the
+    // end-to-end guard below can see it.
+    if (ctx.flips) {
+      abft::inject_flip(fault::Site::kMemFlip, fault::key(0xca9fu, salt), c);
+    }
+  };
+
+  if (ctx.abft_mode == abft::AbftMode::kOff) {
+    compute(0);
   } else {
-    const std::size_t padded =
-        linalg::pad_dimension_for_recursion(n, opts.base_cutoff);
-    if (padded == n) {
-      recurse(a, b, c, ctx, 0);
-    } else {
-      blas::ArenaMatrix ap(*ctx.arena, padded, padded);
-      blas::ArenaMatrix bp(*ctx.arena, padded, padded);
-      blas::ArenaMatrix cp(*ctx.arena, padded, padded);
-      linalg::copy_padded(a, ap.view());
-      linalg::copy_padded(b, bp.view());
-      trace::count_dram_read(2 * n * n * sizeof(double));
-      trace::count_dram_write(2 * padded * padded * sizeof(double));
-      ctx.track_alloc(3 * padded * padded * sizeof(double));
-      recurse(ap.view(), bp.view(), cp.view(), ctx, 0);
-      counted_copy(cp.view().block(0, 0, n, n), c);
-      ctx.track_free(3 * padded * padded * sizeof(double));
+    const abft::AbftGuard guard(a, b, *ctx.arena, ctx.abft_tolerance);
+    for (int attempt = 0;; ++attempt) {
+      compute(static_cast<std::uint64_t>(attempt));
+      const abft::VerifyReport rep = guard.verify(c);
+      if (rep.ok) break;
+      if (ctx.abft_mode == abft::AbftMode::kDetect) {
+        throw abft::AbftError(
+            "abft: silent corruption detected in capsalg::multiply result");
+      }
+      if (attempt >= ctx.abft_retries) {
+        throw abft::AbftError(
+            "abft: capsalg::multiply result still corrupt after " +
+            std::to_string(attempt + 1) + " attempt(s)");
+      }
+      abft::record_retried();
     }
   }
 

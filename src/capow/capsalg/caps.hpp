@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "capow/abft/abft.hpp"
 #include "capow/blas/microkernel.hpp"
 #include "capow/blas/workspace.hpp"
 #include "capow/linalg/matrix.hpp"
@@ -49,6 +50,11 @@ struct CapsOptions {
   /// When set, the dense base case runs through the packed registry
   /// microkernel (blas::small_gemm) instead of the BOTS-style kernel.
   std::optional<blas::MicroKernelId> base_kernel;
+  /// ABFT protection (abft::resolve_mode semantics). Detect/correct add
+  /// per-product checksum verification at the top BFS level — a damaged
+  /// sub-product is re-materialized from its pristine parent quadrants
+  /// and re-run — plus an end-to-end guard with bounded full retries.
+  abft::AbftConfig abft{};
 };
 
 /// Execution statistics: the memory/communication trade CAPS makes.

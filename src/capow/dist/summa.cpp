@@ -1,10 +1,14 @@
 #include "capow/dist/summa.hpp"
 
 #include <cstring>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "capow/abft/checksum.hpp"
 #include "capow/blas/gemm_ref.hpp"
+#include "capow/fault/fault.hpp"
 #include "capow/linalg/ops.hpp"
 #include "capow/strassen/base_kernel.hpp"
 #include "capow/telemetry/telemetry.hpp"
@@ -42,6 +46,63 @@ int rank_of(int i, int j, int layer, const GridSpec& g) {
   return (layer * g.rows + i) * g.cols + j;
 }
 
+/// Per-collective ABFT state, fixed before any traffic and identical on
+/// every rank (mode/tolerance from the shared config, salt from the
+/// collective attempt number) — so all ranks agree on the wire format.
+struct AbftState {
+  abft::AbftMode mode = abft::AbftMode::kOff;
+  bool flips = false;           ///< flip fault sites armed this run
+  std::uint64_t salt = 0;       ///< collective attempt number
+};
+
+/// Appends the end-to-end checksum word in detect/correct mode. The
+/// off-mode payload is byte-identical to the pre-ABFT protocol.
+void checked_send(Communicator& comm, const AbftState& st, int dest, int tag,
+                  std::vector<double> payload) {
+  if (st.mode != abft::AbftMode::kOff) {
+    payload.push_back(abft::payload_checksum(payload.data(), payload.size()));
+  }
+  comm.send(dest, tag, payload);
+}
+
+/// Receives a payload, injects any armed mem.flip (keyed on the logical
+/// route, not arrival order), then checks the sender's checksum word
+/// bitwise. Detect mode throws on mismatch; correct mode records the
+/// detection and hands the damaged payload on — the root's end-to-end
+/// verdict triggers the collective re-run that actually repairs it (the
+/// sender has long moved on, so there is nobody to ask for a resend).
+std::vector<double> checked_recv(Communicator& comm, const AbftState& st,
+                                 int src, int tag) {
+  const Message msg = comm.recv(src, tag);
+  std::vector<double> payload(msg.payload.begin(), msg.payload.end());
+  if (st.mode == abft::AbftMode::kOff) return payload;
+  if (payload.empty()) {
+    throw abft::AbftError("abft: checksummed message arrived empty");
+  }
+  const double sent = payload.back();
+  payload.pop_back();
+  if (st.flips) {
+    fault::maybe_flip(
+        fault::Site::kMemFlip,
+        fault::key(0x5077u, st.salt,
+                   fault::key(static_cast<std::uint64_t>(tag),
+                              static_cast<std::uint64_t>(src),
+                              static_cast<std::uint64_t>(comm.rank()))),
+        payload.data(), 1, payload.size(), payload.size());
+  }
+  const double got = abft::payload_checksum(payload.data(), payload.size());
+  if (std::memcmp(&sent, &got, sizeof(double)) != 0) {
+    abft::record_detected();
+    if (st.mode == abft::AbftMode::kDetect) {
+      throw abft::AbftError(
+          "abft: message checksum mismatch (tag " + std::to_string(tag) +
+          ", " + std::to_string(src) + " -> " + std::to_string(comm.rank()) +
+          ")");
+    }
+  }
+  return payload;
+}
+
 std::vector<double> flatten(ConstMatrixView v) {
   std::vector<double> out(v.size());
   for (std::size_t r = 0; r < v.rows(); ++r) {
@@ -64,7 +125,8 @@ void unflatten(std::span<const double> data, MatrixView v) {
 // Root scatters the (i, j) blocks of `m` to layer-0 ranks; returns this
 // rank's block. `nb` is the block dimension.
 Matrix scatter_blocks(Communicator& comm, const GridSpec& g,
-                      ConstMatrixView m, std::size_t nb, int tag) {
+                      const AbftState& st, ConstMatrixView m, std::size_t nb,
+                      int tag) {
   CAPOW_TSPAN_ARGS1("summa.scatter", "dist", "nb", nb);
   const RankCoord me = coord_of(comm.rank(), g);
   Matrix mine(nb, nb);
@@ -76,17 +138,17 @@ Matrix scatter_blocks(Communicator& comm, const GridSpec& g,
         if (dest == 0) {
           linalg::copy(block, mine.view());
         } else {
-          comm.send(dest, tag, flatten(block));
+          checked_send(comm, st, dest, tag, flatten(block));
         }
       }
     }
   } else if (me.layer == 0) {
-    unflatten(comm.recv(0, tag).payload, mine.view());
+    unflatten(checked_recv(comm, st, 0, tag), mine.view());
   }
   return mine;
 }
 
-void gather_blocks(Communicator& comm, const GridSpec& g,
+void gather_blocks(Communicator& comm, const GridSpec& g, const AbftState& st,
                    ConstMatrixView mine, MatrixView out, std::size_t nb) {
   CAPOW_TSPAN_ARGS1("summa.gather", "dist", "nb", nb);
   const RankCoord me = coord_of(comm.rank(), g);
@@ -98,51 +160,61 @@ void gather_blocks(Communicator& comm, const GridSpec& g,
         if (src == 0) {
           linalg::copy(mine, block);
         } else {
-          unflatten(comm.recv(src, kGatherC).payload, block);
+          unflatten(checked_recv(comm, st, src, kGatherC), block);
         }
       }
     }
   } else if (me.layer == 0) {
-    comm.send(0, kGatherC, flatten(mine));
+    checked_send(comm, st, 0, kGatherC, flatten(mine));
   }
 }
 
 // One SUMMA k-step inside a layer: the step's owner column/row
 // broadcasts its A/B block along its grid row/column, everyone
 // accumulates.
-void summa_step(Communicator& comm, const GridSpec& g, const RankCoord& me,
-                int step, ConstMatrixView a_own, ConstMatrixView b_own,
-                Matrix& a_panel, Matrix& b_panel, MatrixView c_acc) {
+void summa_step(Communicator& comm, const GridSpec& g, const AbftState& st,
+                const RankCoord& me, int step, ConstMatrixView a_own,
+                ConstMatrixView b_own, Matrix& a_panel, Matrix& b_panel,
+                MatrixView c_acc) {
   CAPOW_TSPAN_ARGS2("summa.step", "dist", "step", step, "layer", me.layer);
   // A broadcast along the row.
   if (me.j == step) {
     for (int j = 0; j < g.cols; ++j) {
       if (j == me.j) continue;
-      comm.send(rank_of(me.i, j, me.layer, g), kRowBcastBase + step,
-                flatten(a_own));
+      checked_send(comm, st, rank_of(me.i, j, me.layer, g),
+                   kRowBcastBase + step, flatten(a_own));
     }
     linalg::copy(a_own, a_panel.view());
   } else {
-    unflatten(
-        comm.recv(rank_of(me.i, step, me.layer, g), kRowBcastBase + step)
-            .payload,
-        a_panel.view());
+    unflatten(checked_recv(comm, st, rank_of(me.i, step, me.layer, g),
+                           kRowBcastBase + step),
+              a_panel.view());
   }
   // B broadcast along the column.
   if (me.i == step) {
     for (int i = 0; i < g.rows; ++i) {
       if (i == me.i) continue;
-      comm.send(rank_of(i, me.j, me.layer, g), kColBcastBase + step,
-                flatten(b_own));
+      checked_send(comm, st, rank_of(i, me.j, me.layer, g),
+                   kColBcastBase + step, flatten(b_own));
     }
     linalg::copy(b_own, b_panel.view());
   } else {
-    unflatten(
-        comm.recv(rank_of(step, me.j, me.layer, g), kColBcastBase + step)
-            .payload,
-        b_panel.view());
+    unflatten(checked_recv(comm, st, rank_of(step, me.j, me.layer, g),
+                           kColBcastBase + step),
+              b_panel.view());
   }
   strassen::base_gemm_accumulate(a_panel.view(), b_panel.view(), c_acc);
+  // Local-accumulator corruption: invisible to the message checksums,
+  // caught only by the root's end-to-end verdict.
+  if (st.flips) {
+    fault::maybe_flip(
+        fault::Site::kComputeFlip,
+        fault::key(0x50c0u, st.salt,
+                   fault::key(static_cast<std::uint64_t>(step),
+                              static_cast<std::uint64_t>(me.i),
+                              static_cast<std::uint64_t>(me.j))),
+        c_acc.data(), c_acc.rows(), c_acc.cols(), c_acc.ld());
+  }
 }
 
 bool root_operands_valid(ConstMatrixView a, ConstMatrixView b,
@@ -187,8 +259,59 @@ void GridSpec::validate() const {
   }
 }
 
+namespace {
+
+// Shared collective driver: run_attempt executes one full scattered
+// multiply into c; the root then verifies it end-to-end and broadcasts
+// the verdict so every rank takes the same branch (a rank deciding
+// alone would desynchronize the collective). Retries re-run from the
+// pristine root operands with a fresh flip salt.
+template <typename RunAttempt>
+void guarded_collective(Communicator& comm, ConstMatrixView a,
+                        ConstMatrixView b, MatrixView c,
+                        const abft::AbftConfig& cfg, AbftState& st,
+                        const char* what, RunAttempt&& run_attempt) {
+  st.mode = abft::resolve_mode(cfg);
+  st.flips = abft::flips_armed();
+  if (st.mode == abft::AbftMode::kOff) {
+    st.salt = 0;
+    run_attempt();
+    return;
+  }
+
+  std::optional<abft::AbftGuard> guard;
+  if (comm.rank() == 0) {
+    guard.emplace(a, b, blas::WorkspaceArena::process_arena(),
+                  cfg.tolerance);
+  }
+  for (int attempt = 0;; ++attempt) {
+    st.salt = static_cast<std::uint64_t>(attempt);
+    run_attempt();
+    std::vector<double> verdict(1, 1.0);
+    if (comm.rank() == 0) {
+      verdict[0] = guard->verify(c).ok ? 1.0 : 0.0;
+    }
+    comm.broadcast(0, verdict);
+    if (verdict[0] == 1.0) return;
+    if (st.mode == abft::AbftMode::kDetect) {
+      throw abft::AbftError(std::string("abft: silent corruption detected "
+                                        "in ") +
+                            what + " result");
+    }
+    if (attempt >= cfg.max_retries) {
+      throw abft::AbftError(std::string("abft: ") + what +
+                            " result still corrupt after " +
+                            std::to_string(attempt + 1) + " attempt(s)");
+    }
+    if (comm.rank() == 0) abft::record_retried();
+  }
+}
+
+}  // namespace
+
 void summa_multiply(Communicator& comm, const GridSpec& grid,
-                    ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+                    ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                    const abft::AbftConfig& cfg) {
   grid.validate();
   if (grid.layers != 1) {
     throw std::invalid_argument("summa_multiply: layers must be 1");
@@ -202,20 +325,29 @@ void summa_multiply(Communicator& comm, const GridSpec& grid,
   const std::size_t nb = n / grid.rows;
   const RankCoord me = coord_of(comm.rank(), grid);
 
-  Matrix a_own = scatter_blocks(comm, grid, a, nb, kScatterA);
-  Matrix b_own = scatter_blocks(comm, grid, b, nb, kScatterB);
-  Matrix c_acc = Matrix::zeros(nb);
-  Matrix a_panel(nb, nb), b_panel(nb, nb);
+  AbftState st;
+  guarded_collective(comm, a, b, c, cfg, st, "summa", [&] {
+    Matrix a_own = scatter_blocks(comm, grid, st, a, nb, kScatterA);
+    Matrix b_own = scatter_blocks(comm, grid, st, b, nb, kScatterB);
+    Matrix c_acc = Matrix::zeros(nb);
+    Matrix a_panel(nb, nb), b_panel(nb, nb);
 
-  for (int step = 0; step < grid.rows; ++step) {
-    summa_step(comm, grid, me, step, a_own.view(), b_own.view(), a_panel,
-               b_panel, c_acc.view());
-  }
-  gather_blocks(comm, grid, c_acc.view(), c, nb);
+    for (int step = 0; step < grid.rows; ++step) {
+      summa_step(comm, grid, st, me, step, a_own.view(), b_own.view(),
+                 a_panel, b_panel, c_acc.view());
+    }
+    gather_blocks(comm, grid, st, c_acc.view(), c, nb);
+  });
+}
+
+void summa_multiply(Communicator& comm, const GridSpec& grid,
+                    ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  summa_multiply(comm, grid, a, b, c, abft::AbftConfig{});
 }
 
 void multiply_25d(Communicator& comm, const GridSpec& grid,
-                  ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+                  ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                  const abft::AbftConfig& cfg) {
   grid.validate();
   if (comm.size() != grid.ranks()) {
     throw std::invalid_argument("multiply_25d: comm size != grid ranks");
@@ -227,59 +359,68 @@ void multiply_25d(Communicator& comm, const GridSpec& grid,
   const std::size_t nb = n / grid.rows;
   const RankCoord me = coord_of(comm.rank(), grid);
 
-  // Layer 0 holds the initial distribution...
-  Matrix a_own = scatter_blocks(comm, grid, a, nb, kScatterA);
-  Matrix b_own = scatter_blocks(comm, grid, b, nb, kScatterB);
+  AbftState st;
+  guarded_collective(comm, a, b, c, cfg, st, "2.5D multiply", [&] {
+    // Layer 0 holds the initial distribution...
+    Matrix a_own = scatter_blocks(comm, grid, st, a, nb, kScatterA);
+    Matrix b_own = scatter_blocks(comm, grid, st, b, nb, kScatterB);
 
-  // ...and replicates it to the other layers (the c-fold memory cost
-  // that buys the communication reduction).
-  {
-    CAPOW_TSPAN_ARGS1("summa.replicate", "dist", "layer", me.layer);
-    if (me.layer == 0) {
-      for (int l = 1; l < grid.layers; ++l) {
-        comm.send(rank_of(me.i, me.j, l, grid), kReplicateA,
-                  flatten(a_own.view()));
-        comm.send(rank_of(me.i, me.j, l, grid), kReplicateB,
-                  flatten(b_own.view()));
+    // ...and replicates it to the other layers (the c-fold memory cost
+    // that buys the communication reduction).
+    {
+      CAPOW_TSPAN_ARGS1("summa.replicate", "dist", "layer", me.layer);
+      if (me.layer == 0) {
+        for (int l = 1; l < grid.layers; ++l) {
+          checked_send(comm, st, rank_of(me.i, me.j, l, grid), kReplicateA,
+                       flatten(a_own.view()));
+          checked_send(comm, st, rank_of(me.i, me.j, l, grid), kReplicateB,
+                       flatten(b_own.view()));
+        }
+      } else {
+        unflatten(checked_recv(comm, st, rank_of(me.i, me.j, 0, grid),
+                               kReplicateA),
+                  a_own.view());
+        unflatten(checked_recv(comm, st, rank_of(me.i, me.j, 0, grid),
+                               kReplicateB),
+                  b_own.view());
       }
-    } else {
-      unflatten(
-          comm.recv(rank_of(me.i, me.j, 0, grid), kReplicateA).payload,
-          a_own.view());
-      unflatten(
-          comm.recv(rank_of(me.i, me.j, 0, grid), kReplicateB).payload,
-          b_own.view());
     }
-  }
 
-  // Each layer runs its disjoint slice of the k-steps.
-  Matrix c_acc = Matrix::zeros(nb);
-  Matrix a_panel(nb, nb), b_panel(nb, nb);
-  const int steps_per_layer = grid.rows / grid.layers;
-  const int first = me.layer * steps_per_layer;
-  for (int s = 0; s < steps_per_layer; ++s) {
-    summa_step(comm, grid, me, first + s, a_own.view(), b_own.view(),
-               a_panel, b_panel, c_acc.view());
-  }
+    // Each layer runs its disjoint slice of the k-steps.
+    Matrix c_acc = Matrix::zeros(nb);
+    Matrix a_panel(nb, nb), b_panel(nb, nb);
+    const int steps_per_layer = grid.rows / grid.layers;
+    const int first = me.layer * steps_per_layer;
+    for (int s = 0; s < steps_per_layer; ++s) {
+      summa_step(comm, grid, st, me, first + s, a_own.view(), b_own.view(),
+                 a_panel, b_panel, c_acc.view());
+    }
 
-  // Sum-reduce partial C blocks onto layer 0.
-  {
-    CAPOW_TSPAN_ARGS1("summa.layer_reduce", "dist", "layer", me.layer);
-    if (me.layer == 0) {
-      for (int l = 1; l < grid.layers; ++l) {
-        const auto part =
-            comm.recv(rank_of(me.i, me.j, l, grid), kLayerReduce).payload;
-        Matrix tmp(nb, nb);
-        unflatten(part, tmp.view());
-        linalg::add_inplace(c_acc.view(), tmp.view());
+    // Sum-reduce partial C blocks onto layer 0.
+    {
+      CAPOW_TSPAN_ARGS1("summa.layer_reduce", "dist", "layer", me.layer);
+      if (me.layer == 0) {
+        for (int l = 1; l < grid.layers; ++l) {
+          const auto part =
+              checked_recv(comm, st, rank_of(me.i, me.j, l, grid),
+                           kLayerReduce);
+          Matrix tmp(nb, nb);
+          unflatten(part, tmp.view());
+          linalg::add_inplace(c_acc.view(), tmp.view());
+        }
+      } else {
+        checked_send(comm, st, rank_of(me.i, me.j, 0, grid), kLayerReduce,
+                     flatten(c_acc.view()));
       }
-    } else {
-      comm.send(rank_of(me.i, me.j, 0, grid), kLayerReduce,
-                flatten(c_acc.view()));
     }
-  }
 
-  gather_blocks(comm, grid, c_acc.view(), c, nb);
+    gather_blocks(comm, grid, st, c_acc.view(), c, nb);
+  });
+}
+
+void multiply_25d(Communicator& comm, const GridSpec& grid,
+                  ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  multiply_25d(comm, grid, a, b, c, abft::AbftConfig{});
 }
 
 }  // namespace capow::dist

@@ -14,6 +14,7 @@
 // the eq8 bench compares.
 #pragma once
 
+#include "capow/abft/abft.hpp"
 #include "capow/dist/comm.hpp"
 #include "capow/linalg/matrix.hpp"
 
@@ -36,17 +37,34 @@ struct GridSpec {
 /// Rank 0 passes the operands; n must be divisible by grid.rows and
 /// grid.cols. Every rank of `comm` must call it; comm.size() must equal
 /// grid.ranks().
+///
+/// ABFT (abft::resolve_mode semantics — the no-config overload still
+/// honors CAPOW_ABFT): in detect/correct mode every point-to-point
+/// payload carries a compensated end-to-end checksum word, compared
+/// bitwise on receipt — an application-level check independent of the
+/// transport's link CRC (which PR 2's comm.corrupt site already covers).
+/// Rank 0 additionally guards the whole product with Huang–Abraham
+/// checksums; in correct mode a failed verdict triggers a collective
+/// re-run (bounded by cfg.max_retries) from the pristine root operands.
+/// With the mode off, the wire format is bit-identical to the
+/// pre-ABFT protocol.
 void summa_multiply(Communicator& comm, const GridSpec& grid,
                     linalg::ConstMatrixView a, linalg::ConstMatrixView b,
                     linalg::MatrixView c);
+void summa_multiply(Communicator& comm, const GridSpec& grid,
+                    linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                    linalg::MatrixView c, const abft::AbftConfig& cfg);
 
 /// Collective 2.5D multiply: the rows x cols grid is replicated
 /// `layers` times; each layer computes a disjoint slice of the k-steps
 /// and the result is sum-reduced across layers. Requires
 /// grid.rows == grid.cols, layers dividing grid.rows, and n divisible
-/// by grid.rows.
+/// by grid.rows. ABFT semantics match summa_multiply.
 void multiply_25d(Communicator& comm, const GridSpec& grid,
                   linalg::ConstMatrixView a, linalg::ConstMatrixView b,
                   linalg::MatrixView c);
+void multiply_25d(Communicator& comm, const GridSpec& grid,
+                  linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                  linalg::MatrixView c, const abft::AbftConfig& cfg);
 
 }  // namespace capow::dist

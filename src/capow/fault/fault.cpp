@@ -1,7 +1,9 @@
 #include "capow/fault/fault.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 namespace capow::fault {
@@ -24,18 +26,65 @@ double to_unit(std::uint64_t h) noexcept {
 
 std::atomic<FaultInjector*> g_active{nullptr};
 
-constexpr const char* kSiteNames[kSiteCount] = {
-    "comm.drop", "comm.delay", "comm.corrupt", "rapl.fail",
-    "task.stall", "run.fail",  "run.stall",
+// Canonical site table: the single source of truth tying each spec key
+// to its Site and its FaultPlan probability field. site_name(),
+// probability(), spec(), parse(), and the unknown-key error message all
+// derive from it, so a site added here is automatically parseable,
+// printable, and consistently named everywhere.
+struct SiteSpec {
+  const char* name;
+  Site site;
+  double FaultPlan::*probability;
 };
+
+constexpr SiteSpec kSites[kSiteCount] = {
+    {"comm.drop", Site::kCommDrop, &FaultPlan::comm_drop},
+    {"comm.delay", Site::kCommDelay, &FaultPlan::comm_delay},
+    {"comm.corrupt", Site::kCommCorrupt, &FaultPlan::comm_corrupt},
+    {"rapl.fail", Site::kRaplFail, &FaultPlan::rapl_fail},
+    {"task.stall", Site::kTaskStall, &FaultPlan::task_stall},
+    {"run.fail", Site::kRunFail, &FaultPlan::run_fail},
+    {"run.stall", Site::kRunStall, &FaultPlan::run_stall},
+    {"mem.flip", Site::kMemFlip, &FaultPlan::mem_flip},
+    {"compute.flip", Site::kComputeFlip, &FaultPlan::compute_flip},
+};
+
+constexpr bool sites_in_enum_order() {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (static_cast<std::size_t>(kSites[i].site) != i) return false;
+  }
+  return true;
+}
+static_assert(sites_in_enum_order(),
+              "kSites must list every Site in enum order");
 
 constexpr const char* kEventNames[kEventCount] = {
     "comm_drops",        "comm_delays",       "comm_corruptions",
     "comm_retries",      "comm_send_failures", "rapl_read_failures",
     "rapl_retries",      "rapl_degraded_reads", "rapl_wraps",
     "task_stalls",       "runs_retried",      "runs_degraded",
-    "runs_failed",       "run_timeouts",
+    "runs_failed",       "run_timeouts",      "mem_flips",
+    "compute_flips",
 };
+
+// Non-site spec keys (magnitudes, seed) appended to the unknown-key
+// error so the full grammar is discoverable from the message alone.
+constexpr const char* kExtraKeys[] = {
+    "comm.delay_ms", "rapl.wrap", "task.stall_ms", "run.stall_ms", "seed",
+};
+
+std::string valid_keys() {
+  std::string out;
+  for (const SiteSpec& s : kSites) {
+    if (!out.empty()) out += ", ";
+    out += s.name;
+  }
+  for (const char* k : kExtraKeys) {
+    out += ", ";
+    out += k;
+  }
+  return out;
+}
 
 double parse_number(const std::string& key_name, const std::string& tok) {
   char* end = nullptr;
@@ -75,7 +124,7 @@ std::string fmt_double(double v) {
 }  // namespace
 
 const char* site_name(Site s) noexcept {
-  return kSiteNames[static_cast<std::size_t>(s)];
+  return kSites[static_cast<std::size_t>(s)].name;
 }
 
 const char* event_name(Event e) noexcept {
@@ -89,29 +138,14 @@ std::uint64_t FaultCounters::total() const noexcept {
 }
 
 double FaultPlan::probability(Site s) const noexcept {
-  switch (s) {
-    case Site::kCommDrop:
-      return comm_drop;
-    case Site::kCommDelay:
-      return comm_delay;
-    case Site::kCommCorrupt:
-      return comm_corrupt;
-    case Site::kRaplFail:
-      return rapl_fail;
-    case Site::kTaskStall:
-      return task_stall;
-    case Site::kRunFail:
-      return run_fail;
-    case Site::kRunStall:
-      return run_stall;
-  }
-  return 0.0;
+  return this->*kSites[static_cast<std::size_t>(s)].probability;
 }
 
 bool FaultPlan::any() const noexcept {
-  return comm_drop > 0.0 || comm_delay > 0.0 || comm_corrupt > 0.0 ||
-         rapl_fail > 0.0 || rapl_wrap || task_stall > 0.0 ||
-         run_fail > 0.0 || run_stall > 0.0;
+  for (const SiteSpec& s : kSites) {
+    if (this->*s.probability > 0.0) return true;
+  }
+  return rapl_wrap;
 }
 
 std::string FaultPlan::spec() const {
@@ -122,17 +156,28 @@ std::string FaultPlan::spec() const {
     out += '=';
     out += v;
   };
-  if (comm_drop > 0.0) add("comm.drop", fmt_double(comm_drop));
-  if (comm_delay > 0.0) add("comm.delay", fmt_double(comm_delay));
-  if (comm_delay_ms != 1.0) add("comm.delay_ms", fmt_double(comm_delay_ms));
-  if (comm_corrupt > 0.0) add("comm.corrupt", fmt_double(comm_corrupt));
-  if (rapl_fail > 0.0) add("rapl.fail", fmt_double(rapl_fail));
-  if (rapl_wrap) add("rapl.wrap", "1");
-  if (task_stall > 0.0) add("task.stall", fmt_double(task_stall));
-  if (task_stall_ms != 1.0) add("task.stall_ms", fmt_double(task_stall_ms));
-  if (run_fail > 0.0) add("run.fail", fmt_double(run_fail));
-  if (run_stall > 0.0) add("run.stall", fmt_double(run_stall));
-  if (run_stall_ms != 1.0) add("run.stall_ms", fmt_double(run_stall_ms));
+  for (const SiteSpec& s : kSites) {
+    if (this->*s.probability > 0.0) {
+      add(s.name, fmt_double(this->*s.probability));
+    }
+    // Magnitude/flag keys print right after the site they qualify.
+    switch (s.site) {
+      case Site::kCommDelay:
+        if (comm_delay_ms != 1.0) add("comm.delay_ms", fmt_double(comm_delay_ms));
+        break;
+      case Site::kRaplFail:
+        if (rapl_wrap) add("rapl.wrap", "1");
+        break;
+      case Site::kTaskStall:
+        if (task_stall_ms != 1.0) add("task.stall_ms", fmt_double(task_stall_ms));
+        break;
+      case Site::kRunStall:
+        if (run_stall_ms != 1.0) add("run.stall_ms", fmt_double(run_stall_ms));
+        break;
+      default:
+        break;
+    }
+  }
   add("seed", std::to_string(seed));
   return out;
 }
@@ -162,33 +207,30 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         throw std::invalid_argument("fault spec: bad seed '" + v + "'");
       }
       plan.seed = s;
-    } else if (k == "comm.drop") {
-      plan.comm_drop = parse_probability(k, v);
-    } else if (k == "comm.delay") {
-      plan.comm_delay = parse_probability(k, v);
     } else if (k == "comm.delay_ms") {
       plan.comm_delay_ms = parse_duration(k, v);
-    } else if (k == "comm.corrupt") {
-      plan.comm_corrupt = parse_probability(k, v);
-    } else if (k == "rapl.fail") {
-      plan.rapl_fail = parse_probability(k, v);
     } else if (k == "rapl.wrap") {
       if (v != "0" && v != "1") {
         throw std::invalid_argument("fault spec: rapl.wrap must be 0 or 1");
       }
       plan.rapl_wrap = v == "1";
-    } else if (k == "task.stall") {
-      plan.task_stall = parse_probability(k, v);
     } else if (k == "task.stall_ms") {
       plan.task_stall_ms = parse_duration(k, v);
-    } else if (k == "run.fail") {
-      plan.run_fail = parse_probability(k, v);
-    } else if (k == "run.stall") {
-      plan.run_stall = parse_probability(k, v);
     } else if (k == "run.stall_ms") {
       plan.run_stall_ms = parse_duration(k, v);
     } else {
-      throw std::invalid_argument("fault spec: unknown key '" + k + "'");
+      const SiteSpec* match = nullptr;
+      for (const SiteSpec& s : kSites) {
+        if (k == s.name) {
+          match = &s;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        throw std::invalid_argument("fault spec: unknown key '" + k +
+                                    "' (valid keys: " + valid_keys() + ")");
+      }
+      plan.*match->probability = parse_probability(k, v);
     }
   }
   return plan;
@@ -255,6 +297,39 @@ std::uint64_t key(std::uint64_t a, std::uint64_t b,
   h = splitmix64(h ^ b);
   h = splitmix64(h ^ c);
   return h;
+}
+
+double flip_value(double v) noexcept {
+  if (std::fabs(v) >= 1.0) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    bits ^= std::uint64_t{1} << 51;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  return v + 1.0;
+}
+
+std::size_t maybe_flip(Site site, std::uint64_t block_key, double* data,
+                       std::size_t rows, std::size_t cols,
+                       std::size_t ld) noexcept {
+  FaultInjector* inj = FaultInjector::active();
+  if (inj == nullptr || inj->plan().probability(site) <= 0.0) return 0;
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* row = data + i * ld;
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (inj->fire(site, key(block_key, i, j))) {
+        row[j] = flip_value(row[j]);
+        ++flips;
+      }
+    }
+  }
+  if (flips != 0) {
+    inj->record(site == Site::kMemFlip ? Event::kMemFlip : Event::kComputeFlip,
+                flips);
+  }
+  return flips;
 }
 
 }  // namespace capow::fault

@@ -40,8 +40,10 @@ enum class Site {
   kTaskStall,     ///< task stalled by plan.task_stall_ms before running
   kRunFail,       ///< whole experiment run aborts (crash analogue)
   kRunStall,      ///< whole experiment run hangs for plan.run_stall_ms
+  kMemFlip,       ///< silent bit-flip in a result/operand held in memory
+  kComputeFlip,   ///< silent corruption of data feeding a computation
 };
-inline constexpr std::size_t kSiteCount = 7;
+inline constexpr std::size_t kSiteCount = 9;
 
 /// Spec key of a site ("comm.drop", "rapl.fail", ...).
 const char* site_name(Site s) noexcept;
@@ -65,8 +67,10 @@ enum class Event {
   kRunDegraded,      ///< runs completed with degraded measurement
   kRunFailure,       ///< runs that exhausted every attempt
   kRunTimeout,       ///< run attempts killed by the watchdog
+  kMemFlip,          ///< injected silent memory bit-flips
+  kComputeFlip,      ///< injected silent compute-input corruptions
 };
-inline constexpr std::size_t kEventCount = 14;
+inline constexpr std::size_t kEventCount = 16;
 
 /// Metric/report name of an event ("comm_drops", "rapl_retries", ...).
 const char* event_name(Event e) noexcept;
@@ -102,6 +106,9 @@ struct FaultPlan {
   double run_stall = 0.0;     ///< P(hang) per experiment run attempt
   double run_stall_ms = 1.0;  ///< hang duration
 
+  double mem_flip = 0.0;      ///< P(silent flip) per result element
+  double compute_flip = 0.0;  ///< P(silent flip) per compute input element
+
   /// Probability configured for `site`.
   double probability(Site s) const noexcept;
 
@@ -111,6 +118,12 @@ struct FaultPlan {
   /// True when any comm.* fault is configured (dist fast-path gate).
   bool any_comm() const noexcept {
     return comm_drop > 0.0 || comm_delay > 0.0 || comm_corrupt > 0.0;
+  }
+
+  /// True when any silent-data-corruption site is armed (ABFT fast-path
+  /// gate: clean runs skip flip draws entirely).
+  bool any_flip() const noexcept {
+    return mem_flip > 0.0 || compute_flip > 0.0;
   }
 
   /// Canonical spec string ("comm.drop=0.01,...,seed=42"); parse() of
@@ -206,5 +219,26 @@ class FaultScope {
 /// number, attempt).
 std::uint64_t key(std::uint64_t a, std::uint64_t b = 0,
                   std::uint64_t c = 0) noexcept;
+
+/// Deterministically corrupts elements of the rows x cols block at
+/// `data` (leading dimension `ld`) with the probability configured for
+/// `site` (kMemFlip or kComputeFlip). Each element's draw is keyed on
+/// (block_key, row, col) only — never on execution order — so the set
+/// of flipped elements is a pure function of the plan seed, the run
+/// context, and the logical coordinates, regardless of thread
+/// interleaving. Recovery layers that re-run damaged work mix a local
+/// attempt number into `block_key` so the retry re-draws instead of
+/// re-firing the identical fault. Records kMemFlip/kComputeFlip events;
+/// returns the number of elements flipped (0 when no injector is
+/// active or the site's probability is 0).
+std::size_t maybe_flip(Site site, std::uint64_t block_key, double* data,
+                       std::size_t rows, std::size_t cols,
+                       std::size_t ld) noexcept;
+
+/// The deterministic corruption maybe_flip() applies to one element:
+/// values with |v| >= 1 get mantissa bit 51 toggled (a >= 25% relative
+/// perturbation), smaller values get +1.0 — always finite, always far
+/// above any checksum tolerance, so an injected flip is never masked.
+double flip_value(double v) noexcept;
 
 }  // namespace capow::fault

@@ -12,6 +12,7 @@ RunStatus status_from_name(const std::string& name, bool& ok) {
   ok = true;
   if (name == "ok") return RunStatus::kOk;
   if (name == "retried") return RunStatus::kRetried;
+  if (name == "corrected") return RunStatus::kCorrected;
   if (name == "degraded") return RunStatus::kDegraded;
   if (name == "failed") return RunStatus::kFailed;
   ok = false;
@@ -213,8 +214,10 @@ std::optional<ResultRecord> parse_checkpoint_line(const std::string& line) {
   return r;
 }
 
-std::vector<ResultRecord> load_checkpoint(const std::string& path) {
+std::vector<ResultRecord> load_checkpoint(const std::string& path,
+                                          std::size_t* skipped) {
   std::vector<ResultRecord> out;
+  if (skipped != nullptr) *skipped = 0;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return out;
   std::string line;
@@ -234,6 +237,8 @@ std::vector<ResultRecord> load_checkpoint(const std::string& path) {
         }
       }
       if (!replaced) out.push_back(*rec);
+    } else if (skipped != nullptr) {
+      ++*skipped;
     }
     line.clear();
   };

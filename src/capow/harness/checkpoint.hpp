@@ -30,10 +30,13 @@ std::string checkpoint_line(const ResultRecord& r);
 std::optional<ResultRecord> parse_checkpoint_line(const std::string& line);
 
 /// Loads every parseable record from a checkpoint file. Missing file =>
-/// empty. Torn or corrupt lines are skipped, not fatal. When a
-/// configuration appears more than once (a resumed run re-ran it) the
-/// last record wins.
-std::vector<ResultRecord> load_checkpoint(const std::string& path);
+/// empty. Torn or corrupt lines are skipped, not fatal; when `skipped`
+/// is non-null it receives how many non-empty lines failed to parse (so
+/// the caller can report a damaged checkpoint instead of silently
+/// re-running the lost work). When a configuration appears more than
+/// once (a resumed run re-ran it) the last record wins.
+std::vector<ResultRecord> load_checkpoint(const std::string& path,
+                                          std::size_t* skipped = nullptr);
 
 /// Append-mode checkpoint writer. Default-constructed writers are
 /// inactive no-ops so call sites need no branching.

@@ -11,6 +11,7 @@
 #include <string>
 #include <thread>
 
+#include "capow/abft/abft.hpp"
 #include "capow/fault/fault.hpp"
 #include "capow/harness/checkpoint.hpp"
 #include "capow/harness/telemetry_export.hpp"
@@ -26,6 +27,8 @@ const char* to_string(RunStatus s) noexcept {
       return "ok";
     case RunStatus::kRetried:
       return "retried";
+    case RunStatus::kCorrected:
+      return "corrected";
     case RunStatus::kDegraded:
       return "degraded";
     case RunStatus::kFailed:
@@ -48,7 +51,8 @@ const std::vector<ResultRecord>& ExperimentRunner::run() {
 
   std::vector<ResultRecord> resumed;
   if (config_.resume && !config_.checkpoint_path.empty()) {
-    resumed = load_checkpoint(config_.checkpoint_path);
+    resumed =
+        load_checkpoint(config_.checkpoint_path, &skipped_checkpoint_lines_);
   }
   CheckpointWriter writer;
   if (!config_.checkpoint_path.empty()) {
@@ -247,6 +251,10 @@ ResultRecord ExperimentRunner::run_one(Algorithm a, std::size_t n,
                      ? 1.0
                      : config_.retry_quiesce_factor,
                  attempt - 1);
+    // A detection during the surviving attempt marks the record
+    // kCorrected: the numbers are right (ABFT repaired them) but the
+    // run was not clean, and downstream should be able to tell.
+    const std::uint64_t abft_detected_before = abft::counters().detected;
     try {
       run_attempt(config_, a, n, threads, quiesce, slot);
       ResultRecord rec;
@@ -260,6 +268,8 @@ ResultRecord ExperimentRunner::run_one(Algorithm a, std::size_t n,
       if (degraded) {
         rec.status = RunStatus::kDegraded;
         if (inj != nullptr) inj->record(fault::Event::kRunDegraded);
+      } else if (abft::counters().detected > abft_detected_before) {
+        rec.status = RunStatus::kCorrected;
       } else if (attempt > 1) {
         rec.status = RunStatus::kRetried;
       } else {

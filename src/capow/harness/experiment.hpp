@@ -35,16 +35,19 @@ inline constexpr Algorithm kAllAlgorithms[] = {
 /// Display name ("OpenBLAS", "Strassen", "CAPS") — the registry's.
 using core::algorithm_name;
 
-/// How a configuration's measurement concluded. Order is precedence:
-/// a run that both retried and finished degraded reports kDegraded.
+/// How a configuration's measurement concluded. Order is precedence
+/// (failed > degraded > corrected > retried > ok): a run that both
+/// retried and finished degraded reports kDegraded.
 enum class RunStatus {
   kOk = 0,     ///< first attempt, clean measurement
   kRetried,    ///< succeeded after >= 1 failed attempt
+  kCorrected,  ///< succeeded, but ABFT detected (and repaired) silent
+               ///< corruption during the surviving attempt
   kDegraded,   ///< succeeded, but RAPL reads degraded (stale samples)
   kFailed,     ///< every attempt failed; metrics are zero, error is set
 };
 
-/// Status name ("ok", "retried", "degraded", "failed").
+/// Status name ("ok", "retried", "corrected", "degraded", "failed").
 const char* to_string(RunStatus s) noexcept;
 
 /// Full experiment-matrix configuration.
@@ -129,6 +132,14 @@ class ExperimentRunner {
   /// Fig 1-style classification of a configuration's EP scaling.
   core::ScalingClass scaling_class(Algorithm a, std::size_t n) const;
 
+  /// Truncated/corrupt JSONL lines skipped while loading the resume
+  /// checkpoint (0 until run(), or when resume is off). Surfaced so
+  /// capow-report can tell the user their checkpoint was damaged
+  /// instead of silently re-running the lost configurations.
+  std::size_t skipped_checkpoint_lines() const noexcept {
+    return skipped_checkpoint_lines_;
+  }
+
  private:
   /// One configuration with the full fault-tolerance envelope: bounded
   /// retries with quiesce backoff, optional watchdog, RunStatus
@@ -139,6 +150,7 @@ class ExperimentRunner {
 
   ExperimentConfig config_;
   std::vector<ResultRecord> results_;
+  std::size_t skipped_checkpoint_lines_ = 0;
   bool ran_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "capow/abft/abft.hpp"
 #include "capow/blas/cost_model.hpp"
 #include "capow/blas/microkernel.hpp"
 #include "capow/blas/workspace.hpp"
@@ -251,6 +252,21 @@ void export_metrics(ExperimentRunner& runner, std::ostream& os) {
       reg.sample({{"kind", fault::event_name(static_cast<fault::Event>(i))}},
                  static_cast<double>(counters.by_event[i]));
     }
+  }
+
+  // ABFT checksum/recovery totals (absent when no guarded multiply ran,
+  // so pre-ABFT scrapes stay byte-identical). Deterministic for a fixed
+  // fault seed — the CI fault-matrix leg diffs them across reruns.
+  if (const abft::AbftCounters ac = abft::counters(); ac.total() > 0) {
+    reg.family("capow_abft_events_total",
+               "ABFT checksum verifications and recovery actions by kind",
+               "counter");
+    reg.sample({{"kind", "verifications"}},
+               static_cast<double>(ac.verifications));
+    reg.sample({{"kind", "detected"}}, static_cast<double>(ac.detected));
+    reg.sample({{"kind", "corrected"}}, static_cast<double>(ac.corrected));
+    reg.sample({{"kind", "recomputed"}}, static_cast<double>(ac.recomputed));
+    reg.sample({{"kind", "retried"}}, static_cast<double>(ac.retried));
   }
   reg.write(os);
 }

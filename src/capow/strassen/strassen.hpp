@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <optional>
 
+#include "capow/abft/abft.hpp"
 #include "capow/blas/microkernel.hpp"
 #include "capow/blas/workspace.hpp"
 #include "capow/linalg/matrix.hpp"
@@ -48,6 +49,13 @@ struct StrassenOptions {
   /// kernel. Default keeps the paper's BOTS base case — the Strassen /
   /// OpenBLAS efficiency gap is part of what the paper measures.
   std::optional<blas::MicroKernelId> base_kernel;
+  /// ABFT protection (abft::resolve_mode semantics: explicit mode, else
+  /// CAPOW_ABFT, else off). Detect/correct add per-product checksum
+  /// verification at the top recursion level — a flip is caught in the
+  /// quadrant where it happened and, in correct mode, repaired by
+  /// re-running just that product — plus an end-to-end guard around the
+  /// whole multiply that escalates to bounded full retries.
+  abft::AbftConfig abft{};
 };
 
 /// C = A * B for square matrices via task-parallel Strassen.

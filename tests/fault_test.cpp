@@ -1,9 +1,12 @@
 // Tests for the deterministic fault-injection subsystem: spec parsing,
 // the counter-based draw function's determinism and distribution, and
 // the process-global install scope.
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -59,6 +62,43 @@ TEST(FaultPlan, ToleratesEmptySegments) {
   EXPECT_DOUBLE_EQ(plan.comm_drop, 0.5);
   EXPECT_EQ(plan.seed, 3u);
   EXPECT_TRUE(FaultPlan::parse("").any() == false);
+}
+
+TEST(FaultPlan, ParsesFlipSites) {
+  const FaultPlan plan =
+      FaultPlan::parse("mem.flip=0.001,compute.flip=0.002,seed=11");
+  EXPECT_DOUBLE_EQ(plan.mem_flip, 0.001);
+  EXPECT_DOUBLE_EQ(plan.compute_flip, 0.002);
+  EXPECT_TRUE(plan.any());
+  EXPECT_TRUE(plan.any_flip());
+  EXPECT_FALSE(plan.any_comm());
+  EXPECT_DOUBLE_EQ(plan.probability(Site::kMemFlip), 0.001);
+  EXPECT_DOUBLE_EQ(plan.probability(Site::kComputeFlip), 0.002);
+
+  const FaultPlan again = FaultPlan::parse(plan.spec());
+  EXPECT_DOUBLE_EQ(again.mem_flip, plan.mem_flip);
+  EXPECT_DOUBLE_EQ(again.compute_flip, plan.compute_flip);
+  EXPECT_EQ(again.spec(), plan.spec());
+}
+
+TEST(FaultPlan, UnknownKeyErrorListsValidSites) {
+  try {
+    FaultPlan::parse("mem.flp=0.1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown key 'mem.flp'"), std::string::npos) << msg;
+    // The message enumerates every valid key, canonical-site table plus
+    // the magnitude/seed extras, so typos are self-diagnosing.
+    for (const char* key :
+         {"comm.drop", "comm.delay", "comm.corrupt", "rapl.fail",
+          "task.stall", "run.fail", "run.stall", "mem.flip", "compute.flip",
+          "comm.delay_ms", "rapl.wrap", "task.stall_ms", "run.stall_ms",
+          "seed"}) {
+      EXPECT_NE(msg.find(key), std::string::npos)
+          << "missing '" << key << "' in: " << msg;
+    }
+  }
 }
 
 TEST(FaultPlan, RejectsMalformedSpecs) {
@@ -246,8 +286,53 @@ TEST(FaultScope, InstallsAndRestores) {
 TEST(FaultNames, SiteAndEventNamesAreStable) {
   EXPECT_STREQ(site_name(Site::kCommDrop), "comm.drop");
   EXPECT_STREQ(site_name(Site::kRunStall), "run.stall");
+  EXPECT_STREQ(site_name(Site::kMemFlip), "mem.flip");
+  EXPECT_STREQ(site_name(Site::kComputeFlip), "compute.flip");
   EXPECT_STREQ(event_name(Event::kCommDrop), "comm_drops");
   EXPECT_STREQ(event_name(Event::kRunTimeout), "run_timeouts");
+  EXPECT_STREQ(event_name(Event::kMemFlip), "mem_flips");
+  EXPECT_STREQ(event_name(Event::kComputeFlip), "compute_flips");
+}
+
+TEST(FaultFlip, FlipValueIsAlwaysALargePerturbation) {
+  for (double v : {1.0, -3.5, 1e-30, 0.0, 123456.789, -1e12}) {
+    const double f = flip_value(v);
+    EXPECT_NE(f, v);
+    // >= 25% relative change (or an absolute +1 for tiny values): far
+    // above rounding noise, so a flip can never hide inside tolerance.
+    const double rel =
+        std::fabs(f - v) / std::max(std::fabs(v), 1.0);
+    EXPECT_GE(rel, 0.25) << "v=" << v << " f=" << f;
+  }
+}
+
+TEST(FaultFlip, MaybeFlipIsDeterministicAndKeyedOnCoordinates) {
+  FaultPlan plan;
+  plan.mem_flip = 0.05;
+  plan.seed = 7;
+
+  std::vector<double> m1(64 * 64, 1.0), m2(64 * 64, 1.0);
+  {
+    FaultInjector inj(plan);
+    FaultScope scope(inj);
+    const std::size_t flips =
+        maybe_flip(Site::kMemFlip, key(1, 2), m1.data(), 64, 64, 64);
+    EXPECT_GT(flips, 0u);
+    EXPECT_EQ(inj.count(Event::kMemFlip), flips);
+  }
+  {
+    FaultInjector inj(plan);
+    FaultScope scope(inj);
+    maybe_flip(Site::kMemFlip, key(1, 2), m2.data(), 64, 64, 64);
+  }
+  EXPECT_EQ(m1, m2);  // same plan + same block key => same flips
+
+  // Without an installed injector (or with the site unarmed) the data
+  // is untouched.
+  std::vector<double> clean(16, 2.0);
+  EXPECT_EQ(maybe_flip(Site::kMemFlip, key(1, 2), clean.data(), 4, 4, 4),
+            0u);
+  EXPECT_EQ(clean, std::vector<double>(16, 2.0));
 }
 
 TEST(FaultKey, MixesAllCoordinates) {

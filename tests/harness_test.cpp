@@ -395,6 +395,15 @@ TEST(Checkpoint, LineRoundTripsEveryFieldExactly) {
   EXPECT_EQ(parsed->error, r.error);
 }
 
+TEST(Checkpoint, CorrectedStatusRoundTrips) {
+  EXPECT_STREQ(to_string(RunStatus::kCorrected), "corrected");
+  ResultRecord r = sample_record();
+  r.status = RunStatus::kCorrected;
+  const auto parsed = parse_checkpoint_line(checkpoint_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, RunStatus::kCorrected);
+}
+
 TEST(Checkpoint, ErrorStringsSurviveJsonEscaping) {
   ResultRecord r = sample_record();
   r.status = RunStatus::kFailed;
@@ -462,6 +471,28 @@ TEST(Checkpoint, LoadDedupsByConfigAndSkipsTornTail) {
   std::remove(path.c_str());
 }
 
+TEST(Checkpoint, LoadCountsTheCorruptLinesItSkips) {
+  const std::string path =
+      ::testing::TempDir() + "capow_ckpt_corrupt.jsonl";
+  std::remove(path.c_str());
+  ResultRecord first = sample_record();
+  ResultRecord second = sample_record();
+  second.algorithm = Algorithm::kCaps;
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << checkpoint_line(first) << '\n';
+    os << "{\"algorithm\":\"Strassen\",\"n\":garbage}" << '\n';
+    os << checkpoint_line(second) << '\n';
+    os << "{\"algorithm\":\"CAPS\",\"n\":51";  // torn tail, no newline
+  }
+  std::size_t skipped = 0;
+  const auto records = load_checkpoint(path, &skipped);
+  EXPECT_EQ(records.size(), 2u);  // the intact records still load
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_EQ(load_checkpoint(path).size(), 2u);  // count is optional
+  std::remove(path.c_str());
+}
+
 // Truncates `src` into `dst`, keeping `lines` complete lines plus a torn
 // fragment of the next — the on-disk state a kill -9 leaves behind.
 void truncate_checkpoint(const std::string& src, const std::string& dst,
@@ -513,8 +544,12 @@ TEST(Checkpoint, ResumeCompletesOnlyMissingConfigsIdentically) {
     EXPECT_EQ(a.ep, b.ep);
     EXPECT_EQ(a.status, b.status);
   }
-  // The resumed run's checkpoint is itself complete and loadable.
+  // The resumed run's checkpoint is itself complete and loadable, and
+  // the runner reports the torn line it skipped (capow-report surfaces
+  // this count so a damaged checkpoint never goes unnoticed).
   EXPECT_EQ(load_checkpoint(torn_path).size(), resumed.run().size());
+  EXPECT_EQ(resumed.skipped_checkpoint_lines(), 1u);
+  EXPECT_EQ(uninterrupted.skipped_checkpoint_lines(), 0u);
   std::remove(full_path.c_str());
   std::remove(torn_path.c_str());
 }

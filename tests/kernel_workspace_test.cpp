@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "capow/abft/abft.hpp"
 #include "capow/blas/blocked_gemm.hpp"
 #include "capow/blas/blocking.hpp"
 #include "capow/blas/cost_model.hpp"
@@ -190,6 +191,29 @@ TEST(Workspace, TrimDropsIdleBuffers) {
   EXPECT_EQ(arena.stats().misses, 2u);
 }
 
+TEST(Workspace, TrimLeavesOutstandingCheckoutsUntouched) {
+  WorkspaceArena arena;
+  arena.acquire(5000);  // released immediately: one idle pooled buffer
+  WorkspaceCheckout held = arena.acquire(9000);
+  ASSERT_TRUE(held.valid());
+  held.data()[0] = 42.0;
+  held.data()[held.capacity() - 1] = 7.0;
+
+  arena.trim();  // frees only the idle buffer
+  EXPECT_EQ(arena.stats().pooled_bytes, 0u);
+  EXPECT_GT(arena.stats().outstanding_bytes, 0u);
+  EXPECT_TRUE(held.valid());
+  EXPECT_EQ(held.data()[0], 42.0);
+  EXPECT_EQ(held.data()[held.capacity() - 1], 7.0);
+
+  // Releasing after the trim returns the buffer to the pool intact.
+  held.release();
+  EXPECT_EQ(arena.stats().outstanding_bytes, 0u);
+  EXPECT_GT(arena.stats().pooled_bytes, 0u);
+  WorkspaceCheckout again = arena.acquire(9000);
+  EXPECT_EQ(arena.stats().hits, 1u);
+}
+
 TEST(Workspace, ArenaMatrixShapesAndAliasing) {
   WorkspaceArena arena;
   ArenaMatrix m(arena, 3, 5);
@@ -222,6 +246,30 @@ TEST(Workspace, GemmWarmRerunsHitEveryTime) {
   EXPECT_GT(warm.acquires, cold.acquires);
   EXPECT_EQ(warm.hits - cold.hits, warm.acquires - cold.acquires);
   EXPECT_EQ(warm.allocated_bytes, cold.allocated_bytes);
+}
+
+// ABFT's checksum snapshots and verification scratch lease from the
+// same arena as the packing buffers, so a warm guarded rerun — guard
+// construction, gemm, verify — allocates nothing either.
+TEST(Workspace, AbftGuardedGemmAllocatesNothingWhenWarm) {
+  WorkspaceArena arena;
+  const std::size_t n = 128;
+  Matrix a = random_matrix(n, n, 7), b = random_matrix(n, n, 8);
+  Matrix c(n, n);
+  GemmOptions opts;
+  opts.arena = &arena;
+  abft::AbftConfig cfg;
+  cfg.mode = abft::AbftMode::kDetect;
+  abft::guarded_gemm(a.view(), b.view(), c.view(), opts, cfg);  // warm-up
+  const ArenaStats cold = arena.stats();
+  for (int i = 0; i < 3; ++i) {
+    abft::guarded_gemm(a.view(), b.view(), c.view(), opts, cfg);
+  }
+  const ArenaStats warm = arena.stats();
+  EXPECT_EQ(warm.misses, cold.misses) << "warm ABFT rerun allocated";
+  EXPECT_EQ(warm.allocated_bytes, cold.allocated_bytes);
+  EXPECT_GT(warm.acquires, cold.acquires);
+  EXPECT_EQ(warm.hits - cold.hits, warm.acquires - cold.acquires);
 }
 
 TEST(Workspace, StrassenRecursionAllocatesNothingWhenWarm) {

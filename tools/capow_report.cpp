@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "capow/abft/abft.hpp"
 #include "capow/core/ep_model.hpp"
 #include "capow/fault/fault.hpp"
 #include "capow/harness/experiment.hpp"
@@ -195,7 +196,8 @@ int main(int argc, char** argv) {
                 cfg.machine.llc_capacity_bytes() / 1024);
   }
 
-  // Raw result matrix.
+  // Raw result matrix. A resume from a damaged checkpoint is reported
+  // in the title, not fatal: the skipped configurations simply re-ran.
   {
     harness::TextTable t({"algorithm", "n", "threads", "seconds",
                           "package_w", "pp0_w", "energy_j", "ep_w_per_s",
@@ -210,7 +212,12 @@ int main(int argc, char** argv) {
                  harness::fmt(r.ep, 4), harness::to_string(r.status),
                  std::to_string(r.attempts)});
     }
-    emit(t, csv, "result matrix");
+    std::string title = "result matrix";
+    if (runner.skipped_checkpoint_lines() > 0) {
+      title += " (" + std::to_string(runner.skipped_checkpoint_lines()) +
+               " corrupt checkpoint line(s) skipped on resume)";
+    }
+    emit(t, csv, title.c_str());
   }
 
   // Fault/recovery event summary (only under fault injection).
@@ -223,6 +230,17 @@ int main(int argc, char** argv) {
     }
     emit(t, csv, ("fault events (spec: " + injector->plan().spec() + ")")
                      .c_str());
+  }
+
+  // ABFT checksum/recovery summary (only when something was verified).
+  if (const abft::AbftCounters ac = abft::counters(); ac.total() > 0) {
+    harness::TextTable t({"abft counter", "count"});
+    t.add_row({"verifications", std::to_string(ac.verifications)});
+    t.add_row({"detected", std::to_string(ac.detected)});
+    t.add_row({"corrected", std::to_string(ac.corrected)});
+    t.add_row({"recomputed", std::to_string(ac.recomputed)});
+    t.add_row({"retried", std::to_string(ac.retried)});
+    emit(t, csv, "abft events");
   }
 
   // Table II analogue.
