@@ -1,0 +1,217 @@
+#include "capow/harness/bench_diff.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+namespace capow::harness {
+
+namespace {
+
+/// Minimal scanner for the flat JSON objects the bench reporter emits.
+/// Collects string and numeric members; true/false/null are consumed
+/// and ignored. Returns false on any structural error.
+class FlatJsonScanner {
+ public:
+  explicit FlatJsonScanner(std::string_view s) : s_(s) {}
+
+  bool scan(std::string* name,
+            std::vector<std::pair<std::string, double>>* metrics) {
+    skip_ws();
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return !name->empty();
+    while (true) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (peek() == '"') {
+        std::string value;
+        if (!parse_string(&value)) return false;
+        if (key == "name") *name = value;
+      } else if (peek() == 't') {
+        if (!eat_word("true")) return false;
+      } else if (peek() == 'f') {
+        if (!eat_word("false")) return false;
+      } else if (peek() == 'n') {
+        if (!eat_word("null")) return false;
+      } else {
+        double value = 0.0;
+        if (!parse_number(&value)) return false;
+        metrics->emplace_back(key, value);
+      }
+      skip_ws();
+      if (eat(',')) {
+        skip_ws();
+        continue;
+      }
+      if (eat('}')) break;
+      return false;
+    }
+    skip_ws();
+    return pos_ == s_.size() && !name->empty();
+  }
+
+ private:
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool eat_word(std::string_view w) {
+    if (s_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool parse_string(std::string* out) {
+    if (!eat('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // \uXXXX: keep the raw escape — bench names are ASCII and
+            // diffing only needs equal inputs to stay equal.
+            if (pos_ + 4 > s_.size()) return false;
+            out->append("\\u").append(s_.substr(pos_, 4));
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+  bool parse_number(double* out) {
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos_ += static_cast<std::size_t>(end - begin);
+    *out = v;
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+double BenchRecord::metric(std::string_view key) const noexcept {
+  for (const auto& [k, v] : metrics) {
+    if (k == key) return v;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<BenchRecord> parse_bench_jsonl(std::istream& is,
+                                           std::size_t* malformed) {
+  std::vector<BenchRecord> out;
+  std::map<std::string, std::size_t> index;
+  std::size_t bad = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+    if (!FlatJsonScanner(line).scan(&name, &metrics)) {
+      ++bad;
+      continue;
+    }
+    const auto it = index.find(name);
+    if (it == index.end()) {
+      index.emplace(name, out.size());
+      out.push_back(BenchRecord{std::move(name), std::move(metrics)});
+      continue;
+    }
+    // Merge repeated runs of the same benchmark: best-of per metric.
+    BenchRecord& rec = out[it->second];
+    for (auto& [key, value] : metrics) {
+      bool found = false;
+      for (auto& [k, v] : rec.metrics) {
+        if (k == key) {
+          v = std::min(v, value);
+          found = true;
+          break;
+        }
+      }
+      if (!found) rec.metrics.emplace_back(std::move(key), value);
+    }
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return out;
+}
+
+std::size_t BenchDiffReport::regressions() const noexcept {
+  std::size_t n = 0;
+  for (const BenchMetricDiff& r : rows) n += r.regression ? 1 : 0;
+  return n;
+}
+
+BenchDiffReport diff_bench_records(const std::vector<BenchRecord>& baseline,
+                                   const std::vector<BenchRecord>& current,
+                                   const BenchDiffOptions& opts) {
+  BenchDiffReport report;
+  std::map<std::string_view, const BenchRecord*> cur_index;
+  for (const BenchRecord& r : current) cur_index.emplace(r.name, &r);
+
+  for (const BenchRecord& base : baseline) {
+    const auto it = cur_index.find(base.name);
+    if (it == cur_index.end()) {
+      report.missing.push_back(base.name);
+      continue;
+    }
+    for (const std::string& metric : opts.metrics) {
+      const double b = base.metric(metric);
+      const double c = it->second->metric(metric);
+      if (!(b > 0.0) || std::isnan(c)) continue;
+      BenchMetricDiff row;
+      row.name = base.name;
+      row.metric = metric;
+      row.baseline = b;
+      row.current = c;
+      row.ratio = c / b;
+      row.regression = c > b * (1.0 + opts.tolerance);
+      report.rows.push_back(std::move(row));
+    }
+  }
+
+  std::map<std::string_view, bool> base_names;
+  for (const BenchRecord& r : baseline) base_names.emplace(r.name, true);
+  for (const BenchRecord& r : current) {
+    if (base_names.find(r.name) == base_names.end()) {
+      report.added.push_back(r.name);
+    }
+  }
+  return report;
+}
+
+}  // namespace capow::harness

@@ -1,0 +1,75 @@
+// Bench-JSONL comparison: the repo's perf regression gate.
+//
+// Every bench binary emits one JSON line per microbenchmark run (see
+// bench/bench_common.hpp). diff_bench_records() compares two such
+// files — a committed baseline (bench/baselines/) or any two captured
+// runs — metric by metric with a fractional noise band, so CI can turn
+// "the numbers moved" into a nonzero exit only when they moved beyond
+// tolerance in the slow direction. Parsing is deliberately tolerant:
+// non-JSON lines and unknown fields are skipped (and counted), because
+// bench output files are append-mode and may interleave several
+// binaries' records.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace capow::harness {
+
+/// One benchmark's numeric metrics, keyed by JSONL field name
+/// ("real_time", "cpu_time", user counters...). Repeated records with
+/// the same name merge by taking the minimum per metric — best-of-reps
+/// is the standard noise reducer for timing data.
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Metric value, or NaN when absent.
+  double metric(std::string_view key) const noexcept;
+};
+
+/// Parses bench JSONL: flat objects with a string "name" field and
+/// numeric metric fields. Lines that fail to parse or lack "name" are
+/// skipped and counted into *malformed (when non-null). Records are
+/// returned in first-appearance order.
+std::vector<BenchRecord> parse_bench_jsonl(std::istream& is,
+                                           std::size_t* malformed = nullptr);
+
+struct BenchDiffOptions {
+  /// Fractional noise band: current > baseline * (1 + tolerance) on a
+  /// compared metric is a regression (all compared metrics are
+  /// smaller-is-better times).
+  double tolerance = 0.10;
+  /// Which metrics to compare; metrics absent from either side are
+  /// skipped, as are non-positive baselines.
+  std::vector<std::string> metrics{"real_time", "cpu_time"};
+};
+
+/// One compared (benchmark, metric) pair.
+struct BenchMetricDiff {
+  std::string name;
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;  ///< current / baseline
+  bool regression = false;
+};
+
+struct BenchDiffReport {
+  std::vector<BenchMetricDiff> rows;      ///< baseline order
+  std::vector<std::string> missing;       ///< in baseline, not current
+  std::vector<std::string> added;         ///< in current, not baseline
+
+  std::size_t regressions() const noexcept;
+  bool has_regression() const noexcept { return regressions() > 0; }
+};
+
+/// Compares `current` against `baseline` under `opts`.
+BenchDiffReport diff_bench_records(const std::vector<BenchRecord>& baseline,
+                                   const std::vector<BenchRecord>& current,
+                                   const BenchDiffOptions& opts = {});
+
+}  // namespace capow::harness

@@ -1,13 +1,16 @@
 #include "capow/harness/telemetry_export.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
+#include <utility>
 
 #include "capow/abft/abft.hpp"
 #include "capow/blas/cost_model.hpp"
 #include "capow/blas/microkernel.hpp"
 #include "capow/blas/workspace.hpp"
 #include "capow/fault/fault.hpp"
+#include "capow/profile/ep_phases.hpp"
 #include "capow/sim/executor.hpp"
 #include "capow/telemetry/export.hpp"
 
@@ -28,6 +31,29 @@ const char* resolved_kernel_name(Algorithm a) {
   if (a == Algorithm::kOpenBlas) return blas::select_kernel().name;
   const auto env = blas::env_kernel_override();
   return env ? blas::find_kernel(*env)->name : "bots";
+}
+
+// Per-(algorithm, n) sweep of attribution profiles across the
+// configured thread counts, with stable addresses for phase_ep_scaling.
+std::vector<std::pair<unsigned, profile::Profile>> profile_sweep(
+    const ExperimentConfig& cfg, Algorithm a, std::size_t n) {
+  std::vector<std::pair<unsigned, profile::Profile>> sweep;
+  sweep.reserve(cfg.thread_counts.size());
+  for (unsigned threads : cfg.thread_counts) {
+    sweep.emplace_back(threads,
+                       run_attribution_profile(cfg, a, n, threads));
+  }
+  return sweep;
+}
+
+std::vector<profile::PhaseScaling> sweep_scaling(
+    const std::vector<std::pair<unsigned, profile::Profile>>& sweep) {
+  std::vector<std::pair<unsigned, const profile::Profile*>> refs;
+  refs.reserve(sweep.size());
+  for (const auto& [threads, prof] : sweep) {
+    refs.emplace_back(threads, &prof);
+  }
+  return profile::phase_ep_scaling(refs, profile::Plane::kPackage);
 }
 
 }  // namespace
@@ -197,6 +223,67 @@ void export_metrics(ExperimentRunner& runner, std::ostream& os) {
     }
   }
 
+  // Trace-ring truncation: lifetime records shed to wraparound across
+  // all thread buffers. Always exported (0 on clean runs, and the
+  // simulated matrix never pushes into the rings, so scrapes stay
+  // byte-stable) — truncation must be visible, not merely queryable.
+  reg.family("capow_trace_dropped_events_total",
+             "Span-tracer ring records lost to wraparound "
+             "(process lifetime, all threads)",
+             "counter");
+  reg.sample({}, static_cast<double>(telemetry::total_dropped_events()));
+
+  // Per-phase attributed energy (Eq 4 discretized): self joules of
+  // every top-level phase per plane, plus the <untracked> conservation
+  // bucket, for each configuration of the matrix.
+  reg.family("capow_phase_energy_joules",
+             "Energy attributed to each algorithm phase per power plane",
+             "gauge");
+  for (const auto& r : records) {
+    const profile::Profile prof =
+        run_attribution_profile(cfg, r.algorithm, r.n, r.threads);
+    const auto phase_labels =
+        [&](const std::string& phase,
+            profile::Plane plane) -> telemetry::MetricsRegistry::Labels {
+      return {{"phase", phase},
+              {"plane", profile::plane_name(plane)},
+              {"algorithm", algorithm_name(r.algorithm)},
+              {"n", std::to_string(r.n)},
+              {"threads", std::to_string(r.threads)}};
+    };
+    for (std::size_t p = 0; p < profile::kPlaneCount; ++p) {
+      const auto plane = static_cast<profile::Plane>(p);
+      for (const profile::ProfileNode& phase : prof.root.children) {
+        reg.sample(phase_labels(phase.name, plane), phase.total_j[p]);
+      }
+      reg.sample(phase_labels("<untracked>", plane), prof.untracked_j[p]);
+    }
+  }
+
+  // Per-phase EP scaling (Eq 5 applied to attributed phases). Needs the
+  // 1-thread base; without one the family is declared but empty.
+  const bool has_thread_base =
+      std::find(cfg.thread_counts.begin(), cfg.thread_counts.end(), 1u) !=
+      cfg.thread_counts.end();
+  reg.family("capow_phase_ep_scaling",
+             "Per-phase EP scaling S = EP_p / EP_1 (Eq 5)", "gauge");
+  if (has_thread_base) {
+    for (Algorithm a : kAllAlgorithms) {
+      for (std::size_t n : cfg.sizes) {
+        for (const profile::PhaseScaling& ps :
+             sweep_scaling(profile_sweep(cfg, a, n))) {
+          for (const core::ScalingPoint& pt : ps.series) {
+            reg.sample({{"phase", ps.phase},
+                        {"algorithm", algorithm_name(a)},
+                        {"n", std::to_string(n)},
+                        {"threads", std::to_string(pt.parallelism)}},
+                       pt.s);
+          }
+        }
+      }
+    }
+  }
+
   // Per-run recovery metadata: attempts consumed per configuration,
   // labeled with the final status.
   reg.family("capow_run_attempts_total",
@@ -269,6 +356,101 @@ void export_metrics(ExperimentRunner& runner, std::ostream& os) {
     reg.sample({{"kind", "retried"}}, static_cast<double>(ac.retried));
   }
   reg.write(os);
+}
+
+profile::Profile run_attribution_profile(const ExperimentConfig& config,
+                                         Algorithm a, std::size_t n,
+                                         unsigned threads,
+                                         std::size_t samples_per_run) {
+  const sim::WorkProfile wp = work_profile_for(config, a, n, threads);
+  // Probe run to size the sampling step, then replay with sampling —
+  // the same reconstruction export_chrome_trace() renders.
+  const sim::RunResult probe = sim::simulate(config.machine, wp, threads);
+  const std::size_t count = std::max<std::size_t>(samples_per_run, 1);
+  const double dt =
+      probe.seconds > 0.0 ? probe.seconds / static_cast<double>(count)
+                          : 1e-3;
+  sim::RunResult run;
+  const std::vector<sim::PowerSample> samples =
+      sim::simulate_with_sampling(config.machine, wp, threads, dt, &run);
+
+  profile::AttributionInput in;
+  std::uint64_t t = 0;
+  for (const sim::PhaseResult& phase : run.phases) {
+    const std::uint64_t end =
+        t + static_cast<std::uint64_t>(std::llround(phase.seconds * 1e9));
+    telemetry::TraceEvent ev;
+    ev.tid = 0;
+    ev.rec.name = telemetry::intern(phase.label);
+    ev.rec.category = "phase";
+    ev.rec.kind = telemetry::EventKind::kSpan;
+    ev.rec.t_begin_ns = t;
+    ev.rec.t_end_ns = end;
+    in.events.push_back(ev);
+    t = end;
+  }
+  std::vector<profile::TimelinePoint> points;
+  points.reserve(samples.size());
+  for (const sim::PowerSample& s : samples) {
+    points.push_back(
+        profile::TimelinePoint{s.t_seconds, s.package_w, s.pp0_w});
+  }
+  in.slices = profile::slices_from_samples(points);
+  return profile::attribute(in);
+}
+
+void export_profile(ExperimentRunner& runner, std::ostream& os) {
+  runner.run();
+  const ExperimentConfig& cfg = runner.config();
+  for (Algorithm a : kAllAlgorithms) {
+    for (std::size_t n : cfg.sizes) {
+      for (unsigned threads : cfg.thread_counts) {
+        os << "== " << run_label(a, n, threads) << " ==\n";
+        profile::write_text(run_attribution_profile(cfg, a, n, threads),
+                            os);
+        os << '\n';
+      }
+    }
+  }
+}
+
+void export_flamegraph(ExperimentRunner& runner, std::ostream& os,
+                       profile::FoldedWeight weight) {
+  runner.run();
+  const ExperimentConfig& cfg = runner.config();
+  for (Algorithm a : kAllAlgorithms) {
+    for (std::size_t n : cfg.sizes) {
+      for (unsigned threads : cfg.thread_counts) {
+        profile::write_folded(run_attribution_profile(cfg, a, n, threads),
+                              os, weight, profile::Plane::kPackage,
+                              run_label(a, n, threads));
+      }
+    }
+  }
+}
+
+void export_ep_phases(ExperimentRunner& runner, std::ostream& os) {
+  runner.run();
+  const ExperimentConfig& cfg = runner.config();
+  for (Algorithm a : kAllAlgorithms) {
+    for (std::size_t n : cfg.sizes) {
+      const auto sweep = profile_sweep(cfg, a, n);
+      for (const profile::PhaseScaling& ps : sweep_scaling(sweep)) {
+        for (const core::ScalingPoint& pt : ps.series) {
+          telemetry::JsonObject obj;
+          obj.field("algorithm", algorithm_name(a))
+              .field("n", static_cast<std::uint64_t>(n))
+              .field("phase", ps.phase)
+              .field("threads", static_cast<std::uint64_t>(pt.parallelism))
+              .field("ep_w_per_s", pt.ep)
+              .field("s", pt.s)
+              .field("class", core::to_string(ps.cls))
+              .field("superlinear", ps.superlinear());
+          os << obj.str() << '\n';
+        }
+      }
+    }
+  }
 }
 
 }  // namespace capow::harness

@@ -18,6 +18,7 @@
 #include <ostream>
 
 #include "capow/harness/experiment.hpp"
+#include "capow/profile/attribution.hpp"
 #include "capow/sim/cost_profile.hpp"
 
 namespace capow::harness {
@@ -45,8 +46,38 @@ void export_chrome_trace(ExperimentRunner& runner, std::ostream& os,
 void export_jsonl(ExperimentRunner& runner, std::ostream& os);
 
 /// Writes a Prometheus text exposition of the matrix: runtime, power,
-/// energy, EP, and the cost-model totals (flops, DRAM bytes, tasks,
-/// syncs) labeled by {algorithm, n, threads}. Runs the matrix if needed.
+/// energy, EP, the cost-model totals (flops, DRAM bytes, tasks,
+/// syncs) labeled by {algorithm, n, threads}, trace-ring truncation,
+/// and the attributed per-phase energy / EP-scaling families. Runs the
+/// matrix if needed.
 void export_metrics(ExperimentRunner& runner, std::ostream& os);
+
+/// Attribution profile of one configuration: the simulator's phase
+/// layout becomes the span stream (one top-level span per phase, tid
+/// 0), and simulate_with_sampling()'s power trace becomes the plane
+/// timeline — the same reconstruction export_chrome_trace() renders,
+/// joined by profile::attribute(). Deterministic for a fixed config.
+profile::Profile run_attribution_profile(const ExperimentConfig& config,
+                                         Algorithm a, std::size_t n,
+                                         unsigned threads,
+                                         std::size_t samples_per_run = 64);
+
+/// Writes the per-configuration attribution profiles as text: one
+/// "== <run label> ==" section per run with the conservation ledger
+/// and the self/total span table (capow-report --profile).
+void export_profile(ExperimentRunner& runner, std::ostream& os);
+
+/// Writes the whole matrix as collapsed stacks, one run label as the
+/// root frame of each configuration's stacks — load directly in
+/// flamegraph.pl or speedscope (capow-report --flamegraph).
+void export_flamegraph(ExperimentRunner& runner, std::ostream& os,
+                       profile::FoldedWeight weight);
+
+/// Writes per-phase EP scaling as JSONL: one record per (algorithm, n,
+/// phase, threads) point with ep, s = EP_p/EP_1, and the phase's
+/// Fig 7-style classification (capow-report --ep-phases). Requires a
+/// 1-thread base in the configured thread counts; phases without one
+/// are omitted.
+void export_ep_phases(ExperimentRunner& runner, std::ostream& os);
 
 }  // namespace capow::harness

@@ -1,0 +1,414 @@
+#include "capow/profile/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <ostream>
+
+namespace capow::profile {
+
+namespace {
+
+/// One span instance flattened out of the event stream.
+struct SpanIv {
+  const char* name = nullptr;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Mutable aggregation node; pooled in a deque so pointers stay stable
+/// while the tree grows.
+struct AggNode {
+  std::string_view name;
+  AggNode* parent = nullptr;
+  std::map<std::string_view, AggNode*> children;
+  std::uint64_t count = 0;
+  std::uint64_t self_ns = 0;
+  std::uint64_t total_ns = 0;
+  std::array<double, kPlaneCount> self_j{};
+};
+
+/// A maximal interval during which `node` was some thread's innermost
+/// open span.
+struct LeafSeg {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  AggNode* node = nullptr;
+};
+
+AggNode* child_of(AggNode* parent, std::string_view name,
+                  std::deque<AggNode>& pool) {
+  auto it = parent->children.find(name);
+  if (it != parent->children.end()) return it->second;
+  pool.push_back(AggNode{});
+  AggNode* node = &pool.back();
+  node->name = name;
+  node->parent = parent;
+  parent->children.emplace(name, node);
+  return node;
+}
+
+/// Walks one thread's spans (sorted begin-asc, end-desc so parents
+/// precede their children), reconstructing the scope stack and emitting
+/// leaf segments: the gaps of each span not covered by its children.
+void build_thread_segments(std::vector<SpanIv>& spans, AggNode* root,
+                           std::deque<AggNode>& pool,
+                           std::vector<LeafSeg>& segs) {
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanIv& a, const SpanIv& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              if (a.end != b.end) return a.end > b.end;
+              return std::strcmp(a.name, b.name) < 0;
+            });
+
+  struct Open {
+    std::uint64_t end = 0;     // clamped close time
+    std::uint64_t cursor = 0;  // self time emitted up to here
+    AggNode* node = nullptr;
+  };
+  std::vector<Open> stack;
+  const auto close_top = [&] {
+    Open& top = stack.back();
+    if (top.end > top.cursor) {
+      top.node->self_ns += top.end - top.cursor;
+      segs.push_back(LeafSeg{top.cursor, top.end, top.node});
+    }
+    stack.pop_back();
+  };
+
+  for (const SpanIv& s : spans) {
+    while (!stack.empty() && stack.back().end <= s.begin) close_top();
+    std::uint64_t b = s.begin;
+    std::uint64_t e = s.end;
+    if (!stack.empty()) {
+      // A child reaching past its parent's end is malformed (RAII scopes
+      // cannot produce it); clamp so the tree stays a tree.
+      Open& parent = stack.back();
+      e = std::min(e, parent.end);
+      b = std::min(std::max(b, parent.cursor), e);
+      if (b > parent.cursor) {
+        parent.node->self_ns += b - parent.cursor;
+        segs.push_back(LeafSeg{parent.cursor, b, parent.node});
+      }
+      parent.cursor = std::max(parent.cursor, e);
+    }
+    AggNode* parent_node = stack.empty() ? root : stack.back().node;
+    AggNode* node = child_of(parent_node, s.name, pool);
+    node->count += 1;
+    node->total_ns += e - b;
+    stack.push_back(Open{e, b, node});
+  }
+  while (!stack.empty()) close_top();
+}
+
+/// Converts the pooled builder tree into the public (value-type,
+/// name-sorted) representation and fills in total_j.
+ProfileNode finalize(const AggNode& node) {
+  ProfileNode out;
+  out.name = std::string(node.name);
+  out.count = node.count;
+  out.self_ns = node.self_ns;
+  out.total_ns = node.total_ns;
+  out.self_j = node.self_j;
+  out.total_j = node.self_j;
+  out.children.reserve(node.children.size());
+  for (const auto& [name, child] : node.children) {
+    out.children.push_back(finalize(*child));
+    const ProfileNode& c = out.children.back();
+    for (std::size_t p = 0; p < kPlaneCount; ++p) {
+      out.total_j[p] += c.total_j[p];
+    }
+  }
+  return out;
+}
+
+void sum_root_totals(ProfileNode& root) {
+  for (const ProfileNode& c : root.children) {
+    root.total_ns += c.total_ns;
+  }
+}
+
+std::string fmt_j(double joules) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", joules);
+  return buf;
+}
+
+void write_text_node(const ProfileNode& node, int depth, std::ostream& os) {
+  char line[256];
+  std::string name(static_cast<std::size_t>(depth) * 2, ' ');
+  name += node.name;
+  std::snprintf(line, sizeof line,
+                "%-36s %7llu %12.3f %12.3f %14.3f %14.3f %12.3f\n",
+                name.c_str(),
+                static_cast<unsigned long long>(node.count),
+                static_cast<double>(node.self_ns) * 1e-6,
+                static_cast<double>(node.total_ns) * 1e-6,
+                node.self_j[0] * 1e3, node.total_j[0] * 1e3,
+                node.self_j[1] * 1e3);
+  os << line;
+  for (const ProfileNode& c : node.children) {
+    write_text_node(c, depth + 1, os);
+  }
+}
+
+void write_folded_node(const ProfileNode& node, const std::string& prefix,
+                       FoldedWeight weight, Plane plane, std::ostream& os) {
+  const std::string stack =
+      prefix.empty() ? node.name : prefix + ";" + node.name;
+  const long long w =
+      weight == FoldedWeight::kNanoseconds
+          ? static_cast<long long>(node.self_ns)
+          : std::llround(node.self_j[static_cast<std::size_t>(plane)] *
+                         1e3);
+  if (w > 0) os << stack << ' ' << w << '\n';
+  for (const ProfileNode& c : node.children) {
+    write_folded_node(c, stack, weight, plane, os);
+  }
+}
+
+}  // namespace
+
+const char* plane_name(Plane p) noexcept {
+  return p == Plane::kPackage ? "package" : "pp0";
+}
+
+const ProfileNode* ProfileNode::child(
+    std::string_view child_name) const noexcept {
+  for (const ProfileNode& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+double Profile::attributed_j(Plane p) const noexcept {
+  const std::size_t i = static_cast<std::size_t>(p);
+  return root.total_j[i] + untracked_j[i];
+}
+
+std::vector<PowerSlice> slices_from_samples(
+    std::span<const TimelinePoint> samples, std::uint64_t base_ns) {
+  std::vector<PowerSlice> out;
+  out.reserve(samples.size());
+  double prev = 0.0;
+  for (const TimelinePoint& s : samples) {
+    if (!(s.t_seconds > prev)) continue;
+    PowerSlice slice;
+    slice.t_begin_ns = base_ns + static_cast<std::uint64_t>(
+                                     std::llround(prev * 1e9));
+    slice.t_end_ns = base_ns + static_cast<std::uint64_t>(
+                                   std::llround(s.t_seconds * 1e9));
+    slice.watts[static_cast<std::size_t>(Plane::kPackage)] = s.package_w;
+    slice.watts[static_cast<std::size_t>(Plane::kPp0)] = s.pp0_w;
+    if (slice.t_end_ns > slice.t_begin_ns) out.push_back(slice);
+    prev = s.t_seconds;
+  }
+  return out;
+}
+
+Profile attribute(const AttributionInput& in) {
+  // --- 1. span stream -> per-thread instance stacks -> leaf segments.
+  std::map<std::uint64_t, std::vector<SpanIv>> by_tid;
+  for (const telemetry::TraceEvent& ev : in.events) {
+    if (ev.rec.kind != telemetry::EventKind::kSpan) continue;
+    if (ev.rec.name == nullptr) continue;
+    if (ev.rec.t_end_ns <= ev.rec.t_begin_ns) continue;
+    by_tid[ev.tid].push_back(
+        SpanIv{ev.rec.name, ev.rec.t_begin_ns, ev.rec.t_end_ns});
+  }
+
+  std::deque<AggNode> pool;
+  pool.push_back(AggNode{});
+  AggNode* root = &pool.front();
+  root->name = "<root>";
+
+  std::vector<LeafSeg> segs;
+  for (auto& [tid, spans] : by_tid) {
+    build_thread_segments(spans, root, pool, segs);
+  }
+
+  Profile out;
+
+  // --- 2. the power timeline: sort, measure, integrate lazily during
+  // the sweep so the conservation ledger and the attribution are the
+  // same sum taken over the same elementary intervals.
+  std::vector<PowerSlice> slices = in.slices;
+  slices.erase(std::remove_if(slices.begin(), slices.end(),
+                              [](const PowerSlice& s) {
+                                return s.t_end_ns <= s.t_begin_ns;
+                              }),
+               slices.end());
+  std::sort(slices.begin(), slices.end(),
+            [](const PowerSlice& a, const PowerSlice& b) {
+              return a.t_begin_ns < b.t_begin_ns;
+            });
+
+  if (!slices.empty()) {
+    SliceStats st;
+    st.count = slices.size();
+    double sum = 0.0;
+    st.min_seconds = 1e300;
+    for (const PowerSlice& s : slices) {
+      const double w = static_cast<double>(s.t_end_ns - s.t_begin_ns) * 1e-9;
+      st.min_seconds = std::min(st.min_seconds, w);
+      st.max_seconds = std::max(st.max_seconds, w);
+      sum += w;
+      for (std::size_t p = 0; p < kPlaneCount; ++p) {
+        out.peak_w[p] = std::max(out.peak_w[p], s.watts[p]);
+      }
+    }
+    st.mean_seconds = sum / static_cast<double>(st.count);
+    out.slice_stats = st;
+  }
+
+  // --- 3. the sweep: elementary intervals are delimited by every leaf
+  // segment edge and every slice edge, so within one interval both the
+  // active leaf set and the plane power are constant.
+  struct Edge {
+    std::uint64_t t;
+    std::int32_t delta;  // +1 open, -1 close (closes sort first)
+    std::uint32_t seg;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(segs.size() * 2);
+  std::vector<std::uint64_t> times;
+  times.reserve(segs.size() * 2 + slices.size() * 2);
+  for (std::uint32_t i = 0; i < segs.size(); ++i) {
+    edges.push_back(Edge{segs[i].begin, +1, i});
+    edges.push_back(Edge{segs[i].end, -1, i});
+    times.push_back(segs[i].begin);
+    times.push_back(segs[i].end);
+  }
+  for (const PowerSlice& s : slices) {
+    times.push_back(s.t_begin_ns);
+    times.push_back(s.t_end_ns);
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;
+  });
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  std::vector<std::uint32_t> active;          // segment ids
+  std::vector<std::uint32_t> pos(segs.size(), 0);  // index into active
+  std::size_t ei = 0;
+  std::size_t si = 0;
+  for (std::size_t ti = 0; ti + 1 < times.size(); ++ti) {
+    const std::uint64_t t0 = times[ti];
+    const std::uint64_t t1 = times[ti + 1];
+    // Apply the edges landing at t0.
+    for (; ei < edges.size() && edges[ei].t == t0; ++ei) {
+      const Edge& e = edges[ei];
+      if (e.delta > 0) {
+        pos[e.seg] = static_cast<std::uint32_t>(active.size());
+        active.push_back(e.seg);
+      } else {
+        const std::uint32_t at = pos[e.seg];
+        active[at] = active.back();
+        pos[active[at]] = at;
+        active.pop_back();
+      }
+    }
+    // The covering slice, if any (slice edges are all in `times`, so
+    // [t0, t1) is either fully inside one slice or fully outside all).
+    while (si < slices.size() && slices[si].t_end_ns <= t0) ++si;
+    if (si >= slices.size() || slices[si].t_begin_ns > t0) continue;
+
+    const double dt = static_cast<double>(t1 - t0) * 1e-9;
+    std::array<double, kPlaneCount> e{};
+    for (std::size_t p = 0; p < kPlaneCount; ++p) {
+      e[p] = slices[si].watts[p] * dt;
+      out.plane_total_j[p] += e[p];
+    }
+    if (active.empty()) {
+      for (std::size_t p = 0; p < kPlaneCount; ++p) {
+        out.untracked_j[p] += e[p];
+      }
+      out.untracked_ns += t1 - t0;
+    } else {
+      const double inv_k = 1.0 / static_cast<double>(active.size());
+      std::array<double, kPlaneCount> share{};
+      for (std::size_t p = 0; p < kPlaneCount; ++p) {
+        share[p] = e[p] * inv_k;
+      }
+      for (const std::uint32_t id : active) {
+        AggNode* node = segs[id].node;
+        for (std::size_t p = 0; p < kPlaneCount; ++p) {
+          node->self_j[p] += share[p];
+        }
+      }
+    }
+  }
+
+  // --- 4. aggregate tree -> public value tree.
+  out.root = finalize(*root);
+  sum_root_totals(out.root);
+  return out;
+}
+
+void write_folded(const Profile& p, std::ostream& os, FoldedWeight weight,
+                  Plane plane, std::string_view stack_prefix) {
+  const std::string prefix(stack_prefix);
+  for (const ProfileNode& c : p.root.children) {
+    write_folded_node(c, prefix, weight, plane, os);
+  }
+  const long long untracked =
+      weight == FoldedWeight::kNanoseconds
+          ? static_cast<long long>(p.untracked_ns)
+          : std::llround(p.untracked_j[static_cast<std::size_t>(plane)] *
+                         1e3);
+  if (untracked > 0) {
+    os << (prefix.empty() ? std::string("<untracked>")
+                          : prefix + ";<untracked>")
+       << ' ' << untracked << '\n';
+  }
+}
+
+void write_text(const Profile& p, std::ostream& os) {
+  os << "plane        integrated J    attributed J     untracked J\n";
+  for (std::size_t i = 0; i < kPlaneCount; ++i) {
+    const Plane plane = static_cast<Plane>(i);
+    char line[160];
+    std::snprintf(line, sizeof line, "%-10s %14s %15s %15s\n",
+                  plane_name(plane), fmt_j(p.plane_total_j[i]).c_str(),
+                  fmt_j(p.attributed_j(plane)).c_str(),
+                  fmt_j(p.untracked_j[i]).c_str());
+    os << line;
+  }
+  if (p.slice_stats.count > 0) {
+    char line[200];
+    std::snprintf(
+        line, sizeof line,
+        "sampling: %zu slices, gap min/mean/max %.3f/%.3f/%.3f ms; "
+        "error bound +/-%.3f mJ per span edge (peak %.1f W)\n",
+        p.slice_stats.count, p.slice_stats.min_seconds * 1e3,
+        p.slice_stats.mean_seconds * 1e3, p.slice_stats.max_seconds * 1e3,
+        p.slice_stats.max_seconds * p.peak_w[0] * 1e3, p.peak_w[0]);
+    os << line;
+  } else {
+    os << "sampling: no power slices (time-only profile)\n";
+  }
+  os << "span                                   count      self ms"
+        "     total ms     self pkg mJ    total pkg mJ  self pp0 mJ\n";
+  for (const ProfileNode& c : p.root.children) {
+    write_text_node(c, 0, os);
+  }
+  if (p.untracked_ns > 0 || p.untracked_j[0] > 0.0 ||
+      p.untracked_j[1] > 0.0) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "%-36s %7s %12.3f %12.3f %14.3f %14.3f %12.3f\n",
+                  "<untracked>", "-",
+                  static_cast<double>(p.untracked_ns) * 1e-6,
+                  static_cast<double>(p.untracked_ns) * 1e-6,
+                  p.untracked_j[0] * 1e3, p.untracked_j[0] * 1e3,
+                  p.untracked_j[1] * 1e3);
+    os << line;
+  }
+}
+
+}  // namespace capow::profile

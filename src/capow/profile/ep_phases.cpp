@@ -1,0 +1,63 @@
+#include "capow/profile/ep_phases.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace capow::profile {
+
+std::vector<PhaseEnergy> phase_energies(const Profile& p, Plane plane) {
+  const std::size_t pi = static_cast<std::size_t>(plane);
+  std::vector<PhaseEnergy> out;
+  out.reserve(p.root.children.size());
+  for (const ProfileNode& c : p.root.children) {
+    // EP needs both a duration and an energy; phases the timeline never
+    // covered (or zero-length ones) have no defined ratio. Use total
+    // time/energy so a phase's EP includes its subtree — the phase is
+    // the unit of Eq (1) here, not the leaf frame.
+    const double seconds = static_cast<double>(c.total_ns) * 1e-9;
+    const double joules = c.total_j[pi];
+    if (seconds <= 0.0 || joules <= 0.0) continue;
+    PhaseEnergy pe;
+    pe.phase = c.name;
+    pe.seconds = seconds;
+    pe.watts = joules / seconds;
+    pe.ep = core::energy_performance(pe.watts, seconds);
+    out.push_back(std::move(pe));
+  }
+  // Root children are already name-sorted; keep the contract explicit.
+  std::sort(out.begin(), out.end(),
+            [](const PhaseEnergy& a, const PhaseEnergy& b) {
+              return a.phase < b.phase;
+            });
+  return out;
+}
+
+std::vector<PhaseScaling> phase_ep_scaling(
+    std::span<const std::pair<unsigned, const Profile*>> sweep,
+    Plane plane) {
+  // phase -> (parallelism -> ep); the map keeps phases name-sorted.
+  std::map<std::string, std::map<unsigned, double>> by_phase;
+  for (const auto& [parallelism, profile] : sweep) {
+    if (profile == nullptr || parallelism == 0) continue;
+    for (const PhaseEnergy& pe : phase_energies(*profile, plane)) {
+      // First profile at a given parallelism wins; duplicate sweep
+      // entries would otherwise silently average apples with oranges.
+      by_phase[pe.phase].emplace(parallelism, pe.ep);
+    }
+  }
+
+  std::vector<PhaseScaling> out;
+  for (const auto& [phase, points] : by_phase) {
+    if (points.find(1u) == points.end()) continue;  // no Eq (5) base
+    std::vector<std::pair<unsigned, double>> pairs(points.begin(),
+                                                   points.end());
+    PhaseScaling ps;
+    ps.phase = phase;
+    ps.series = core::scaling_series(pairs);
+    ps.cls = core::classify_scaling(ps.series);
+    out.push_back(std::move(ps));
+  }
+  return out;
+}
+
+}  // namespace capow::profile

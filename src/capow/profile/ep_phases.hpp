@@ -1,0 +1,56 @@
+// Per-phase energy-performance: Eq (1) and Eq (5) applied to attributed
+// spans instead of whole runs.
+//
+// The paper's Fig 7 classifies *runs* as ideal/superlinear by the EP
+// scaling ratio S = EP_p / EP_1. With the attribution engine the same
+// algebra applies per phase: a phase's EAvg is its attributed energy
+// over its self time, its T is that self time, so EP_phase = EAvg / T
+// — and sweeping thread counts yields a scaling series per phase. That
+// localizes the paper's whole-run verdicts: a run can look ideal while
+// one phase inside it scales superlinearly.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "capow/core/ep_model.hpp"
+#include "capow/profile/attribution.hpp"
+
+namespace capow::profile {
+
+/// One top-level phase's energy/performance numbers at a fixed degree
+/// of parallelism.
+struct PhaseEnergy {
+  std::string phase;
+  double seconds = 0.0;  ///< phase self time (wall)
+  double watts = 0.0;    ///< attributed self energy / self time (EAvg)
+  double ep = 0.0;       ///< Eq (1): watts / seconds
+};
+
+/// Extracts the top-level phases (the profile root's children) of one
+/// run, on one plane. Phases with zero self time or zero attributed
+/// energy are skipped (EP is undefined for them). Sorted by name.
+std::vector<PhaseEnergy> phase_energies(const Profile& p, Plane plane);
+
+/// One phase's Eq (5) scaling verdict across a thread sweep.
+struct PhaseScaling {
+  std::string phase;
+  std::vector<core::ScalingPoint> series;  ///< sorted by parallelism
+  core::ScalingClass cls = core::ScalingClass::kIdeal;
+
+  bool superlinear() const noexcept {
+    return cls == core::ScalingClass::kSuperlinear;
+  }
+};
+
+/// Builds per-phase scaling series from profiles of the same workload
+/// at different thread counts. `sweep` maps parallelism -> profile; a
+/// phase enters the result only if it has a valid EP at parallelism 1
+/// (the Eq (5) base). Phases sorted by name.
+std::vector<PhaseScaling> phase_ep_scaling(
+    std::span<const std::pair<unsigned, const Profile*>> sweep,
+    Plane plane);
+
+}  // namespace capow::profile

@@ -1,5 +1,7 @@
 #include "capow/telemetry/power_sampler.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "capow/rapl/papi.hpp"
@@ -8,9 +10,24 @@
 
 namespace capow::telemetry {
 
+std::chrono::microseconds PowerSampler::resolve_period(
+    std::chrono::microseconds requested) noexcept {
+  long long us = requested.count();
+  if (requested == kDefaultPeriod) {
+    if (const char* env = std::getenv("CAPOW_POWER_PERIOD_US");
+        env != nullptr && env[0] != '\0') {
+      char* end = nullptr;
+      const long long v = std::strtoll(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) us = v;
+    }
+  }
+  return std::chrono::microseconds(
+      std::clamp<long long>(us, kMinPeriod.count(), kMaxPeriod.count()));
+}
+
 PowerSampler::PowerSampler(const rapl::SimulatedMsrDevice& dev,
                            Options opts)
-    : dev_(&dev), opts_(opts) {}
+    : dev_(&dev), opts_(opts), period_(resolve_period(opts.interval)) {}
 
 PowerSampler::~PowerSampler() { stop(); }
 
@@ -21,6 +38,10 @@ void PowerSampler::start() {
   {
     std::lock_guard lock(mutex_);
     samples_.clear();
+    gap_count_ = 0;
+    gap_min_s_ = 0.0;
+    gap_max_s_ = 0.0;
+    gap_sum_s_ = 0.0;
   }
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -39,6 +60,18 @@ std::vector<PowerSampler::Sample> PowerSampler::samples() const {
   return samples_;
 }
 
+PowerSampler::JitterStats PowerSampler::jitter() const {
+  std::lock_guard lock(mutex_);
+  JitterStats st;
+  st.intervals = gap_count_;
+  if (gap_count_ > 0) {
+    st.min_seconds = gap_min_s_;
+    st.max_seconds = gap_max_s_;
+    st.mean_seconds = gap_sum_s_ / static_cast<double>(gap_count_);
+  }
+  return st;
+}
+
 void PowerSampler::loop() {
   // The monitor owns its EventSet — the exact client loop the paper's
   // PAPI-based driver runs (latch baselines, then poll live values).
@@ -53,7 +86,7 @@ void PowerSampler::loop() {
   long long last_pp0_nj = 0;
 
   while (!stop_requested_.load(std::memory_order_acquire)) {
-    std::this_thread::sleep_for(opts_.interval);
+    std::this_thread::sleep_for(period_);
     const std::uint64_t t = now_ns();
     const auto nj = events.read();
     const double dt = static_cast<double>(t - last_ns) * 1e-9;
@@ -69,6 +102,12 @@ void PowerSampler::loop() {
     {
       std::lock_guard lock(mutex_);
       samples_.push_back(s);
+      // Observed scheduling jitter: the real inter-sample gap vs the
+      // requested period, the basis of the profiler's error bars.
+      gap_min_s_ = gap_count_ == 0 ? dt : std::min(gap_min_s_, dt);
+      gap_max_s_ = std::max(gap_max_s_, dt);
+      gap_sum_s_ += dt;
+      gap_count_ += 1;
     }
     // Time-aligned with any active span-tracing session.
     counter(opts_.package_counter, s.package_w);

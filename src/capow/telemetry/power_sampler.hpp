@@ -24,6 +24,10 @@ namespace capow::telemetry {
 class PowerSampler {
  public:
   struct Options {
+    /// Sampling period. Leaving the default (500 µs) lets the
+    /// CAPOW_POWER_PERIOD_US environment variable override it; an
+    /// explicit non-default value always wins. Either way the resolved
+    /// period is clamped to [kMinPeriod, kMaxPeriod] — see period().
     std::chrono::microseconds interval{500};
     /// Counter-track names for the tracer-aligned samples.
     const char* package_counter = "package_w";
@@ -36,6 +40,27 @@ class PowerSampler {
     double package_w = 0.0;
     double pp0_w = 0.0;
   };
+
+  /// Observed inter-sample gap statistics of the last (or current)
+  /// sampling session. The scheduler never honours the period exactly;
+  /// the profiler uses max_seconds as its attribution error bar (a span
+  /// edge can be misattributed by at most one real sample gap).
+  struct JitterStats {
+    std::size_t intervals = 0;
+    double min_seconds = 0.0;
+    double mean_seconds = 0.0;
+    double max_seconds = 0.0;
+  };
+
+  static constexpr std::chrono::microseconds kDefaultPeriod{500};
+  static constexpr std::chrono::microseconds kMinPeriod{50};
+  static constexpr std::chrono::microseconds kMaxPeriod{1'000'000};
+
+  /// Applies the CAPOW_POWER_PERIOD_US override (only when `requested`
+  /// is the default) and clamps to [kMinPeriod, kMaxPeriod]. A value
+  /// that does not parse as a positive integer is ignored.
+  static std::chrono::microseconds resolve_period(
+      std::chrono::microseconds requested) noexcept;
 
   /// Binds to `dev`; does not start sampling. The device must outlive
   /// the sampler.
@@ -63,14 +88,27 @@ class PowerSampler {
   /// Snapshot of the samples captured so far.
   std::vector<Sample> samples() const;
 
+  /// The resolved sampling period this instance polls at (after the
+  /// environment override and clamping).
+  std::chrono::microseconds period() const noexcept { return period_; }
+
+  /// Inter-sample gap statistics for the samples captured so far
+  /// (reset by start()).
+  JitterStats jitter() const;
+
  private:
   void loop();
 
   const rapl::SimulatedMsrDevice* dev_;
   Options opts_;
+  std::chrono::microseconds period_;
   std::thread thread_;
   mutable std::mutex mutex_;
   std::vector<Sample> samples_;
+  std::size_t gap_count_ = 0;
+  double gap_min_s_ = 0.0;
+  double gap_max_s_ = 0.0;
+  double gap_sum_s_ = 0.0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
 };

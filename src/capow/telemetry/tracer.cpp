@@ -117,6 +117,14 @@ TracingScope::~TracingScope() {
   g_tracer.store(previous_, std::memory_order_release);
 }
 
+std::uint64_t total_dropped_events() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  std::uint64_t drops = 0;
+  for (const auto& b : reg.buffers) drops += b->ring.dropped();
+  return drops;
+}
+
 void instant(const char* name, const char* category) noexcept {
   if (name == nullptr || Tracer::active() == nullptr) return;
   EventRecord r;

@@ -157,6 +157,13 @@ class SpanScope {
   detail::ThreadBuffer* buf_ = nullptr;
 };
 
+/// Process-lifetime count of ring records lost to wraparound, summed
+/// across every registered thread buffer (monotonic; independent of any
+/// session's baseline). Surfaced as capow_trace_dropped_events_total in
+/// the Prometheus export and as a capow-report warning banner, so
+/// truncated traces are never silently presented as complete.
+std::uint64_t total_dropped_events();
+
 /// Point event on the calling thread (no-op without an active tracer).
 void instant(const char* name, const char* category) noexcept;
 

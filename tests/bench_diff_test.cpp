@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "capow/harness/bench_diff.hpp"
+
+namespace {
+
+using capow::harness::BenchDiffOptions;
+using capow::harness::BenchRecord;
+using capow::harness::diff_bench_records;
+using capow::harness::parse_bench_jsonl;
+
+std::vector<BenchRecord> parse(const std::string& text,
+                               std::size_t* malformed = nullptr) {
+  std::istringstream is(text);
+  return parse_bench_jsonl(is, malformed);
+}
+
+// ---------------------------------------------------------------------------
+// parse_bench_jsonl
+
+TEST(BenchJsonl, ParsesRecordsInOrder) {
+  const auto records = parse(
+      "{\"name\":\"BM_A\",\"real_time\":10.5,\"cpu_time\":10.0}\n"
+      "{\"name\":\"BM_B\",\"real_time\":20.0,\"iterations\":7}\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "BM_A");
+  EXPECT_DOUBLE_EQ(records[0].metric("real_time"), 10.5);
+  EXPECT_DOUBLE_EQ(records[1].metric("iterations"), 7.0);
+  EXPECT_TRUE(std::isnan(records[0].metric("absent")));
+}
+
+TEST(BenchJsonl, SkipsAndCountsMalformedLines) {
+  std::size_t malformed = 0;
+  const auto records = parse(
+      "not json at all\n"
+      "{\"name\":\"BM_A\",\"real_time\":10}\n"
+      "{\"real_time\":5}\n"          // no name
+      "{\"name\":\"BM_B\",\"t\":1\n"  // unterminated object
+      "\n"                            // blank: skipped, not malformed
+      "{\"name\":\"BM_C\",\"real_time\":3}\n",
+      &malformed);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "BM_A");
+  EXPECT_EQ(records[1].name, "BM_C");
+  EXPECT_EQ(malformed, 3u);
+}
+
+TEST(BenchJsonl, HandlesStringEscapesAndIgnoresBooleans) {
+  const auto records = parse(
+      "{\"name\":\"BM_quote\\\"tab\\t\",\"real_time\":1.0,"
+      "\"error_occurred\":false,\"note\":null,\"big\":1.5e3}\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "BM_quote\"tab\t");
+  EXPECT_DOUBLE_EQ(records[0].metric("big"), 1500.0);
+  EXPECT_TRUE(std::isnan(records[0].metric("error_occurred")));
+}
+
+TEST(BenchJsonl, MergesRepeatedRunsBestOfPerMetric) {
+  const auto records = parse(
+      "{\"name\":\"BM_A\",\"real_time\":12.0,\"cpu_time\":9.0}\n"
+      "{\"name\":\"BM_A\",\"real_time\":10.0,\"cpu_time\":11.0}\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].metric("real_time"), 10.0);
+  EXPECT_DOUBLE_EQ(records[0].metric("cpu_time"), 9.0);
+}
+
+// ---------------------------------------------------------------------------
+// diff_bench_records
+
+std::vector<BenchRecord> records_with_time(double a_time, double b_time) {
+  return {
+      BenchRecord{"BM_A", {{"real_time", a_time}, {"cpu_time", a_time}}},
+      BenchRecord{"BM_B", {{"real_time", b_time}, {"cpu_time", b_time}}},
+  };
+}
+
+TEST(BenchDiff, IdenticalInputsHaveNoRegression) {
+  const auto base = records_with_time(100.0, 200.0);
+  const auto report = diff_bench_records(base, base, {});
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.rows.size(), 4u);
+  for (const auto& row : report.rows) {
+    EXPECT_DOUBLE_EQ(row.ratio, 1.0);
+  }
+  EXPECT_TRUE(report.missing.empty());
+  EXPECT_TRUE(report.added.empty());
+}
+
+TEST(BenchDiff, TwentyPercentSlowdownRegressesAtDefaultTolerance) {
+  const auto base = records_with_time(100.0, 200.0);
+  const auto cur = records_with_time(120.0, 200.0);  // BM_A +20%
+  const auto report = diff_bench_records(base, cur, {});
+  EXPECT_TRUE(report.has_regression());
+  EXPECT_EQ(report.regressions(), 2u);  // real_time and cpu_time of BM_A
+  EXPECT_TRUE(report.rows[0].regression);
+  EXPECT_NEAR(report.rows[0].ratio, 1.2, 1e-12);
+  EXPECT_FALSE(report.rows[2].regression);
+}
+
+TEST(BenchDiff, WiderToleranceAbsorbsTheSameSlowdown) {
+  const auto base = records_with_time(100.0, 200.0);
+  const auto cur = records_with_time(120.0, 200.0);
+  BenchDiffOptions opts;
+  opts.tolerance = 0.25;
+  EXPECT_FALSE(diff_bench_records(base, cur, opts).has_regression());
+}
+
+TEST(BenchDiff, SpeedupIsNeverARegression) {
+  const auto base = records_with_time(100.0, 200.0);
+  const auto cur = records_with_time(50.0, 20.0);
+  EXPECT_FALSE(diff_bench_records(base, cur, {}).has_regression());
+}
+
+TEST(BenchDiff, MissingAndAddedBenchmarksAreReportedNotFailed) {
+  const std::vector<BenchRecord> base = {
+      BenchRecord{"BM_gone", {{"real_time", 1.0}}}};
+  const std::vector<BenchRecord> cur = {
+      BenchRecord{"BM_new", {{"real_time", 1.0}}}};
+  const auto report = diff_bench_records(base, cur, {});
+  EXPECT_FALSE(report.has_regression());
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0], "BM_gone");
+  ASSERT_EQ(report.added.size(), 1u);
+  EXPECT_EQ(report.added[0], "BM_new");
+}
+
+TEST(BenchDiff, CustomMetricListAndAbsentMetricsSkipped) {
+  const std::vector<BenchRecord> base = {
+      BenchRecord{"BM_A", {{"gflops_time", 10.0}, {"real_time", 5.0}}}};
+  const std::vector<BenchRecord> cur = {
+      BenchRecord{"BM_A", {{"gflops_time", 20.0}, {"real_time", 5.0}}}};
+  BenchDiffOptions opts;
+  opts.metrics = {"gflops_time", "no_such_metric"};
+  const auto report = diff_bench_records(base, cur, opts);
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].metric, "gflops_time");
+  EXPECT_TRUE(report.rows[0].regression);
+}
+
+TEST(BenchDiff, NonPositiveBaselineIsSkipped) {
+  const std::vector<BenchRecord> base = {
+      BenchRecord{"BM_A", {{"real_time", 0.0}, {"cpu_time", -1.0}}}};
+  const std::vector<BenchRecord> cur = {
+      BenchRecord{"BM_A", {{"real_time", 100.0}, {"cpu_time", 100.0}}}};
+  EXPECT_TRUE(diff_bench_records(base, cur, {}).rows.empty());
+}
+
+}  // namespace

@@ -451,4 +451,134 @@ TEST(HarnessExport, MetricsLabelEveryConfiguration) {
             std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// CAPOW_POWER_PERIOD_US / sampling jitter / dropped-event accounting
+
+/// Scoped setenv so a failing assertion can't leak the variable into
+/// later tests.
+class EnvVar {
+ public:
+  EnvVar(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvVar() { ::unsetenv(name_); }
+  EnvVar(const EnvVar&) = delete;
+  EnvVar& operator=(const EnvVar&) = delete;
+
+ private:
+  const char* name_;
+};
+
+TEST(PowerSamplerPeriod, EnvOverridesDefaultPeriod) {
+  EnvVar env("CAPOW_POWER_PERIOD_US", "2000");
+  EXPECT_EQ(telemetry::PowerSampler::resolve_period(
+                telemetry::PowerSampler::kDefaultPeriod),
+            std::chrono::microseconds(2000));
+  rapl::SimulatedMsrDevice msr;
+  telemetry::PowerSampler sampler(msr);
+  EXPECT_EQ(sampler.period(), std::chrono::microseconds(2000));
+}
+
+TEST(PowerSamplerPeriod, ExplicitIntervalBeatsEnv) {
+  EnvVar env("CAPOW_POWER_PERIOD_US", "2000");
+  telemetry::PowerSampler::Options opts;
+  opts.interval = std::chrono::microseconds(300);
+  rapl::SimulatedMsrDevice msr;
+  telemetry::PowerSampler sampler(msr, opts);
+  EXPECT_EQ(sampler.period(), std::chrono::microseconds(300));
+}
+
+TEST(PowerSamplerPeriod, EnvValuesAreClampedToValidRange) {
+  {
+    EnvVar env("CAPOW_POWER_PERIOD_US", "10");  // below 50 us floor
+    EXPECT_EQ(telemetry::PowerSampler::resolve_period(
+                  telemetry::PowerSampler::kDefaultPeriod),
+              telemetry::PowerSampler::kMinPeriod);
+  }
+  {
+    EnvVar env("CAPOW_POWER_PERIOD_US", "5000000");  // above 1 s cap
+    EXPECT_EQ(telemetry::PowerSampler::resolve_period(
+                  telemetry::PowerSampler::kDefaultPeriod),
+              telemetry::PowerSampler::kMaxPeriod);
+  }
+}
+
+TEST(PowerSamplerPeriod, InvalidEnvValuesFallBackToDefault) {
+  for (const char* bad : {"abc", "12x", "-5", "0", ""}) {
+    EnvVar env("CAPOW_POWER_PERIOD_US", bad);
+    EXPECT_EQ(telemetry::PowerSampler::resolve_period(
+                  telemetry::PowerSampler::kDefaultPeriod),
+              telemetry::PowerSampler::kDefaultPeriod)
+        << "value: '" << bad << "'";
+  }
+}
+
+TEST(PowerSamplerPeriod, ExplicitIntervalIsClampedToo) {
+  telemetry::PowerSampler::Options opts;
+  opts.interval = std::chrono::microseconds(1);
+  rapl::SimulatedMsrDevice msr;
+  telemetry::PowerSampler sampler(msr, opts);
+  EXPECT_EQ(sampler.period(), telemetry::PowerSampler::kMinPeriod);
+}
+
+TEST(PowerSamplerJitter, ObservedGapsAreConsistent) {
+  rapl::SimulatedMsrDevice msr;
+  telemetry::PowerSampler::Options opts;
+  opts.interval = std::chrono::microseconds(200);
+  telemetry::PowerSampler sampler(msr, opts);
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sampler.stop();
+
+  const auto samples = sampler.samples();
+  const auto jitter = sampler.jitter();
+  ASSERT_GE(samples.size(), 2u);
+  // One gap per sample: the session start is the zeroth timeline point.
+  EXPECT_EQ(jitter.intervals, samples.size());
+  EXPECT_GT(jitter.min_seconds, 0.0);
+  EXPECT_LE(jitter.min_seconds, jitter.mean_seconds);
+  EXPECT_LE(jitter.mean_seconds, jitter.max_seconds);
+  // The scheduler can only make gaps longer than the period, never
+  // (meaningfully) shorter.
+  EXPECT_GE(jitter.max_seconds, 150e-6);
+}
+
+TEST(PowerSamplerJitter, RestartResetsTheStats) {
+  rapl::SimulatedMsrDevice msr;
+  telemetry::PowerSampler::Options opts;
+  opts.interval = std::chrono::microseconds(200);
+  telemetry::PowerSampler sampler(msr, opts);
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.stop();
+  ASSERT_GE(sampler.jitter().intervals, 1u);
+  sampler.start();
+  sampler.stop();
+  EXPECT_LT(sampler.jitter().intervals, 5u);  // fresh session, not summed
+}
+
+TEST(DroppedEvents, TotalGrowsWhenARingWrapsAndIsMonotonic) {
+  const std::uint64_t before = telemetry::total_dropped_events();
+
+  Tracer tracer(Tracer::Options{.ring_capacity = 8});
+  std::uint64_t session_dropped = 0;
+  {
+    TracingScope scope(tracer);
+    // A fresh thread registers its buffer under the session's tiny
+    // capacity; pushing far more spans than 8 slots must shed.
+    std::thread worker([] {
+      for (int i = 0; i < 100; ++i) {
+        telemetry::SpanScope span("drop.me", "test");
+      }
+    });
+    worker.join();
+    session_dropped = tracer.dropped();
+  }
+
+  const std::uint64_t after = telemetry::total_dropped_events();
+  EXPECT_GE(session_dropped, 92u - 8u);  // at least pushed - capacity
+  EXPECT_GE(after - before, session_dropped);
+  EXPECT_GE(telemetry::total_dropped_events(), after);  // monotonic
+}
+
 }  // namespace

@@ -1,0 +1,154 @@
+// capow-bench-diff — compare two bench-JSONL files with a noise band.
+//
+// Usage:
+//   capow-bench-diff [--tolerance=F] [--metrics=a,b,...] BASELINE CURRENT
+//
+// BASELINE and CURRENT are files of one-JSON-object-per-line benchmark
+// records as written by CAPOW_BENCH_JSONL (bench/bench_common.hpp), or
+// a committed snapshot from bench/baselines/. Repeated records of the
+// same benchmark merge best-of per metric before comparison.
+//
+// Exit codes:
+//   0  no compared metric regressed beyond tolerance
+//   1  at least one regression (current > baseline * (1 + tolerance))
+//   2  usage or I/O error
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "capow/harness/bench_diff.hpp"
+#include "capow/harness/table.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: capow-bench-diff [options] BASELINE CURRENT\n"
+        "  --tolerance=F    fractional noise band (default 0.10 = +10%)\n"
+        "  --metrics=a,b    comma-separated metrics to compare\n"
+        "                   (default real_time,cpu_time)\n"
+        "exit: 0 ok, 1 regression, 2 usage/IO error\n";
+}
+
+std::vector<std::string> split_csv(std::string_view s) {
+  std::vector<std::string> out;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    const std::string_view tok = s.substr(0, comma);
+    if (!tok.empty()) out.emplace_back(tok);
+    if (comma == std::string_view::npos) break;
+    s.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+std::vector<capow::harness::BenchRecord> load(const std::string& path,
+                                              bool* ok) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "capow-bench-diff: cannot open " << path << "\n";
+    *ok = false;
+    return {};
+  }
+  std::size_t malformed = 0;
+  auto records = capow::harness::parse_bench_jsonl(is, &malformed);
+  if (malformed > 0) {
+    std::cerr << "capow-bench-diff: " << path << ": skipped " << malformed
+              << " malformed line(s)\n";
+  }
+  if (records.empty()) {
+    std::cerr << "capow-bench-diff: " << path
+              << ": no benchmark records found\n";
+    *ok = false;
+    return {};
+  }
+  *ok = true;
+  return records;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  capow::harness::BenchDiffOptions opts;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (arg.rfind("--tolerance=", 0) == 0) {
+      try {
+        opts.tolerance = std::stod(std::string(arg.substr(12)));
+      } catch (const std::exception&) {
+        std::cerr << "capow-bench-diff: bad --tolerance value\n";
+        return 2;
+      }
+      if (opts.tolerance < 0.0) {
+        std::cerr << "capow-bench-diff: --tolerance must be >= 0\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--metrics=", 0) == 0) {
+      opts.metrics = split_csv(arg.substr(10));
+      if (opts.metrics.empty()) {
+        std::cerr << "capow-bench-diff: --metrics needs at least one name\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "capow-bench-diff: unknown option " << arg << "\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    paths.emplace_back(arg);
+  }
+
+  if (paths.size() != 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  bool ok = false;
+  const auto baseline = load(paths[0], &ok);
+  if (!ok) return 2;
+  const auto current = load(paths[1], &ok);
+  if (!ok) return 2;
+
+  const auto report =
+      capow::harness::diff_bench_records(baseline, current, opts);
+
+  capow::harness::TextTable table(
+      {"benchmark", "metric", "baseline", "current", "ratio", "status"});
+  for (const auto& row : report.rows) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", row.ratio);
+    table.add_row({row.name, row.metric, capow::harness::fmt(row.baseline, 1),
+                   capow::harness::fmt(row.current, 1), buf,
+                   row.regression ? "REGRESSION" : "ok"});
+  }
+  std::cout << "tolerance: +" << opts.tolerance * 100.0 << "% ("
+            << paths[0] << " -> " << paths[1] << ")\n"
+            << table.str();
+
+  for (const auto& name : report.missing) {
+    std::cout << "missing from current: " << name << "\n";
+  }
+  for (const auto& name : report.added) {
+    std::cout << "new in current: " << name << "\n";
+  }
+
+  const std::size_t regressions = report.regressions();
+  if (regressions > 0) {
+    std::cout << regressions << " regression(s) beyond tolerance\n";
+    return 1;
+  }
+  std::cout << "no regressions (" << report.rows.size()
+            << " metric comparison(s))\n";
+  return 0;
+}

@@ -12,6 +12,13 @@
 //     --trace=FILE                     Chrome trace JSON (Perfetto)
 //     --jsonl=FILE                     one JSON record per run
 //     --metrics=FILE                   Prometheus text metrics
+//     --profile=FILE                   per-run energy attribution
+//                                      profiles (text)
+//     --flamegraph=FILE                collapsed stacks (flamegraph.pl
+//                                      / speedscope folded format)
+//     --flamegraph-weight=mj|ns        folded weight: millijoules
+//                                      (default) or nanoseconds
+//     --ep-phases=FILE                 per-phase EP scaling JSONL
 //     --faults=SPEC                    fault injection spec (or env
 //                                      CAPOW_FAULTS), e.g.
 //                                      comm.drop=0.01,rapl.fail=0.05,seed=42
@@ -34,6 +41,7 @@
 #include "capow/harness/experiment.hpp"
 #include "capow/harness/table.hpp"
 #include "capow/harness/telemetry_export.hpp"
+#include "capow/telemetry/tracer.hpp"
 
 namespace {
 
@@ -85,6 +93,8 @@ void print_usage(const char* argv0) {
       "usage: %s [--machine=haswell|quad|compact] [--sizes=a,b,...]\n"
       "          [--threads=a,b,...] [--csv] [--quiesce=SECONDS]\n"
       "          [--trace=FILE] [--jsonl=FILE] [--metrics=FILE]\n"
+      "          [--profile=FILE] [--flamegraph=FILE]\n"
+      "          [--flamegraph-weight=mj|ns] [--ep-phases=FILE]\n"
       "          [--faults=SPEC] [--checkpoint=FILE] [--resume=FILE]\n",
       argv0);
 }
@@ -103,6 +113,9 @@ int main(int argc, char** argv) {
   harness::ExperimentConfig cfg;
   bool csv = false;
   std::string trace_path, jsonl_path, metrics_path;
+  std::string profile_path, flamegraph_path, ep_phases_path;
+  profile::FoldedWeight flamegraph_weight =
+      profile::FoldedWeight::kMillijoules;
   std::optional<fault::FaultPlan> fault_plan;
   try {
     fault_plan = fault::FaultPlan::from_env();
@@ -135,6 +148,21 @@ int main(int argc, char** argv) {
         jsonl_path = v6;
       } else if (const char* v7 = value_of("--metrics=")) {
         metrics_path = v7;
+      } else if (const char* v11 = value_of("--profile=")) {
+        profile_path = v11;
+      } else if (const char* v12 = value_of("--flamegraph=")) {
+        flamegraph_path = v12;
+      } else if (const char* v13 = value_of("--flamegraph-weight=")) {
+        const std::string w = v13;
+        if (w == "mj") {
+          flamegraph_weight = profile::FoldedWeight::kMillijoules;
+        } else if (w == "ns") {
+          flamegraph_weight = profile::FoldedWeight::kNanoseconds;
+        } else {
+          throw std::invalid_argument("expected 'mj' or 'ns'");
+        }
+      } else if (const char* v14 = value_of("--ep-phases=")) {
+        ep_phases_path = v14;
       } else if (const char* v8 = value_of("--faults=")) {
         fault_plan = fault::FaultPlan::parse(v8);
       } else if (const char* v9 = value_of("--checkpoint=")) {
@@ -186,6 +214,32 @@ int main(int argc, char** argv) {
     write_file(metrics_path, "metrics", [&](std::ostream& os) {
       harness::export_metrics(runner, os);
     });
+  }
+  if (!profile_path.empty()) {
+    write_file(profile_path, "profile", [&](std::ostream& os) {
+      harness::export_profile(runner, os);
+    });
+  }
+  if (!flamegraph_path.empty()) {
+    write_file(flamegraph_path, "flamegraph", [&](std::ostream& os) {
+      harness::export_flamegraph(runner, os, flamegraph_weight);
+    });
+  }
+  if (!ep_phases_path.empty()) {
+    write_file(ep_phases_path, "ep-phases", [&](std::ostream& os) {
+      harness::export_ep_phases(runner, os);
+    });
+  }
+
+  // Truncated rings mean truncated traces/profiles: say so loudly
+  // rather than presenting a partial picture as a complete one.
+  if (const std::uint64_t dropped = telemetry::total_dropped_events();
+      dropped > 0) {
+    std::fprintf(stderr,
+                 "warning: %llu trace event(s) dropped to ring "
+                 "wraparound — traces and profiles are truncated; raise "
+                 "Tracer ring_capacity\n",
+                 static_cast<unsigned long long>(dropped));
   }
 
   if (!csv) {
