@@ -8,6 +8,7 @@
 #include "capow/dist/comm.hpp"
 #include "capow/dist/dist_caps.hpp"
 #include "capow/dist/summa.hpp"
+#include "capow/harness/comm_audit.hpp"
 #include "capow/linalg/random.hpp"
 #include "capow/trace/counters.hpp"
 
@@ -118,6 +119,17 @@ void print_reproduction() {
   measure_grid("2.5D 4x4x2", dist::GridSpec{4, 4, 2}, true);
   std::printf("%s\n", classical.str().c_str());
 
+  // The audit join: the same (algorithm, n, P) points capow-report
+  // --comm covers, but driven from the per-edge CommStats collector
+  // (dist/comm_stats.hpp) instead of the trace recorder — busiest-rank
+  // words against each algorithm's own bound.
+  std::printf("measured vs Eq 8 bound (CommStats collector, real runs):\n");
+  std::vector<harness::CommAuditRecord> audits;
+  for (const auto& point : harness::default_comm_audit_points()) {
+    audits.push_back(harness::run_comm_audit(point, harness::CommAuditOptions{}));
+  }
+  std::printf("%s\n", harness::comm_bound_table(audits).str().c_str());
+
   std::printf(
       "shape check (paper Eq 8): the Strassen exponent w0 = %.3f < 3 makes\n"
       "the CAPS bound grow strictly slower than the classical bound — the\n"
@@ -138,6 +150,34 @@ void BM_CommBoundEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CommBoundEvaluation);
+
+// Measured-traffic audit as a gated benchmark: each run re-executes one
+// default audit point with the CommStats collector and reports the
+// byte-exact measured traffic and its bound ratio as user counters.
+// Those land in the bench JSONL (bench_common.hpp), so capow-bench-diff
+// flags any change in wire bytes — a comm regression gate, not just a
+// speed one.
+void BM_Eq8MeasuredVsBound(benchmark::State& state) {
+  const auto points = capow::harness::default_comm_audit_points();
+  const auto& point = points[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(point.algorithm + "/n=" + std::to_string(point.n) +
+                 "/P=" + std::to_string(point.ranks));
+  harness::CommAuditRecord rec;
+  for (auto _ : state) {
+    rec = harness::run_comm_audit(point, harness::CommAuditOptions{});
+    double measured = rec.measured_max_rank_words;
+    benchmark::DoNotOptimize(measured);
+  }
+  state.counters["measured_bytes"] = benchmark::Counter(
+      static_cast<double>(rec.matrix.total_payload_bytes()));
+  state.counters["measured_max_rank_words"] =
+      benchmark::Counter(rec.measured_max_rank_words);
+  state.counters["bound_words"] = benchmark::Counter(
+      rec.bound_kind == "strassen" ? rec.strassen_bound_words
+                                   : rec.classical_bound_words);
+  state.counters["ratio_to_bound"] = benchmark::Counter(rec.ratio_to_bound);
+}
+BENCHMARK(BM_Eq8MeasuredVsBound)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
 void BM_MiniMpiPingPong(benchmark::State& state) {
   const std::size_t words = state.range(0);

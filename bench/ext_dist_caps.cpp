@@ -119,6 +119,43 @@ void BM_DistCapsReal(benchmark::State& state) {
 BENCHMARK(BM_DistCapsReal)->Arg(1)->Arg(4)->Arg(7)
     ->Unit(benchmark::kMillisecond);
 
+// Cost of the per-edge CommStats collector (dist/comm_stats.hpp) on the
+// same workload: range(0) toggles WorldOptions::comm_stats. The two
+// lanes differ only in plain per-rank counter writes on cache-owned
+// blocks, so collector-on must stay within noise (<= 2%) of off —
+// compare the two JSONL rows with capow-bench-diff.
+void BM_DistCapsCommStatsOverhead(benchmark::State& state) {
+  const bool collect = state.range(0) != 0;
+  state.SetLabel(collect ? "collector on" : "collector off");
+  const int ranks = 7;
+  const std::size_t n = 128;
+  auto a = linalg::random_square(n, 1);
+  auto b = linalg::random_square(n, 2);
+  linalg::Matrix c(n, n);
+  dist::DistCapsOptions opts;
+  opts.local.base_cutoff = 32;
+  dist::WorldOptions world_opts;
+  world_opts.comm_stats = collect;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    dist::World world(ranks, world_opts);
+    world.run([&](dist::Communicator& comm) {
+      linalg::Matrix empty;
+      const bool root = comm.rank() == 0;
+      dist::dist_caps_multiply(comm, root ? a.view() : empty.view(),
+                               root ? b.view() : empty.view(),
+                               root ? c.view() : empty.view(), opts);
+    });
+    bytes = world.comm_stats().total_payload_bytes();
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["collector"] = benchmark::Counter(collect ? 1.0 : 0.0);
+  state.counters["payload_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+}
+BENCHMARK(BM_DistCapsCommStatsOverhead)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -25,6 +25,26 @@ void sleep_ms(double ms) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// Restores the calling thread's telemetry rank tag on scope exit, so a
+/// caller thread reused outside World::run stops stamping rank events.
+struct ThreadRankScope {
+#if CAPOW_TELEMETRY_ENABLED
+  explicit ThreadRankScope(int rank) { telemetry::set_thread_rank(rank); }
+  ~ThreadRankScope() { telemetry::set_thread_rank(-1); }
+#else
+  explicit ThreadRankScope(int) {}
+#endif
+  ThreadRankScope(const ThreadRankScope&) = delete;
+  ThreadRankScope& operator=(const ThreadRankScope&) = delete;
+};
+
 }  // namespace
 
 World::World(int ranks, const WorldOptions& options)
@@ -43,6 +63,10 @@ World::World(int ranks, const WorldOptions& options)
   channel_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(n * n);
   for (std::size_t i = 0; i < n; ++i) exited_[i].store(false);
   for (std::size_t i = 0; i < n * n; ++i) channel_seq_[i].store(0);
+  if (options_.comm_stats) {
+    blocks_.reserve(n);
+    for (int r = 0; r < ranks; ++r) blocks_.emplace_back(ranks);
+  }
 }
 
 void World::run(const std::function<void(Communicator&)>& body) {
@@ -54,6 +78,7 @@ void World::run(const std::function<void(Communicator&)>& body) {
     exited_[static_cast<std::size_t>(r)].store(false,
                                                std::memory_order_release);
   }
+  for (RankCommBlock& b : blocks_) b.reset(ranks_);
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks_));
@@ -66,7 +91,13 @@ void World::run(const std::function<void(Communicator&)>& body) {
   for (int r = 0; r < ranks_; ++r) {
     threads.emplace_back(
         [this, r, &body, &emutex, &first_other, &first_comm] {
+          ThreadRankScope rank_tag(r);
+          // Each rank is a parallel unit: claim a distinct recorder
+          // slot so concurrent ranks never share slot 0's counters.
+          trace::ScopedRecorderSlot recorder_slot(r);
           Communicator comm(*this, r);
+          RankCommBlock* block = comm_block(r);
+          const auto started = std::chrono::steady_clock::now();
           bool failed = false;
           try {
             body(comm);
@@ -79,10 +110,14 @@ void World::run(const std::function<void(Communicator&)>& body) {
             std::lock_guard lock(emutex);
             if (!first_other) first_other = std::current_exception();
           }
+          if (block != nullptr) block->self.active_ns = elapsed_ns(started);
           mark_exited(r, failed);
         });
   }
   for (auto& t : threads) t.join();
+  // Merge unconditionally, *before* rethrowing: the counters collected
+  // up to a failure are exactly what a poisoned-world post-mortem needs.
+  if (!blocks_.empty()) last_stats_ = merge_comm_blocks(blocks_);
   if (first_other) std::rethrow_exception(first_other);
   if (first_comm) std::rethrow_exception(first_comm);
 }
@@ -199,17 +234,31 @@ void Communicator::send(int dest, int tag, std::span<const double> data) {
   if (dest < 0 || dest >= size()) {
     throw std::out_of_range("send: bad destination rank");
   }
-  CAPOW_TSPAN_ARGS2("comm.send", "dist", "dest", dest, "bytes",
-                    data.size() * sizeof(double));
-  trace::count_message(data.size() * sizeof(double));
+  const std::uint64_t bytes = data.size() * sizeof(double);
+  // Sequence numbers are drawn unconditionally so matched send/recv
+  // spans can share one flow id whether or not faults are armed (the
+  // per-channel draw order — which fault draws are keyed on — is the
+  // same either way).
+  const std::uint64_t seq = world_->next_channel_seq(rank_, dest);
+  CAPOW_TSPAN_ARGS3("comm.send", "dist", "dest", dest, "bytes", bytes,
+                    "seq", seq);
+  trace::count_message(bytes);
+  RankCommBlock* block = world_->comm_block(rank_);
+  EdgeStats* edge =
+      block != nullptr ? &block->out[static_cast<std::size_t>(dest)] : nullptr;
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
+  msg.seq = seq;
   msg.payload.assign(data.begin(), data.end());
 
   fault::FaultInjector* inj = fault::FaultInjector::active();
   if (inj == nullptr || !inj->plan().any_comm()) {
     world_->post(dest, std::move(msg));
+    if (edge != nullptr) {
+      ++edge->messages;
+      edge->payload_bytes += bytes;
+    }
     return;
   }
 
@@ -222,12 +271,13 @@ void Communicator::send(int dest, int tag, std::span<const double> data) {
   const std::uint64_t channel =
       static_cast<std::uint64_t>(rank_) * static_cast<std::uint64_t>(size()) +
       static_cast<std::uint64_t>(dest);
-  const std::uint64_t seq = world_->next_channel_seq(rank_, dest);
 
   if (inj->fire(fault::Site::kCommDelay, fault::key(channel, seq))) {
     inj->record(fault::Event::kCommDelay);
     CAPOW_TINSTANT("fault.comm.delay", "fault");
+    const auto t0 = std::chrono::steady_clock::now();
     sleep_ms(inj->plan().comm_delay_ms);
+    if (edge != nullptr) edge->send_block_ns += elapsed_ns(t0);
   }
 
   const int max_attempts = world_->options().max_send_attempts;
@@ -249,22 +299,31 @@ void Communicator::send(int dest, int tag, std::span<const double> data) {
                               2 * static_cast<std::uint64_t>(attempt) + 1))) {
       inj->record(fault::Event::kCommCorrupt);
       CAPOW_TINSTANT("fault.comm.corrupt", "fault");
+      if (edge != nullptr) ++edge->corruptions;
       lost = true;
     }
     if (!lost) {
       world_->post(dest, std::move(msg));
+      if (edge != nullptr) {
+        ++edge->messages;
+        edge->payload_bytes += bytes;
+      }
       return;
     }
     if (attempt + 1 < max_attempts) {
       inj->record(fault::Event::kCommRetry);
       CAPOW_TINSTANT("fault.comm.retry", "fault");
+      if (edge != nullptr) ++edge->retransmits;
       const double factor =
           static_cast<double>(1u << (attempt < 10 ? attempt : 10));
+      const auto t0 = std::chrono::steady_clock::now();
       sleep_ms(world_->options().retry_backoff_us * factor * 1e-3);
+      if (edge != nullptr) edge->send_block_ns += elapsed_ns(t0);
     }
   }
   inj->record(fault::Event::kCommSendFailure);
   CAPOW_TINSTANT("fault.comm.send_failure", "fault");
+  if (block != nullptr) ++block->self.send_failures;
   throw CommError("send: message to rank " + std::to_string(dest) +
                   " (tag=" + std::to_string(tag) + ") lost after " +
                   std::to_string(max_attempts) + " attempts");
@@ -274,14 +333,49 @@ Message Communicator::recv(int source, int tag) {
   if (source < 0 || source >= size()) {
     throw std::out_of_range("recv: bad source rank");
   }
-  CAPOW_TSPAN_ARGS2("comm.recv", "dist", "source", source, "tag", tag);
-  return world_->take(rank_, source, tag);
+#if CAPOW_TELEMETRY_ENABLED
+  telemetry::SpanScope span("comm.recv", "dist", "source",
+                            static_cast<std::int64_t>(source), "tag",
+                            static_cast<std::int64_t>(tag));
+#endif
+  RankCommBlock* block = world_->comm_block(rank_);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    Message msg = world_->take(rank_, source, tag);
+    if (block != nullptr) {
+      block->self.recv_wait_ns += elapsed_ns(t0);
+      EdgeStats& edge = block->in[static_cast<std::size_t>(source)];
+      ++edge.recv_messages;
+      edge.recv_bytes += msg.payload.size() * sizeof(double);
+    }
+#if CAPOW_TELEMETRY_ENABLED
+    span.set_arg(2, "seq", static_cast<std::int64_t>(msg.seq));
+#endif
+    return msg;
+  } catch (...) {
+    // Failed waits (poison, peer exit, timeout) are still blocked time.
+    if (block != nullptr) block->self.recv_wait_ns += elapsed_ns(t0);
+    throw;
+  }
 }
 
 void Communicator::barrier() {
   CAPOW_TSPAN("comm.barrier", "dist");
   trace::count_sync();
-  world_->barrier_wait();
+  RankCommBlock* block = world_->comm_block(rank_);
+  if (block == nullptr) {
+    world_->barrier_wait();
+    return;
+  }
+  ++block->self.barriers;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    world_->barrier_wait();
+    block->self.barrier_wait_ns += elapsed_ns(t0);
+  } catch (...) {
+    block->self.barrier_wait_ns += elapsed_ns(t0);
+    throw;
+  }
 }
 
 namespace {

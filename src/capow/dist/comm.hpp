@@ -37,6 +37,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "capow/dist/comm_stats.hpp"
+
 namespace capow::dist {
 
 /// Communication failure: peer death, poisoned world, recv timeout, or
@@ -50,6 +52,10 @@ class CommError : public std::runtime_error {
 struct Message {
   int source = -1;
   int tag = 0;
+  /// Per-channel (source -> dest) sequence number, assigned at send time.
+  /// Matched send/recv trace spans share it, which is what lets the
+  /// Chrome exporter draw flow arrows between rank lanes.
+  std::uint64_t seq = 0;
   std::vector<double> payload;
 };
 
@@ -64,6 +70,10 @@ struct WorldOptions {
   /// First retransmission backoff; doubles per attempt (capped at
   /// 1024x). Kept small: the "wire" is an in-process queue.
   double retry_backoff_us = 50.0;
+  /// Collect the per-edge CommStats matrix (see comm_stats.hpp). The
+  /// collector is per-rank-local counter writes — cheap enough to leave
+  /// on by default; the ext_dist_caps overhead bench holds it to <= 2%.
+  bool comm_stats = true;
 };
 
 class Communicator;
@@ -91,6 +101,13 @@ class World {
   bool poisoned() const noexcept {
     return poisoned_.load(std::memory_order_acquire);
   }
+
+  /// Comm matrix of the most recent run (empty when collection is off or
+  /// no run has completed). Populated on *every* teardown path — the
+  /// per-rank blocks are merged after the joins and before run()
+  /// rethrows, so a poisoned world still reports the traffic that led up
+  /// to the failure.
+  const CommMatrix& comm_stats() const noexcept { return last_stats_; }
 
  private:
   friend class Communicator;
@@ -120,9 +137,19 @@ class World {
   // Barrier support: generation-counted central barrier.
   void barrier_wait();
 
+  /// Rank r's private counter block, or nullptr when collection is off.
+  /// Only rank r's thread may write through the pointer while run() is
+  /// live (see comm_stats.hpp for the ownership discipline).
+  RankCommBlock* comm_block(int rank) noexcept {
+    return blocks_.empty() ? nullptr
+                           : &blocks_[static_cast<std::size_t>(rank)];
+  }
+
   int ranks_;
   WorldOptions options_;
   std::vector<Mailbox> mailboxes_;
+  std::vector<RankCommBlock> blocks_;
+  CommMatrix last_stats_;
   std::unique_ptr<std::atomic<bool>[]> exited_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> channel_seq_;
   std::atomic<bool> poisoned_{false};

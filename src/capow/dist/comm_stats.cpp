@@ -1,0 +1,169 @@
+#include "capow/dist/comm_stats.hpp"
+
+#include <stdexcept>
+
+namespace capow::dist {
+
+EdgeStats& EdgeStats::operator+=(const EdgeStats& o) noexcept {
+  messages += o.messages;
+  payload_bytes += o.payload_bytes;
+  retransmits += o.retransmits;
+  corruptions += o.corruptions;
+  recv_messages += o.recv_messages;
+  recv_bytes += o.recv_bytes;
+  send_block_ns += o.send_block_ns;
+  return *this;
+}
+
+bool EdgeStats::deterministic_equal(const EdgeStats& o) const noexcept {
+  return messages == o.messages && payload_bytes == o.payload_bytes &&
+         retransmits == o.retransmits && corruptions == o.corruptions &&
+         recv_messages == o.recv_messages && recv_bytes == o.recv_bytes;
+}
+
+RankStats& RankStats::operator+=(const RankStats& o) noexcept {
+  recv_wait_ns += o.recv_wait_ns;
+  barrier_wait_ns += o.barrier_wait_ns;
+  barriers += o.barriers;
+  send_failures += o.send_failures;
+  active_ns += o.active_ns;
+  return *this;
+}
+
+CommMatrix::CommMatrix(int ranks) : ranks_(ranks) {
+  if (ranks < 0) throw std::invalid_argument("CommMatrix: ranks < 0");
+  const std::size_t n = static_cast<std::size_t>(ranks);
+  edges_.resize(n * n);
+  rank_stats_.resize(n);
+}
+
+std::size_t CommMatrix::index(int src, int dst) const {
+  if (src < 0 || src >= ranks_ || dst < 0 || dst >= ranks_) {
+    throw std::out_of_range("CommMatrix::edge: rank out of range");
+  }
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(ranks_) +
+         static_cast<std::size_t>(dst);
+}
+
+EdgeStats& CommMatrix::edge(int src, int dst) {
+  return edges_[index(src, dst)];
+}
+const EdgeStats& CommMatrix::edge(int src, int dst) const {
+  return edges_[index(src, dst)];
+}
+
+RankStats& CommMatrix::rank(int r) {
+  if (r < 0 || r >= ranks_) {
+    throw std::out_of_range("CommMatrix::rank: out of range");
+  }
+  return rank_stats_[static_cast<std::size_t>(r)];
+}
+const RankStats& CommMatrix::rank(int r) const {
+  return const_cast<CommMatrix*>(this)->rank(r);
+}
+
+std::uint64_t CommMatrix::total_messages() const noexcept {
+  std::uint64_t n = 0;
+  for (const EdgeStats& e : edges_) n += e.messages;
+  return n;
+}
+std::uint64_t CommMatrix::total_payload_bytes() const noexcept {
+  std::uint64_t n = 0;
+  for (const EdgeStats& e : edges_) n += e.payload_bytes;
+  return n;
+}
+std::uint64_t CommMatrix::total_retransmits() const noexcept {
+  std::uint64_t n = 0;
+  for (const EdgeStats& e : edges_) n += e.retransmits;
+  return n;
+}
+std::uint64_t CommMatrix::total_corruptions() const noexcept {
+  std::uint64_t n = 0;
+  for (const EdgeStats& e : edges_) n += e.corruptions;
+  return n;
+}
+
+std::uint64_t CommMatrix::bytes_sent_by(int r) const {
+  std::uint64_t n = 0;
+  for (int d = 0; d < ranks_; ++d) n += edge(r, d).payload_bytes;
+  return n;
+}
+
+std::uint64_t CommMatrix::bytes_received_by(int r) const {
+  std::uint64_t n = 0;
+  for (int s = 0; s < ranks_; ++s) n += edge(s, r).recv_bytes;
+  return n;
+}
+
+std::uint64_t CommMatrix::max_rank_bytes() const noexcept {
+  std::uint64_t best = 0;
+  for (int r = 0; r < ranks_; ++r) {
+    const std::uint64_t total = bytes_sent_by(r) + bytes_received_by(r);
+    if (total > best) best = total;
+  }
+  return best;
+}
+
+bool CommMatrix::conserved() const noexcept {
+  for (const EdgeStats& e : edges_) {
+    if (e.messages != e.recv_messages || e.payload_bytes != e.recv_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CommMatrix& CommMatrix::operator+=(const CommMatrix& o) {
+  if (empty()) {
+    *this = o;
+    return *this;
+  }
+  if (o.empty()) return *this;
+  if (o.ranks_ != ranks_) {
+    throw std::invalid_argument("CommMatrix +=: rank count mismatch");
+  }
+  for (std::size_t i = 0; i < edges_.size(); ++i) edges_[i] += o.edges_[i];
+  for (std::size_t i = 0; i < rank_stats_.size(); ++i) {
+    rank_stats_[i] += o.rank_stats_[i];
+  }
+  return *this;
+}
+
+bool CommMatrix::deterministic_equal(const CommMatrix& o) const noexcept {
+  if (ranks_ != o.ranks_) return false;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (!edges_[i].deterministic_equal(o.edges_[i])) return false;
+  }
+  return true;
+}
+
+void RankCommBlock::reset(int ranks) {
+  out.assign(static_cast<std::size_t>(ranks), EdgeStats{});
+  in.assign(static_cast<std::size_t>(ranks), EdgeStats{});
+  self = RankStats{};
+}
+
+CommMatrix merge_comm_blocks(const std::vector<RankCommBlock>& blocks) {
+  const int p = static_cast<int>(blocks.size());
+  CommMatrix m(p);
+  for (int r = 0; r < p; ++r) {
+    const RankCommBlock& b = blocks[static_cast<std::size_t>(r)];
+    for (int peer = 0; peer < p; ++peer) {
+      const EdgeStats& o = b.out[static_cast<std::size_t>(peer)];
+      EdgeStats& out_edge = m.edge(r, peer);
+      out_edge.messages = o.messages;
+      out_edge.payload_bytes = o.payload_bytes;
+      out_edge.retransmits = o.retransmits;
+      out_edge.corruptions = o.corruptions;
+      out_edge.send_block_ns = o.send_block_ns;
+      const EdgeStats& i = b.in[static_cast<std::size_t>(peer)];
+      EdgeStats& in_edge = m.edge(peer, r);
+      in_edge.recv_messages = i.recv_messages;
+      in_edge.recv_bytes = i.recv_bytes;
+    }
+    m.rank(r) = b.self;
+  }
+  return m;
+}
+
+}  // namespace capow::dist

@@ -1,0 +1,128 @@
+// Per-rank, per-edge communication accounting for the mini-MPI runtime.
+//
+// The paper's thesis is that communication is the lever on
+// energy-proportional scaling; validating Eq (8) therefore needs the
+// answer to "which rank pair moved how many bytes, and who waited on
+// whom" — not just the global byte total trace::count_message provides.
+//
+// Collection is split into per-rank blocks so the hot path stays
+// lock-free and atomic-free: each counter cell is written by exactly one
+// thread (a rank owns the send side of its out-edges, the receive side
+// of its in-edges, and its own wait clocks), and World::run merges the
+// blocks into a CommMatrix after the rank threads join — the join is the
+// happens-before edge, so merging needs no synchronization either. The
+// merge runs on *every* teardown path, including a poisoned world, so
+// the traffic that led up to a failure is reported rather than dropped.
+//
+// Determinism contract: message/byte/retransmit/corruption counters are
+// pure functions of the algorithm and the fault seed (fault draws are
+// keyed on logical channel coordinates, not timing), so two runs with
+// the same seed produce identical matrices — the CI determinism gate and
+// checkpoint-replay audits rely on this. The *_ns wait clocks are wall
+// time and excluded from deterministic comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace capow::dist {
+
+/// Counters for one directed (src, dst) edge. The send side is written
+/// by src's thread, the recv side by dst's thread.
+struct EdgeStats {
+  std::uint64_t messages = 0;       ///< successful deliveries src -> dst
+  std::uint64_t payload_bytes = 0;  ///< payload bytes delivered
+  std::uint64_t retransmits = 0;    ///< re-sent attempts after a loss
+  std::uint64_t corruptions = 0;    ///< CRC-detected corrupt frames
+  std::uint64_t recv_messages = 0;  ///< messages dst matched from src
+  std::uint64_t recv_bytes = 0;     ///< payload bytes dst received
+  std::uint64_t send_block_ns = 0;  ///< sender backoff + injected delay
+
+  EdgeStats& operator+=(const EdgeStats& o) noexcept;
+
+  /// Equality over the seed-deterministic counters (times excluded).
+  bool deterministic_equal(const EdgeStats& o) const noexcept;
+};
+
+/// Per-rank wait/progress clocks (written only by the rank's thread).
+struct RankStats {
+  std::uint64_t recv_wait_ns = 0;     ///< blocked inside recv()
+  std::uint64_t barrier_wait_ns = 0;  ///< blocked inside barrier() (skew)
+  std::uint64_t barriers = 0;         ///< barriers entered
+  std::uint64_t send_failures = 0;    ///< sends lost after every attempt
+  std::uint64_t active_ns = 0;        ///< wall time of the rank body
+
+  RankStats& operator+=(const RankStats& o) noexcept;
+};
+
+/// The merged P x P snapshot: edge(src, dst) plus per-rank clocks.
+class CommMatrix {
+ public:
+  CommMatrix() = default;
+  explicit CommMatrix(int ranks);
+
+  int ranks() const noexcept { return ranks_; }
+  bool empty() const noexcept { return ranks_ == 0; }
+
+  EdgeStats& edge(int src, int dst);
+  const EdgeStats& edge(int src, int dst) const;
+  RankStats& rank(int r);
+  const RankStats& rank(int r) const;
+
+  std::uint64_t total_messages() const noexcept;
+  std::uint64_t total_payload_bytes() const noexcept;
+  std::uint64_t total_retransmits() const noexcept;
+  std::uint64_t total_corruptions() const noexcept;
+
+  /// Row sum: bytes rank r pushed onto the wire (successful deliveries).
+  std::uint64_t bytes_sent_by(int r) const;
+  /// Column sum: bytes rank r pulled off its mailbox.
+  std::uint64_t bytes_received_by(int r) const;
+
+  /// max over ranks of (sent + received) bytes — the per-processor
+  /// traffic term the Eq (8) lower bound speaks about.
+  std::uint64_t max_rank_bytes() const noexcept;
+
+  /// Conservation: every edge's delivered counters equal its received
+  /// counters (nothing posted was left unconsumed). Holds for runs that
+  /// completed normally; a poisoned world legitimately violates it.
+  bool conserved() const noexcept;
+
+  /// Element-wise accumulate (used to merge matrices across repeated
+  /// World::run invocations). Ranks must match (or *this be empty).
+  CommMatrix& operator+=(const CommMatrix& o);
+
+  /// Deterministic-field equality across every edge (times excluded),
+  /// same rank count required.
+  bool deterministic_equal(const CommMatrix& o) const noexcept;
+
+ private:
+  std::size_t index(int src, int dst) const;
+
+  int ranks_ = 0;
+  std::vector<EdgeStats> edges_;      // row-major: src * ranks_ + dst
+  std::vector<RankStats> rank_stats_;
+};
+
+/// One rank's private counter block (cache-line aligned so rank threads
+/// never share a line). Out-edge cells are indexed by destination,
+/// in-edge cells by source.
+struct alignas(64) RankCommBlock {
+  std::vector<EdgeStats> out;  ///< send-side fields of edge(self, dst)
+  std::vector<EdgeStats> in;   ///< recv-side fields of edge(src, self)
+  RankStats self;
+
+  RankCommBlock() = default;
+  explicit RankCommBlock(int ranks)
+      : out(static_cast<std::size_t>(ranks)),
+        in(static_cast<std::size_t>(ranks)) {}
+
+  void reset(int ranks);
+};
+
+/// Merges per-rank blocks into the dense matrix. Caller must have
+/// joined the writer threads first.
+CommMatrix merge_comm_blocks(const std::vector<RankCommBlock>& blocks);
+
+}  // namespace capow::dist

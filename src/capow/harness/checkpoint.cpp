@@ -224,6 +224,12 @@ std::vector<ResultRecord> load_checkpoint(const std::string& path,
   int c = 0;
   const auto flush_line = [&] {
     if (line.empty()) return;
+    // Checkpoint files are shared with the comm-audit records
+    // (comm_audit.hpp); those lines are a different kind, not damage.
+    if (line.find("\"kind\":\"comm_audit\"") != std::string::npos) {
+      line.clear();
+      return;
+    }
     if (auto rec = parse_checkpoint_line(line)) {
       // Last record for a configuration wins (a resumed run may have
       // re-run a previously failed configuration).

@@ -1,0 +1,141 @@
+// Eq (8) communication audits: measured comm matrices vs lower bounds.
+//
+// The scientific deliverable behind the dist instrumentation: run a
+// distributed algorithm at a fixed (algorithm, n, P) point with the
+// CommStats collector on, take the merged P x P matrix, and join it
+// with core::comm_bounds — the Strassen bound (Eq 8) and its classical
+// counterpart — for the machine's per-core fast memory M. The verdict
+// is the ratio of the busiest rank's measured traffic (in words) to the
+// algorithm's own bound; a correct implementation sits at >= 1.0, and
+// how far above quantifies the communication headroom the paper's
+// energy argument is about.
+//
+// Audits are persisted as "kind":"comm_audit" JSONL lines in the same
+// checkpoint files the experiment harness uses (the experiment loader
+// skips them), with every table-visible quantity serialized exactly
+// (%.17g doubles, integer counters) so a --resume replay reproduces the
+// report bit for bit without re-running the collectives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "capow/dist/comm_stats.hpp"
+#include "capow/harness/table.hpp"
+#include "capow/machine/machine.hpp"
+#include "capow/telemetry/export.hpp"
+#include "capow/telemetry/tracer.hpp"
+
+namespace capow::harness {
+
+/// One audit point. `algorithm` is "summa" (square sqrt(P) x sqrt(P)
+/// grid) or "dist_caps" (round-robin CAPS distribution).
+struct CommAuditPoint {
+  std::string algorithm;
+  std::size_t n = 0;
+  int ranks = 1;
+};
+
+/// The default audit matrix: SUMMA and dist-CAPS at two (n, P) points
+/// each — the capow-report --comm coverage the acceptance bar names.
+std::vector<CommAuditPoint> default_comm_audit_points();
+
+struct CommAuditOptions {
+  /// Machine whose per-core fast memory provides the M term of Eq (8).
+  machine::MachineSpec machine;
+  /// Collect a rank-lane span trace of the audited run (live runs only;
+  /// traces are derived evidence and are not persisted in checkpoints).
+  bool collect_trace = false;
+
+  CommAuditOptions();
+};
+
+/// One completed audit: the measured matrix plus the bound join.
+struct CommAuditRecord {
+  std::string algorithm;
+  std::size_t n = 0;
+  int ranks = 1;
+  double m_words = 0.0;  ///< fast memory per core, in doubles
+
+  dist::CommMatrix matrix;
+
+  double strassen_bound_words = 0.0;   ///< Eq (8)
+  double classical_bound_words = 0.0;  ///< cubic counterpart
+  /// max over ranks of (sent + received) bytes / 8 — the per-processor
+  /// traffic term the bounds constrain.
+  double measured_max_rank_words = 0.0;
+  /// measured_max_rank_words over the algorithm's own bound ("strassen"
+  /// for dist_caps, "classical" for summa).
+  double ratio_to_bound = 0.0;
+  std::string bound_kind;
+
+  /// Empty when the collective completed; otherwise the CommError that
+  /// poisoned the world. The matrix still holds everything counted up
+  /// to the failure (World::run merges before rethrowing), so partial
+  /// audits are reported, not dropped.
+  std::string error;
+  bool completed() const noexcept { return error.empty(); }
+};
+
+/// Runs the collective at `point` with deterministic operands and the
+/// CommStats collector enabled, and joins the result with the bounds.
+/// When opts.collect_trace is set and `events` is non-null, the span
+/// trace of the run (rank-stamped) is returned through it along with
+/// the session origin timestamp. Throws std::invalid_argument for an
+/// unknown algorithm or an unsupported (n, P) combination.
+CommAuditRecord run_comm_audit(const CommAuditPoint& point,
+                               const CommAuditOptions& opts,
+                               std::vector<telemetry::TraceEvent>* events =
+                                   nullptr,
+                               std::uint64_t* trace_start_ns = nullptr);
+
+/// One checkpoint JSONL line ("kind":"comm_audit", no trailing newline).
+std::string comm_audit_line(const CommAuditRecord& r);
+
+/// Parses a comm_audit line; false for anything else (including torn
+/// lines and experiment ResultRecord lines).
+bool parse_comm_audit_line(const std::string& line, CommAuditRecord& out);
+
+/// Loads every comm_audit record from a checkpoint file (missing file
+/// => empty). Later records for the same (algorithm, n, ranks) win.
+std::vector<CommAuditRecord> load_comm_audits(const std::string& path);
+
+/// The P x P payload-byte matrix of one audit (rows = sender).
+TextTable comm_matrix_table(const CommAuditRecord& r);
+
+/// The measured-vs-bound verdict table across audits (one row each).
+TextTable comm_bound_table(const std::vector<CommAuditRecord>& records);
+
+/// Per-rank critical-path summary of one audit: active wall time split
+/// into compute and blocked (recv wait, barrier skew, send backoff)
+/// segments; the busiest rank — the chain the run cannot complete
+/// faster than — is flagged.
+TextTable comm_critical_path_table(const CommAuditRecord& r);
+
+/// Appends the capow_comm_* Prometheus families for `records`. Only
+/// seed-deterministic quantities are exported (bytes, messages,
+/// retransmits, corruptions, bound ratios — never wall-clock waits), so
+/// two runs with the same fault seed scrape identically: the CI
+/// determinism gate diffs exactly this output.
+void export_comm_metrics(telemetry::MetricsRegistry& registry,
+                         const std::vector<CommAuditRecord>& records);
+
+/// Appends one audited run to `writer` as process `pid` with one lane
+/// per rank (tid = rank) and flow arrows linking each matched send/recv
+/// span pair (joined on the per-channel sequence number both spans
+/// carry). Events without a rank stamp are dropped; `base_ns` rebases
+/// timestamps (Tracer::start_ns()).
+void append_comm_trace(telemetry::ChromeTraceWriter& writer,
+                       const std::string& process_name, int pid,
+                       const std::vector<telemetry::TraceEvent>& events,
+                       int ranks, std::uint64_t base_ns);
+
+/// Single-run convenience over append_comm_trace (pid 0): writes a
+/// complete Chrome trace JSON document.
+void export_comm_trace(const std::vector<telemetry::TraceEvent>& events,
+                       int ranks, std::uint64_t base_ns, std::ostream& os);
+
+}  // namespace capow::harness

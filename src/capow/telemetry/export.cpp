@@ -140,6 +140,37 @@ void ChromeTraceWriter::add_instant(int pid, int tid, std::string name,
   events_.push_back(o.str());
 }
 
+namespace {
+
+std::string flow_event(const char* ph, int pid, int tid,
+                       const std::string& name, const std::string& cat,
+                       double ts_us, std::uint64_t id) {
+  JsonObject o;
+  o.field("ph", ph)
+      .field("name", name)
+      .field("cat", cat)
+      .field("pid", static_cast<std::int64_t>(pid))
+      .field("tid", static_cast<std::int64_t>(tid))
+      .raw("ts", json_ts(ts_us))
+      .field("id", static_cast<std::uint64_t>(id));
+  if (ph[0] == 'f') o.field("bp", "e");
+  return o.str();
+}
+
+}  // namespace
+
+void ChromeTraceWriter::add_flow_start(int pid, int tid, std::string name,
+                                       std::string cat, double ts_us,
+                                       std::uint64_t id) {
+  events_.push_back(flow_event("s", pid, tid, name, cat, ts_us, id));
+}
+
+void ChromeTraceWriter::add_flow_finish(int pid, int tid, std::string name,
+                                        std::string cat, double ts_us,
+                                        std::uint64_t id) {
+  events_.push_back(flow_event("f", pid, tid, name, cat, ts_us, id));
+}
+
 void ChromeTraceWriter::add_counter(int pid, std::string name, double ts_us,
                                     Args series) {
   JsonObject o;
@@ -168,7 +199,7 @@ void ChromeTraceWriter::add_events(const std::vector<TraceEvent>& events,
     switch (e.rec.kind) {
       case EventKind::kSpan: {
         Args args;
-        for (int i = 0; i < 2; ++i) {
+        for (int i = 0; i < EventRecord::kMaxArgs; ++i) {
           if (e.rec.arg_name[i] != nullptr) {
             args.emplace_back(e.rec.arg_name[i],
                               static_cast<double>(e.rec.arg[i]));

@@ -65,6 +65,15 @@ class ChromeTraceWriter {
   void add_instant(int pid, int tid, std::string name, std::string cat,
                    double ts_us);
 
+  /// Flow events: a directed arrow between two lanes, matched by `id`.
+  /// start ('s') anchors at the producing span (a send), finish ('f',
+  /// binding point "enclosing slice") at the consuming one (the matched
+  /// recv) — Perfetto draws the arrow across rank lanes.
+  void add_flow_start(int pid, int tid, std::string name, std::string cat,
+                      double ts_us, std::uint64_t id);
+  void add_flow_finish(int pid, int tid, std::string name, std::string cat,
+                       double ts_us, std::uint64_t id);
+
   /// Counter ('C') sample: each series becomes a stacked track value.
   void add_counter(int pid, std::string name, double ts_us, Args series);
 

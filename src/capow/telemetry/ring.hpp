@@ -30,14 +30,20 @@ enum class EventKind : std::uint8_t {
 /// One fixed-size event record. Names are stable `const char*` (string
 /// literals or tracer-interned strings) so pushing never allocates.
 struct EventRecord {
+  static constexpr int kMaxArgs = 3;
+
   const char* name = nullptr;
   const char* category = nullptr;
   std::uint64_t t_begin_ns = 0;
   std::uint64_t t_end_ns = 0;
   EventKind kind = EventKind::kSpan;
-  const char* arg_name[2] = {nullptr, nullptr};
-  std::int64_t arg[2] = {0, 0};
+  const char* arg_name[kMaxArgs] = {nullptr, nullptr, nullptr};
+  std::int64_t arg[kMaxArgs] = {0, 0, 0};
   double value = 0.0;  ///< counter payload
+  /// Distributed rank of the emitting thread (set via
+  /// telemetry::set_thread_rank by dist::World), or -1 outside any rank.
+  /// Exporters use it to group events into one lane per rank.
+  std::int32_t rank = -1;
 };
 
 /// Fixed-capacity overwrite-oldest ring of EventRecords.

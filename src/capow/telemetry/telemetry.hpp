@@ -49,6 +49,13 @@
                               static_cast<std::int64_t>(v0), \
                               k1, static_cast<std::int64_t>(v1))
 
+#define CAPOW_TSPAN_ARGS3(name, category, k0, v0, k1, v1, k2, v2) \
+  ::capow::telemetry::SpanScope CAPOW_TELEMETRY_CAT(              \
+      capow_tspan_, __LINE__)(name, category, k0,                 \
+                              static_cast<std::int64_t>(v0),      \
+                              k1, static_cast<std::int64_t>(v1),  \
+                              k2, static_cast<std::int64_t>(v2))
+
 #define CAPOW_TINSTANT(name, category) \
   ::capow::telemetry::instant(name, category)
 
@@ -65,6 +72,9 @@
   } while (false)
 #define CAPOW_TSPAN_ARGS2(name, category, k0, v0, k1, v1) \
   do {                                                    \
+  } while (false)
+#define CAPOW_TSPAN_ARGS3(name, category, k0, v0, k1, v1, k2, v2) \
+  do {                                                            \
   } while (false)
 #define CAPOW_TINSTANT(name, category) \
   do {                                 \

@@ -33,7 +33,13 @@ std::atomic<Tracer*> g_tracer{nullptr};
 
 thread_local detail::ThreadBuffer* t_buffer = nullptr;
 
+thread_local std::int32_t t_rank = -1;
+
 }  // namespace
+
+void set_thread_rank(std::int32_t rank) noexcept { t_rank = rank; }
+
+std::int32_t thread_rank() noexcept { return t_rank; }
 
 namespace detail {
 
@@ -131,6 +137,7 @@ void instant(const char* name, const char* category) noexcept {
   r.name = name;
   r.category = category;
   r.kind = EventKind::kInstant;
+  r.rank = t_rank;
   r.t_begin_ns = r.t_end_ns = now_ns();
   detail::this_thread_buffer()->ring.push(r);
 }
@@ -141,6 +148,7 @@ void counter(const char* name, double value) noexcept {
   r.name = name;
   r.category = "counter";
   r.kind = EventKind::kCounter;
+  r.rank = t_rank;
   r.t_begin_ns = r.t_end_ns = now_ns();
   r.value = value;
   detail::this_thread_buffer()->ring.push(r);

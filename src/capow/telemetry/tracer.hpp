@@ -56,6 +56,15 @@ struct TraceEvent {
 /// literals can be passed to SpanScope directly.
 const char* intern(std::string_view s);
 
+/// Tags the calling thread with a distributed rank id; every event the
+/// thread subsequently records carries it (EventRecord::rank), which is
+/// how the Chrome exporter builds one lane per rank. dist::World sets
+/// this on each rank thread and restores -1 ("no rank") at rank exit.
+void set_thread_rank(std::int32_t rank) noexcept;
+
+/// The calling thread's rank tag (-1 when unset).
+std::int32_t thread_rank() noexcept;
+
 /// One tracing session. Construct, install with TracingScope, run the
 /// instrumented code, then collect(). Sessions are cheap; the expensive
 /// state (rings) is process-global and reused.
@@ -132,6 +141,17 @@ class SpanScope {
     rec_.arg_name[1] = k1;
     rec_.arg[1] = v1;
   }
+  SpanScope(const char* name, const char* category, const char* k0,
+            std::int64_t v0, const char* k1, std::int64_t v1,
+            const char* k2, std::int64_t v2) noexcept {
+    open(name, category);
+    rec_.arg_name[0] = k0;
+    rec_.arg[0] = v0;
+    rec_.arg_name[1] = k1;
+    rec_.arg[1] = v1;
+    rec_.arg_name[2] = k2;
+    rec_.arg[2] = v2;
+  }
   ~SpanScope() {
     if (buf_ != nullptr) {
       rec_.t_end_ns = now_ns();
@@ -143,6 +163,15 @@ class SpanScope {
 
   bool active() const noexcept { return buf_ != nullptr; }
 
+  /// Fills arg slot `i` after construction — for values only known once
+  /// the spanned operation completes (e.g. the sequence number of the
+  /// message a recv matched). No-op on inactive spans or bad slots.
+  void set_arg(int i, const char* arg_name, std::int64_t value) noexcept {
+    if (buf_ == nullptr || i < 0 || i >= EventRecord::kMaxArgs) return;
+    rec_.arg_name[i] = arg_name;
+    rec_.arg[i] = value;
+  }
+
  private:
   void open(const char* name, const char* category) noexcept {
     if (name == nullptr || Tracer::active() == nullptr) return;
@@ -150,6 +179,7 @@ class SpanScope {
     rec_.name = name;
     rec_.category = category;
     rec_.kind = EventKind::kSpan;
+    rec_.rank = thread_rank();
     rec_.t_begin_ns = now_ns();
   }
 

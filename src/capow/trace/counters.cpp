@@ -87,8 +87,22 @@ std::vector<CostCounters> Recorder::phase_parallel_slots(
   return out;
 }
 
+namespace {
+/// Parallel-unit slot claimed by ScopedRecorderSlot for non-worker
+/// threads (-1 = none, i.e. the sequential slot 0).
+thread_local int t_claimed_unit = -1;
+}  // namespace
+
+ScopedRecorderSlot::ScopedRecorderSlot(int unit) noexcept
+    : previous_(t_claimed_unit) {
+  t_claimed_unit = unit >= 0 ? unit : -1;
+}
+
+ScopedRecorderSlot::~ScopedRecorderSlot() { t_claimed_unit = previous_; }
+
 std::size_t Recorder::slot_for_current_thread() noexcept {
-  const int w = tasking::ThreadPool::worker_index();
+  int w = tasking::ThreadPool::worker_index();
+  if (w < 0) w = t_claimed_unit;
   const std::size_t slot = static_cast<std::size_t>(w + 1);
   return slot < kMaxSlots ? slot : kMaxSlots - 1;
 }

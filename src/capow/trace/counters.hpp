@@ -151,6 +151,25 @@ class Recorder {
   std::atomic<std::size_t> active_phase_{0};
 };
 
+/// RAII parallel-unit slot claim for threads that are not pool workers.
+/// Without it every such thread collapses into slot 0 (the sequential
+/// slot), and concurrent non-worker threads — e.g. dist::World rank
+/// threads — would race on its plain counters. Claiming `unit` routes
+/// the calling thread's counts to parallel slot 1 + unit (clamped to
+/// the last slot) for the scope lifetime, which is also the honest EP
+/// decomposition: a rank thread is a parallel unit, not the sequential
+/// component. Pool workers ignore the claim (their index wins).
+class ScopedRecorderSlot {
+ public:
+  explicit ScopedRecorderSlot(int unit) noexcept;
+  ~ScopedRecorderSlot();
+  ScopedRecorderSlot(const ScopedRecorderSlot&) = delete;
+  ScopedRecorderSlot& operator=(const ScopedRecorderSlot&) = delete;
+
+ private:
+  int previous_;
+};
+
 /// RAII phase section: activates `name` on construction and restores
 /// the *previously active* phase on destruction, so nested scopes
 /// resume their parent's phase instead of resetting to the default.

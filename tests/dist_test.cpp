@@ -9,6 +9,7 @@
 #include "capow/dist/comm.hpp"
 #include "capow/dist/dist_caps.hpp"
 #include "capow/dist/energy.hpp"
+#include "capow/dist/summa.hpp"
 #include "capow/fault/fault.hpp"
 #include "capow/linalg/ops.hpp"
 #include "capow/linalg/random.hpp"
@@ -488,6 +489,176 @@ TEST(DistComparison, CapsMovesFewerBytesThanBroadcastBaseline) {
     }
   });
   EXPECT_LT(caps_bytes, classical_bytes);
+}
+
+TEST(World, RankThreadsRecordIntoDistinctTraceSlots) {
+  // Rank threads are parallel units: each claims trace slot rank + 1
+  // (ScopedRecorderSlot), so concurrent ranks never race on the
+  // sequential slot 0 and no counter update is lost.
+  trace::Recorder rec;
+  trace::RecordingScope scope(rec);
+  const int ranks = 5;
+  World world(ranks);
+  world.run([](Communicator& comm) {
+    trace::count_flops(static_cast<std::uint64_t>(comm.rank()) + 1);
+  });
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(rec.slot(static_cast<std::size_t>(r) + 1).flops,
+              static_cast<std::uint64_t>(r) + 1);
+  }
+  EXPECT_EQ(rec.slot(0).flops, 0u);
+  EXPECT_EQ(rec.total().flops, 15u);
+}
+
+// ---- per-edge CommStats accounting (comm_stats.hpp) ----
+
+TEST(CommStats, SummaMatrixIsByteExact) {
+  // 2x2 grid, n = 64: every block is 32x32 doubles = 8192 bytes, the
+  // dimension negotiation is one 8-byte send per non-root rank. Per
+  // edge that gives (scatter + per-step broadcasts + gather):
+  //   0->1: nego 8 + A 8192 + B 8192 + row-bcast k=0 8192 = 24584
+  //   0->2: nego 8 + A 8192 + B 8192 + col-bcast k=0 8192 = 24584
+  //   0->3: nego 8 + A 8192 + B 8192                      = 16392
+  //   1->0: row-bcast k=1 8192 + gather C 8192            = 16384
+  //   2->0: col-bcast k=1 8192 + gather C 8192            = 16384
+  //   3->0: gather C 8192; 1->3, 2->3, 3->1, 3->2: one bcast each.
+  const std::size_t n = 64;
+  Matrix a = random_matrix(n, n, 80);
+  Matrix b = random_matrix(n, n, 81);
+  Matrix c(n, n);
+  abft::AbftConfig abft_cfg;
+  abft_cfg.mode = abft::AbftMode::kOff;
+  World world(4);
+  world.run([&](Communicator& comm) {
+    Matrix empty;
+    const bool root = comm.rank() == 0;
+    summa_multiply(comm, GridSpec{2, 2, 1}, root ? a.view() : empty.view(),
+                   root ? b.view() : empty.view(),
+                   root ? c.view() : empty.view(), abft_cfg);
+  });
+
+  const CommMatrix& m = world.comm_stats();
+  ASSERT_EQ(m.ranks(), 4);
+  const std::uint64_t expect[4][4] = {
+      {0, 24584, 24584, 16392},
+      {16384, 0, 0, 8192},
+      {16384, 0, 0, 8192},
+      {8192, 8192, 8192, 0},
+  };
+  for (int src = 0; src < 4; ++src) {
+    for (int dst = 0; dst < 4; ++dst) {
+      EXPECT_EQ(m.edge(src, dst).payload_bytes, expect[src][dst])
+          << "edge " << src << "->" << dst;
+    }
+  }
+  // Conservation: every posted byte was consumed by its receiver.
+  EXPECT_TRUE(m.conserved());
+  EXPECT_EQ(m.total_retransmits(), 0u);
+  EXPECT_EQ(m.total_corruptions(), 0u);
+}
+
+TEST(CommStats, DistCapsMatrixIsByteExact) {
+  // P = 2, n = 128, distribute threshold 64: one BFS level, h = 64.
+  // Round-robin ownership gives rank 1 three of the seven
+  // sub-products; each ships A and B quadrants out (2 * 64^2 doubles)
+  // and one C quadrant back (64^2 doubles), plus one 8-byte shape
+  // broadcast from the root.
+  const std::size_t n = 128;
+  Matrix a = random_matrix(n, n, 80);
+  Matrix b = random_matrix(n, n, 81);
+  Matrix c(n, n);
+  World world(2);
+  world.run([&](Communicator& comm) {
+    Matrix empty;
+    const bool root = comm.rank() == 0;
+    dist_caps_multiply(comm, root ? a.view() : empty.view(),
+                       root ? b.view() : empty.view(),
+                       root ? c.view() : empty.view());
+  });
+
+  const CommMatrix& m = world.comm_stats();
+  ASSERT_EQ(m.ranks(), 2);
+  EXPECT_EQ(m.edge(0, 1).payload_bytes, 8u + 3u * 2u * 64u * 64u * 8u);
+  EXPECT_EQ(m.edge(1, 0).payload_bytes, 3u * 64u * 64u * 8u);
+  EXPECT_TRUE(m.conserved());
+  EXPECT_EQ(m.bytes_sent_by(0), m.edge(0, 1).payload_bytes);
+  EXPECT_EQ(m.bytes_received_by(0), m.edge(1, 0).payload_bytes);
+}
+
+TEST(CommStats, DisabledCollectorLeavesMatrixEmpty) {
+  WorldOptions opts;
+  opts.comm_stats = false;
+  World world(2, opts);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<double>{1.0});
+    } else {
+      comm.recv(0, 0);
+    }
+  });
+  EXPECT_TRUE(world.comm_stats().empty());
+}
+
+TEST(CommStats, DeterministicUnderFixedFaultSeed) {
+  // Same seed, two independent worlds: byte-identical matrices on the
+  // deterministic fields (messages, bytes, retransmits, corruptions),
+  // even though wall-clock waits differ run to run.
+  const auto run_once = [](std::uint64_t seed) {
+    fault::FaultPlan plan;
+    plan.comm_drop = 0.2;
+    plan.comm_corrupt = 0.1;
+    plan.seed = seed;
+    fault::FaultInjector inj(plan);
+    fault::FaultScope scope(inj);
+    const std::size_t n = 128;
+    Matrix a = random_matrix(n, n, 80);
+    Matrix b = random_matrix(n, n, 81);
+    Matrix c(n, n);
+    World world(2, fast_timeouts());
+    world.run([&](Communicator& comm) {
+      Matrix empty;
+      const bool root = comm.rank() == 0;
+      dist_caps_multiply(comm, root ? a.view() : empty.view(),
+                         root ? b.view() : empty.view(),
+                         root ? c.view() : empty.view());
+    });
+    return world.comm_stats();
+  };
+  const CommMatrix first = run_once(42);
+  const CommMatrix second = run_once(42);
+  EXPECT_TRUE(first.deterministic_equal(second));
+  EXPECT_GT(first.total_retransmits(), 0u);
+}
+
+TEST(CommStats, PoisonedWorldStillMergesCounters) {
+  // Every delivery attempt lost: send() exhausts its 3 attempts and
+  // poisons the world. The teardown merge runs before the rethrow, so
+  // the retransmit/failure counters written up to the crash survive
+  // into comm_stats() instead of being dropped with the world.
+  fault::FaultPlan plan;
+  plan.comm_drop = 1.0;
+  fault::FaultInjector inj(plan);
+  fault::FaultScope scope(inj);
+
+  WorldOptions opts = fast_timeouts();
+  opts.max_send_attempts = 3;
+  World world(2, opts);
+  EXPECT_THROW(world.run([](Communicator& comm) {
+                 if (comm.rank() == 0) {
+                   comm.send(1, 0, std::vector<double>{1.0});
+                 } else {
+                   comm.recv(0, 0);
+                 }
+               }),
+               CommError);
+
+  const CommMatrix& m = world.comm_stats();
+  ASSERT_EQ(m.ranks(), 2);
+  EXPECT_EQ(m.edge(0, 1).messages, 0u);
+  EXPECT_EQ(m.edge(0, 1).payload_bytes, 0u);
+  EXPECT_EQ(m.edge(0, 1).retransmits, 2u);  // attempts 1..2 re-sent
+  EXPECT_EQ(m.rank(0).send_failures, 1u);
+  EXPECT_FALSE(m.empty());
 }
 
 TEST(DistEnergy, EstimateBehaviour) {

@@ -5,12 +5,14 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "capow/fault/fault.hpp"
 #include "capow/harness/checkpoint.hpp"
+#include "capow/harness/comm_audit.hpp"
 #include "capow/harness/experiment.hpp"
 #include "capow/harness/table.hpp"
 
@@ -491,6 +493,151 @@ TEST(Checkpoint, LoadCountsTheCorruptLinesItSkips) {
   EXPECT_EQ(skipped, 2u);
   EXPECT_EQ(load_checkpoint(path).size(), 2u);  // count is optional
   std::remove(path.c_str());
+}
+
+TEST(CommAudit, LineRoundTripsEveryFieldExactly) {
+  const CommAuditRecord original =
+      run_comm_audit({"summa", 64, 4}, CommAuditOptions{});
+  ASSERT_TRUE(original.completed());
+
+  CommAuditRecord parsed;
+  ASSERT_TRUE(parse_comm_audit_line(comm_audit_line(original), parsed));
+  EXPECT_EQ(parsed.algorithm, original.algorithm);
+  EXPECT_EQ(parsed.n, original.n);
+  EXPECT_EQ(parsed.ranks, original.ranks);
+  EXPECT_EQ(parsed.m_words, original.m_words);
+  EXPECT_EQ(parsed.strassen_bound_words, original.strassen_bound_words);
+  EXPECT_EQ(parsed.classical_bound_words, original.classical_bound_words);
+  EXPECT_EQ(parsed.measured_max_rank_words, original.measured_max_rank_words);
+  EXPECT_EQ(parsed.ratio_to_bound, original.ratio_to_bound);
+  EXPECT_EQ(parsed.bound_kind, original.bound_kind);
+  EXPECT_EQ(parsed.error, original.error);
+  // The matrix round-trips in full — counters and clocks — so a
+  // resumed report (matrix, critical path, bound tables) is
+  // bit-identical to the live one.
+  EXPECT_TRUE(parsed.matrix.deterministic_equal(original.matrix));
+  for (int src = 0; src < 4; ++src) {
+    EXPECT_EQ(parsed.matrix.rank(src).recv_wait_ns,
+              original.matrix.rank(src).recv_wait_ns);
+    EXPECT_EQ(parsed.matrix.rank(src).active_ns,
+              original.matrix.rank(src).active_ns);
+    for (int dst = 0; dst < 4; ++dst) {
+      EXPECT_EQ(parsed.matrix.edge(src, dst).send_block_ns,
+                original.matrix.edge(src, dst).send_block_ns);
+    }
+  }
+
+  EXPECT_FALSE(parse_comm_audit_line("", parsed));
+  EXPECT_FALSE(parse_comm_audit_line("garbage", parsed));
+  const std::string line = comm_audit_line(original);
+  EXPECT_FALSE(parse_comm_audit_line(line.substr(0, line.size() / 2), parsed));
+  // Experiment records are a different kind, not a comm audit.
+  EXPECT_FALSE(parse_comm_audit_line(checkpoint_line(sample_record()), parsed));
+}
+
+TEST(CommAudit, SharesCheckpointFilesWithExperimentRecords) {
+  // The two record kinds coexist in one JSONL file: each loader takes
+  // its own lines and skips the other's without counting them corrupt.
+  const std::string path = ::testing::TempDir() + "capow_ckpt_mixed.jsonl";
+  std::remove(path.c_str());
+  const CommAuditRecord audit =
+      run_comm_audit({"dist_caps", 128, 2}, CommAuditOptions{});
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << checkpoint_line(sample_record()) << '\n';
+    os << comm_audit_line(audit) << '\n';
+  }
+  std::size_t skipped = 0;
+  EXPECT_EQ(load_checkpoint(path, &skipped).size(), 1u);
+  EXPECT_EQ(skipped, 0u);
+  const auto audits = load_comm_audits(path);
+  ASSERT_EQ(audits.size(), 1u);
+  EXPECT_TRUE(audits[0].matrix.deterministic_equal(audit.matrix));
+  std::remove(path.c_str());
+}
+
+TEST(CommAudit, LoadDedupsByPointLastWins) {
+  const std::string path = ::testing::TempDir() + "capow_ckpt_comm_dedup.jsonl";
+  std::remove(path.c_str());
+  CommAuditRecord first = run_comm_audit({"summa", 64, 4}, CommAuditOptions{});
+  CommAuditRecord rerun = first;
+  rerun.error = "poisoned on the second pass";
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << comm_audit_line(first) << '\n';
+    os << comm_audit_line(rerun) << '\n';
+  }
+  const auto audits = load_comm_audits(path);
+  ASSERT_EQ(audits.size(), 1u);
+  EXPECT_EQ(audits[0].error, rerun.error);
+  EXPECT_TRUE(load_comm_audits(path + ".missing").empty());
+  std::remove(path.c_str());
+}
+
+TEST(CommAudit, RejectsUnsupportedPoints) {
+  EXPECT_THROW(run_comm_audit({"cannon", 64, 4}, CommAuditOptions{}),
+               std::invalid_argument);
+  EXPECT_THROW(run_comm_audit({"summa", 64, 3}, CommAuditOptions{}),
+               std::invalid_argument);  // 3 is not a square grid
+  EXPECT_THROW(run_comm_audit({"summa", 0, 4}, CommAuditOptions{}),
+               std::invalid_argument);
+}
+
+TEST(CommAudit, DefaultPointsBeatTheirBoundsAndScrapeDeterministically) {
+  // The acceptance bar of the audit feature itself: every default
+  // point's busiest rank measures at or above its algorithm's lower
+  // bound, and the Prometheus exposition — deterministic fields only —
+  // is identical across two independent runs (the CI determinism gate
+  // diffs exactly this).
+  std::vector<CommAuditRecord> first, second;
+  for (const auto& point : default_comm_audit_points()) {
+    first.push_back(run_comm_audit(point, CommAuditOptions{}));
+    second.push_back(run_comm_audit(point, CommAuditOptions{}));
+  }
+  for (const auto& r : first) {
+    EXPECT_TRUE(r.completed()) << r.algorithm << " n=" << r.n;
+    EXPECT_GE(r.ratio_to_bound, 1.0) << r.algorithm << " n=" << r.n;
+    EXPECT_TRUE(r.matrix.conserved()) << r.algorithm << " n=" << r.n;
+  }
+  telemetry::MetricsRegistry a, b;
+  export_comm_metrics(a, first);
+  export_comm_metrics(b, second);
+  EXPECT_EQ(a.to_text(), b.to_text());
+  EXPECT_NE(a.to_text().find("capow_comm_bound_ratio"), std::string::npos);
+}
+
+TEST(CommAudit, TraceHasOneLanePerRankAndFlowArrows) {
+#if !CAPOW_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out: no spans to trace";
+#endif
+  CommAuditOptions opts;
+  opts.collect_trace = true;
+  std::vector<telemetry::TraceEvent> events;
+  std::uint64_t start_ns = 0;
+  const CommAuditRecord rec =
+      run_comm_audit({"summa", 64, 4}, opts, &events, &start_ns);
+  ASSERT_TRUE(rec.completed());
+  ASSERT_FALSE(events.empty());
+
+  std::ostringstream os;
+  export_comm_trace(events, rec.ranks, start_ns, os);
+  const std::string json = os.str();
+  // One lane (tid) per rank, named via thread_name metadata.
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NE(json.find("rank " + std::to_string(r)), std::string::npos);
+  }
+  // Matched send/recv pairs become flow arrows: starts and finishes
+  // both present, and at least one arrow per posted message.
+  const auto count = [&](const std::string& needle) {
+    std::size_t hits = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + needle.size())) {
+      ++hits;
+    }
+    return hits;
+  };
+  EXPECT_EQ(count("\"ph\":\"s\""), count("\"ph\":\"f\""));
+  EXPECT_GE(count("\"ph\":\"s\""), rec.matrix.total_messages());
 }
 
 // Truncates `src` into `dst`, keeping `lines` complete lines plus a torn

@@ -25,6 +25,19 @@
 //     --checkpoint=FILE                append each finished run to FILE
 //     --resume=FILE                    replay finished runs from FILE,
 //                                      run only missing/failed ones
+//     --comm                           communication audit mode: run the
+//                                      SUMMA / dist-CAPS audit points
+//                                      with the CommStats collector and
+//                                      print P x P byte matrices, per-
+//                                      rank critical paths, and the
+//                                      Eq (8) measured-vs-bound table
+//                                      (skips the experiment matrix;
+//                                      honors --machine, --faults,
+//                                      --checkpoint/--resume, --metrics,
+//                                      --csv)
+//     --comm-trace=FILE                with --comm: Chrome trace with
+//                                      one lane per rank and send->recv
+//                                      flow arrows (live runs only)
 //     --help
 #include <cstdio>
 #include <cstdlib>
@@ -38,9 +51,11 @@
 #include "capow/abft/abft.hpp"
 #include "capow/core/ep_model.hpp"
 #include "capow/fault/fault.hpp"
+#include "capow/harness/comm_audit.hpp"
 #include "capow/harness/experiment.hpp"
 #include "capow/harness/table.hpp"
 #include "capow/harness/telemetry_export.hpp"
+#include "capow/telemetry/export.hpp"
 #include "capow/telemetry/tracer.hpp"
 
 namespace {
@@ -95,7 +110,8 @@ void print_usage(const char* argv0) {
       "          [--trace=FILE] [--jsonl=FILE] [--metrics=FILE]\n"
       "          [--profile=FILE] [--flamegraph=FILE]\n"
       "          [--flamegraph-weight=mj|ns] [--ep-phases=FILE]\n"
-      "          [--faults=SPEC] [--checkpoint=FILE] [--resume=FILE]\n",
+      "          [--faults=SPEC] [--checkpoint=FILE] [--resume=FILE]\n"
+      "          [--comm] [--comm-trace=FILE]\n",
       argv0);
 }
 
@@ -107,13 +123,144 @@ void emit(const harness::TextTable& t, bool csv, const char* title) {
   }
 }
 
+std::string point_label(const harness::CommAuditRecord& r) {
+  return r.algorithm + " n=" + std::to_string(r.n) +
+         " P=" + std::to_string(r.ranks);
+}
+
+/// Communication audit mode (--comm): run or replay the SUMMA and
+/// dist-CAPS audit points and print the P x P byte matrices, per-rank
+/// critical-path summaries, and the Eq (8) verdict table. Replayed
+/// records come verbatim from the checkpoint (every table-visible field
+/// is persisted exactly), so a --resume report is bit-identical to the
+/// live one.
+int run_comm_report(const machine::MachineSpec& spec, bool csv,
+                    const std::string& checkpoint_path, bool resume,
+                    const std::string& metrics_path,
+                    const std::string& comm_trace_path,
+                    const fault::FaultInjector* injector) {
+  harness::CommAuditOptions opts;
+  opts.machine = spec;
+  opts.collect_trace = !comm_trace_path.empty();
+
+  std::vector<harness::CommAuditRecord> replayed;
+  if (resume) replayed = harness::load_comm_audits(checkpoint_path);
+
+  std::ofstream ckpt;
+  if (!checkpoint_path.empty()) {
+    ckpt.open(checkpoint_path,
+              resume ? std::ios::app : std::ios::trunc | std::ios::out);
+    if (!ckpt) {
+      std::fprintf(stderr, "cannot open checkpoint file '%s'\n",
+                   checkpoint_path.c_str());
+      return 1;
+    }
+  }
+
+  telemetry::ChromeTraceWriter trace_writer;
+  std::vector<harness::CommAuditRecord> records;
+  std::size_t replayed_count = 0;
+  int trace_pid = 0;
+  for (const harness::CommAuditPoint& point :
+       harness::default_comm_audit_points()) {
+    const auto hit = std::find_if(
+        replayed.begin(), replayed.end(),
+        [&](const harness::CommAuditRecord& r) {
+          return r.algorithm == point.algorithm && r.n == point.n &&
+                 r.ranks == point.ranks;
+        });
+    if (hit != replayed.end()) {
+      records.push_back(*hit);
+      ++replayed_count;
+      continue;
+    }
+    std::vector<telemetry::TraceEvent> events;
+    std::uint64_t trace_start = 0;
+    harness::CommAuditRecord rec;
+    try {
+      rec = harness::run_comm_audit(point, opts, &events, &trace_start);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "comm audit %s n=%zu P=%d failed: %s\n",
+                   point.algorithm.c_str(), point.n, point.ranks, e.what());
+      return 1;
+    }
+    if (opts.collect_trace) {
+      harness::append_comm_trace(trace_writer, point_label(rec), trace_pid++,
+                                 events, point.ranks, trace_start);
+    }
+    if (ckpt.is_open()) {
+      ckpt << harness::comm_audit_line(rec) << "\n";
+      ckpt.flush();
+    }
+    records.push_back(std::move(rec));
+  }
+
+  if (!comm_trace_path.empty()) {
+    if (replayed_count > 0) {
+      std::fprintf(stderr,
+                   "note: %zu audit point(s) replayed from checkpoint — "
+                   "traces cover only the points run live\n",
+                   replayed_count);
+    }
+    write_file(comm_trace_path, "comm-trace", [&](std::ostream& os) {
+      trace_writer.write(os);
+    });
+  }
+  if (!metrics_path.empty()) {
+    write_file(metrics_path, "metrics", [&](std::ostream& os) {
+      telemetry::MetricsRegistry registry;
+      harness::export_comm_metrics(registry, records);
+      registry.write(os);
+    });
+  }
+
+  if (!csv) {
+    std::printf("capow comm audit — %s (M = %s words/core)\n",
+                spec.name.c_str(),
+                records.empty() ? "?"
+                                : harness::fmt(records.front().m_words, 0)
+                                      .c_str());
+    if (replayed_count > 0) {
+      std::printf("%zu audit point(s) replayed from checkpoint %s\n",
+                  replayed_count, checkpoint_path.c_str());
+    }
+  }
+  for (const harness::CommAuditRecord& r : records) {
+    const std::string label = point_label(r);
+    emit(harness::comm_matrix_table(r), csv,
+         ("comm matrix — " + label + " (payload bytes)").c_str());
+    emit(harness::comm_critical_path_table(r), csv,
+         ("critical path — " + label).c_str());
+    if (!r.completed()) {
+      std::fprintf(stderr, "warning: %s run was poisoned: %s\n",
+                   label.c_str(), r.error.c_str());
+    }
+  }
+  emit(harness::comm_bound_table(records), csv,
+       "Eq (8) communication audit (measured vs lower bound)");
+
+  if (injector != nullptr) {
+    const fault::FaultCounters counters = injector->counters();
+    harness::TextTable t({"fault event", "count"});
+    for (std::size_t i = 0; i < fault::kEventCount; ++i) {
+      t.add_row({fault::event_name(static_cast<fault::Event>(i)),
+                 std::to_string(counters.by_event[i])});
+    }
+    emit(t, csv,
+         ("fault events (spec: " + injector->plan().spec() + ")").c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   harness::ExperimentConfig cfg;
   bool csv = false;
+  bool comm_mode = false;
   std::string trace_path, jsonl_path, metrics_path;
   std::string profile_path, flamegraph_path, ep_phases_path;
+  std::string comm_trace_path;
   profile::FoldedWeight flamegraph_weight =
       profile::FoldedWeight::kMillijoules;
   std::optional<fault::FaultPlan> fault_plan;
@@ -170,6 +317,10 @@ int main(int argc, char** argv) {
       } else if (const char* v10 = value_of("--resume=")) {
         cfg.checkpoint_path = v10;
         cfg.resume = true;
+      } else if (const char* v15 = value_of("--comm-trace=")) {
+        comm_trace_path = v15;
+      } else if (arg == "--comm") {
+        comm_mode = true;
       } else if (arg == "--csv") {
         csv = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -195,6 +346,15 @@ int main(int argc, char** argv) {
     if (cfg.run_timeout_seconds <= 0.0) cfg.run_timeout_seconds = 30.0;
     injector = std::make_unique<fault::FaultInjector>(*fault_plan);
     fault_scope = std::make_unique<fault::FaultScope>(*injector);
+  }
+
+  if (comm_mode) {
+    return run_comm_report(cfg.machine, csv, cfg.checkpoint_path, cfg.resume,
+                           metrics_path, comm_trace_path, injector.get());
+  }
+  if (!comm_trace_path.empty()) {
+    std::fprintf(stderr, "--comm-trace requires --comm\n");
+    return 1;
   }
 
   harness::ExperimentRunner runner(cfg);
