@@ -1,5 +1,6 @@
 #include "capow/dist/comm.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <stdexcept>
@@ -58,11 +59,21 @@ World::World(int ranks, const WorldOptions& options)
   if (options_.max_send_attempts < 1) {
     throw std::invalid_argument("World: max_send_attempts must be >= 1");
   }
+  if (options_.retry_backoff_us <= 0.0) {
+    throw std::invalid_argument("World: retry_backoff_us must be > 0");
+  }
   const std::size_t n = static_cast<std::size_t>(ranks);
   exited_ = std::make_unique<std::atomic<bool>[]>(n);
+  failed_ = std::make_unique<std::atomic<bool>[]>(n);
   channel_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(n * n);
+  op_epoch_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
   for (std::size_t i = 0; i < n; ++i) exited_[i].store(false);
+  for (std::size_t i = 0; i < n; ++i) failed_[i].store(false);
+  for (std::size_t i = 0; i < n; ++i) op_epoch_[i].store(0);
   for (std::size_t i = 0; i < n * n; ++i) channel_seq_[i].store(0);
+  errors_.resize(n);
+  active_.resize(n);
+  for (int r = 0; r < ranks; ++r) active_[static_cast<std::size_t>(r)] = r;
   if (options_.comm_stats) {
     blocks_.reserve(n);
     for (int r = 0; r < ranks; ++r) blocks_.emplace_back(ranks);
@@ -71,55 +82,168 @@ World::World(int ranks, const WorldOptions& options)
 
 void World::run(const std::function<void(Communicator&)>& body) {
   // A World may be reused for several collective jobs; each run starts
-  // from a clean failure state.
+  // from a clean failure state with every rank active.
+  reset_elastic_state();
+  run_generation(body);
+  // Publish stats unconditionally, *before* rethrowing: the counters
+  // collected up to a failure are exactly what a poisoned-world
+  // post-mortem needs.
+  if (!blocks_.empty()) last_stats_ = final_generation_stats_;
+  if (std::exception_ptr cause = root_cause()) {
+    std::rethrow_exception(cause);
+  }
+}
+
+void World::run_generation(const std::function<void(Communicator&)>& body) {
   poisoned_.store(false, std::memory_order_release);
   exited_count_.store(0, std::memory_order_release);
+  failed_baseline_.store(failed_count_.load(std::memory_order_acquire),
+                         std::memory_order_release);
   for (int r = 0; r < ranks_; ++r) {
     exited_[static_cast<std::size_t>(r)].store(false,
                                                std::memory_order_release);
+    errors_[static_cast<std::size_t>(r)] = nullptr;
+  }
+  {
+    std::lock_guard lock(barrier_mutex_);
+    barrier_arrived_ = 0;
   }
   for (RankCommBlock& b : blocks_) b.reset(ranks_);
 
+  const int active_count = static_cast<int>(active_.size());
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(ranks_));
-  std::mutex emutex;
-  // Root-cause exceptions (rank logic errors, injected failures) are
-  // rethrown in preference to the secondary CommErrors they cause in
-  // peers that were merely blocked on the failed rank.
-  std::exception_ptr first_other;
-  std::exception_ptr first_comm;
-  for (int r = 0; r < ranks_; ++r) {
-    threads.emplace_back(
-        [this, r, &body, &emutex, &first_other, &first_comm] {
-          ThreadRankScope rank_tag(r);
-          // Each rank is a parallel unit: claim a distinct recorder
-          // slot so concurrent ranks never share slot 0's counters.
-          trace::ScopedRecorderSlot recorder_slot(r);
-          Communicator comm(*this, r);
-          RankCommBlock* block = comm_block(r);
-          const auto started = std::chrono::steady_clock::now();
-          bool failed = false;
-          try {
-            body(comm);
-          } catch (const CommError&) {
-            failed = true;
-            std::lock_guard lock(emutex);
-            if (!first_comm) first_comm = std::current_exception();
-          } catch (...) {
-            failed = true;
-            std::lock_guard lock(emutex);
-            if (!first_other) first_other = std::current_exception();
-          }
-          if (block != nullptr) block->self.active_ns = elapsed_ns(started);
-          mark_exited(r, failed);
-        });
+  threads.reserve(static_cast<std::size_t>(active_count));
+  for (int v = 0; v < active_count; ++v) {
+    const int phys = active_[static_cast<std::size_t>(v)];
+    threads.emplace_back([this, v, phys, active_count, &body] {
+      ThreadRankScope rank_tag(phys);
+      // Each rank is a parallel unit: claim a distinct recorder slot so
+      // concurrent ranks never share slot 0's counters. Slots follow the
+      // physical rank, like every other per-rank resource.
+      trace::ScopedRecorderSlot recorder_slot(phys);
+      Communicator comm(*this, v, phys, active_count);
+      RankCommBlock* block = comm_block(phys);
+      const auto started = std::chrono::steady_clock::now();
+      bool failed = false;
+      try {
+        body(comm);
+      } catch (...) {
+        // Each rank files into its own slot; the join below is the
+        // happens-before edge, and root_cause() picks the winner by
+        // physical rank order — deterministic under concurrent
+        // multi-rank failure, unlike a first-to-lock capture.
+        failed = true;
+        errors_[static_cast<std::size_t>(phys)] = std::current_exception();
+      }
+      if (block != nullptr) block->self.active_ns = elapsed_ns(started);
+      mark_exited(phys, failed);
+    });
   }
   for (auto& t : threads) t.join();
-  // Merge unconditionally, *before* rethrowing: the counters collected
-  // up to a failure are exactly what a poisoned-world post-mortem needs.
-  if (!blocks_.empty()) last_stats_ = merge_comm_blocks(blocks_);
-  if (first_other) std::rethrow_exception(first_other);
-  if (first_comm) std::rethrow_exception(first_comm);
+  if (!blocks_.empty()) final_generation_stats_ = merge_comm_blocks(blocks_);
+}
+
+namespace {
+bool is_comm_error(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const CommError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+}  // namespace
+
+std::exception_ptr World::root_cause() const {
+  // Root-cause exceptions (rank logic errors, injected kills) are
+  // surfaced in preference to the secondary CommErrors they caused in
+  // peers that were merely blocked on the failed rank. Ties break to
+  // the lowest physical rank.
+  std::exception_ptr first_comm;
+  for (int r = 0; r < ranks_; ++r) {
+    const std::exception_ptr& e = errors_[static_cast<std::size_t>(r)];
+    if (!e) continue;
+    if (!is_comm_error(e)) return e;
+    if (!first_comm) first_comm = e;
+  }
+  return first_comm;
+}
+
+void World::reset_elastic_state() {
+  generation_.store(0, std::memory_order_release);
+  failed_count_.store(0, std::memory_order_release);
+  failed_baseline_.store(0, std::memory_order_release);
+  active_.resize(static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) {
+    active_[static_cast<std::size_t>(r)] = r;
+    failed_[static_cast<std::size_t>(r)].store(false,
+                                               std::memory_order_release);
+  }
+}
+
+void World::reset_wire_sequencing() noexcept {
+  const std::size_t n = static_cast<std::size_t>(ranks_);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    channel_seq_[i].store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    op_epoch_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<int> World::failed_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < ranks_; ++r) {
+    if (failed_[static_cast<std::size_t>(r)].load(std::memory_order_acquire)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void World::heartbeat(int phys_rank) {
+  // 1-based operation epoch: the Nth send/recv/barrier this rank enters.
+  const std::uint64_t epoch =
+      op_epoch_[static_cast<std::size_t>(phys_rank)].fetch_add(
+          1, std::memory_order_relaxed) +
+      1;
+  fault::FaultInjector* inj = fault::FaultInjector::active();
+  if (inj == nullptr) return;
+  const auto& kills = inj->plan().rank_kills;
+  if (kills.empty()) return;
+  // Kills fire in generation 0 only: fail-stop means a rank dies once,
+  // and its respawned replacement must not inherit the death sentence.
+  if (generation_.load(std::memory_order_acquire) != 0) return;
+  for (const fault::RankKillSpec& k : kills) {
+    if (k.world != ranks_ || k.victim != phys_rank || k.epoch != epoch) {
+      continue;
+    }
+    inj->record(fault::Event::kRankKill);
+    CAPOW_TINSTANT("fault.rank.kill", "fault");
+    failed_[static_cast<std::size_t>(phys_rank)].store(
+        true, std::memory_order_release);
+    failed_count_.fetch_add(1, std::memory_order_acq_rel);
+    throw RankKilled("rank " + std::to_string(phys_rank) +
+                     " killed fail-stop at comm epoch " +
+                     std::to_string(epoch) + " (rank.kill)");
+  }
+}
+
+void World::flush_stale_messages(CommMatrix& into) {
+  for (int dest = 0; dest < ranks_; ++dest) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    std::lock_guard lock(box.mutex);
+    for (const Message& m : box.messages) {
+      if (!into.empty() && m.source >= 0 && m.source < ranks_) {
+        EdgeStats& e = into.edge(m.source, dest);
+        ++e.discarded_messages;
+        e.discarded_bytes +=
+            static_cast<std::uint64_t>(m.payload.size()) * sizeof(double);
+      }
+    }
+    box.messages.clear();
+  }
 }
 
 void World::mark_exited(int rank, bool failed) noexcept {
@@ -158,24 +282,34 @@ void World::post(int dest, Message msg) {
 Message World::take(int rank, int source, int tag) {
   Mailbox& box = mailboxes_.at(static_cast<std::size_t>(rank));
   const auto deadline = deadline_after(options_.recv_timeout_seconds);
+  // Generation-stamped matching: traffic posted under an older
+  // membership generation is invisible here (the recovery driver
+  // flushes it with discard accounting between generations; the stamp
+  // guards the unwind window where stale and fresh traffic coexist).
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  const auto matches = [&](const Message& m) {
+    return m.source == source && m.tag == tag && m.generation == gen;
+  };
   std::unique_lock lock(box.mutex);
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
-      if (it->source == source && it->tag == tag) {
+      if (matches(*it)) {
         Message msg = std::move(*it);
         box.messages.erase(it);
         return msg;
       }
     }
     // No matching message buffered. Blocking is only correct while the
-    // source can still send: a poisoned world or an exited source means
-    // the message will never arrive.
-    if (poisoned()) {
-      throw CommError("recv: world poisoned while rank " +
-                      std::to_string(rank) + " awaited (source=" +
-                      std::to_string(source) + ", tag=" +
-                      std::to_string(tag) + ")");
-    }
+    // source can still send: an exited source means the message will
+    // never arrive. A poisoned world alone is *not* grounds to give up:
+    // an alive source either posts the message (the scan above finds it
+    // even post-poison) or exits (caught below, mark_exited wakes us).
+    // Waiting out the difference is what makes every recv outcome a
+    // pure dataflow function — whether the sender reached its send —
+    // rather than a race between the mailbox and the poison flag, and
+    // dataflow determinism is what lets chaos CI diff the comm counters
+    // of a dying generation across identical runs. The recv timeout
+    // still bounds the wait if neither happens (application deadlock).
     if (rank_exited(source)) {
       throw CommError("recv: rank " + std::to_string(source) +
                       " exited without sending (receiver=" +
@@ -186,7 +320,7 @@ Message World::take(int rank, int source, int tag) {
       // One final scan: the message may have been posted between the
       // last scan and the timeout.
       for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
-        if (it->source == source && it->tag == tag) {
+        if (matches(*it)) {
           Message msg = std::move(*it);
           box.messages.erase(it);
           return msg;
@@ -203,9 +337,12 @@ Message World::take(int rank, int source, int tag) {
 
 void World::barrier_wait() {
   const auto deadline = deadline_after(options_.recv_timeout_seconds);
+  // The barrier spans the *active* set: dead ranks have no thread to
+  // arrive, so a shrunk generation's barrier must not wait for them.
+  const int expected = static_cast<int>(active_.size());
   std::unique_lock lock(barrier_mutex_);
   const std::uint64_t gen = barrier_generation_;
-  if (++barrier_arrived_ == ranks_) {
+  if (++barrier_arrived_ == expected) {
     barrier_arrived_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
@@ -230,31 +367,62 @@ void World::barrier_wait() {
   }
 }
 
+int Communicator::world_size() const noexcept { return world_->size(); }
+
+int Communicator::phys_of(int v) const {
+  return world_->active_[static_cast<std::size_t>(v)];
+}
+
+int Communicator::virt_of(int p) const {
+  const int n = static_cast<int>(world_->active_.size());
+  for (int v = 0; v < n; ++v) {
+    if (world_->active_[static_cast<std::size_t>(v)] == p) return v;
+  }
+  return -1;
+}
+
+Communicator Communicator::sub(int count) const {
+  if (count <= 0 || count > size_) {
+    throw std::invalid_argument("Communicator::sub: bad rank count");
+  }
+  if (rank_ >= count) {
+    throw std::invalid_argument(
+        "Communicator::sub: rank outside the sub-communicator prefix");
+  }
+  return Communicator(*world_, rank_, phys_, count);
+}
+
 void Communicator::send(int dest, int tag, std::span<const double> data) {
   if (dest < 0 || dest >= size()) {
     throw std::out_of_range("send: bad destination rank");
   }
+  world_->heartbeat(phys_);
+  const int phys_dest = phys_of(dest);
   const std::uint64_t bytes = data.size() * sizeof(double);
   // Sequence numbers are drawn unconditionally so matched send/recv
   // spans can share one flow id whether or not faults are armed (the
   // per-channel draw order — which fault draws are keyed on — is the
-  // same either way).
-  const std::uint64_t seq = world_->next_channel_seq(rank_, dest);
-  CAPOW_TSPAN_ARGS3("comm.send", "dist", "dest", dest, "bytes", bytes,
+  // same either way). Channels are *physical* coordinates with the full
+  // world size as stride: stable identities that keep plain-run draws
+  // byte-identical and survive membership changes.
+  const std::uint64_t seq = world_->next_channel_seq(phys_, phys_dest);
+  CAPOW_TSPAN_ARGS3("comm.send", "dist", "dest", phys_dest, "bytes", bytes,
                     "seq", seq);
   trace::count_message(bytes);
-  RankCommBlock* block = world_->comm_block(rank_);
-  EdgeStats* edge =
-      block != nullptr ? &block->out[static_cast<std::size_t>(dest)] : nullptr;
+  RankCommBlock* block = world_->comm_block(phys_);
+  EdgeStats* edge = block != nullptr
+                        ? &block->out[static_cast<std::size_t>(phys_dest)]
+                        : nullptr;
   Message msg;
-  msg.source = rank_;
+  msg.source = phys_;
   msg.tag = tag;
   msg.seq = seq;
+  msg.generation = world_->generation();
   msg.payload.assign(data.begin(), data.end());
 
   fault::FaultInjector* inj = fault::FaultInjector::active();
   if (inj == nullptr || !inj->plan().any_comm()) {
-    world_->post(dest, std::move(msg));
+    world_->post(phys_dest, std::move(msg));
     if (edge != nullptr) {
       ++edge->messages;
       edge->payload_bytes += bytes;
@@ -269,8 +437,9 @@ void Communicator::send(int dest, int tag, std::span<const double> data) {
   // Draws are keyed on the (channel, message sequence, attempt) logical
   // coordinates so the fault schedule is independent of timing.
   const std::uint64_t channel =
-      static_cast<std::uint64_t>(rank_) * static_cast<std::uint64_t>(size()) +
-      static_cast<std::uint64_t>(dest);
+      static_cast<std::uint64_t>(phys_) *
+          static_cast<std::uint64_t>(world_->size()) +
+      static_cast<std::uint64_t>(phys_dest);
 
   if (inj->fire(fault::Site::kCommDelay, fault::key(channel, seq))) {
     inj->record(fault::Event::kCommDelay);
@@ -282,9 +451,9 @@ void Communicator::send(int dest, int tag, std::span<const double> data) {
 
   const int max_attempts = world_->options().max_send_attempts;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    if (world_->poisoned()) {
-      throw CommError("send: world poisoned (dest=" + std::to_string(dest) +
-                      ")");
+    if (world_->poisoned() || world_->has_failed_ranks()) {
+      throw CommError("send: world poisoned or a rank failed (dest=" +
+                      std::to_string(phys_dest) + ")");
     }
     bool lost = false;
     if (inj->fire(fault::Site::kCommDrop,
@@ -303,7 +472,7 @@ void Communicator::send(int dest, int tag, std::span<const double> data) {
       lost = true;
     }
     if (!lost) {
-      world_->post(dest, std::move(msg));
+      world_->post(phys_dest, std::move(msg));
       if (edge != nullptr) {
         ++edge->messages;
         edge->payload_bytes += bytes;
@@ -316,15 +485,29 @@ void Communicator::send(int dest, int tag, std::span<const double> data) {
       if (edge != nullptr) ++edge->retransmits;
       const double factor =
           static_cast<double>(1u << (attempt < 10 ? attempt : 10));
+      // Interruptible backoff: sleep in short slices, polling the
+      // poison flag and the newly-failed set, so a sender caught in the
+      // high end of the exponential ladder aborts within ~100us of a
+      // rank death instead of sleeping out the full schedule (which at
+      // attempt 10+ can exceed the whole recovery budget).
+      const double total_ms = world_->options().retry_backoff_us * factor *
+                              1e-3;
+      constexpr double kSliceMs = 0.1;
       const auto t0 = std::chrono::steady_clock::now();
-      sleep_ms(world_->options().retry_backoff_us * factor * 1e-3);
+      double slept_ms = 0.0;
+      while (slept_ms < total_ms) {
+        if (world_->poisoned() || world_->has_failed_ranks()) break;
+        const double slice = std::min(kSliceMs, total_ms - slept_ms);
+        sleep_ms(slice);
+        slept_ms += slice;
+      }
       if (edge != nullptr) edge->send_block_ns += elapsed_ns(t0);
     }
   }
   inj->record(fault::Event::kCommSendFailure);
   CAPOW_TINSTANT("fault.comm.send_failure", "fault");
   if (block != nullptr) ++block->self.send_failures;
-  throw CommError("send: message to rank " + std::to_string(dest) +
+  throw CommError("send: message to rank " + std::to_string(phys_dest) +
                   " (tag=" + std::to_string(tag) + ") lost after " +
                   std::to_string(max_attempts) + " attempts");
 }
@@ -333,24 +516,29 @@ Message Communicator::recv(int source, int tag) {
   if (source < 0 || source >= size()) {
     throw std::out_of_range("recv: bad source rank");
   }
+  world_->heartbeat(phys_);
+  const int phys_src = phys_of(source);
 #if CAPOW_TELEMETRY_ENABLED
   telemetry::SpanScope span("comm.recv", "dist", "source",
-                            static_cast<std::int64_t>(source), "tag",
+                            static_cast<std::int64_t>(phys_src), "tag",
                             static_cast<std::int64_t>(tag));
 #endif
-  RankCommBlock* block = world_->comm_block(rank_);
+  RankCommBlock* block = world_->comm_block(phys_);
   const auto t0 = std::chrono::steady_clock::now();
   try {
-    Message msg = world_->take(rank_, source, tag);
+    Message msg = world_->take(phys_, phys_src, tag);
     if (block != nullptr) {
       block->self.recv_wait_ns += elapsed_ns(t0);
-      EdgeStats& edge = block->in[static_cast<std::size_t>(source)];
+      EdgeStats& edge = block->in[static_cast<std::size_t>(phys_src)];
       ++edge.recv_messages;
       edge.recv_bytes += msg.payload.size() * sizeof(double);
     }
 #if CAPOW_TELEMETRY_ENABLED
     span.set_arg(2, "seq", static_cast<std::int64_t>(msg.seq));
 #endif
+    // Callers speak virtual ranks; translate the envelope back from the
+    // physical rank the wire stamped.
+    msg.source = source;
     return msg;
   } catch (...) {
     // Failed waits (poison, peer exit, timeout) are still blocked time.
@@ -361,8 +549,9 @@ Message Communicator::recv(int source, int tag) {
 
 void Communicator::barrier() {
   CAPOW_TSPAN("comm.barrier", "dist");
+  world_->heartbeat(phys_);
   trace::count_sync();
-  RankCommBlock* block = world_->comm_block(rank_);
+  RankCommBlock* block = world_->comm_block(phys_);
   if (block == nullptr) {
     world_->barrier_wait();
     return;

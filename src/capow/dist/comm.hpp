@@ -48,6 +48,17 @@ class CommError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A rank terminated fail-stop by an armed `rank.kill` fault spec.
+/// Deliberately NOT a CommError: the kill is the root cause of the
+/// secondary CommErrors it triggers in blocked peers, so the
+/// root-cause-over-CommError rethrow precedence surfaces it — and the
+/// elastic recovery driver recognizes it as the one failure class it
+/// may recover from.
+class RankKilled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// A received message: payload plus envelope.
 struct Message {
   int source = -1;
@@ -56,6 +67,11 @@ struct Message {
   /// Matched send/recv trace spans share it, which is what lets the
   /// Chrome exporter draw flow arrows between rank lanes.
   std::uint64_t seq = 0;
+  /// Membership generation the message was sent under. Receivers match
+  /// only current-generation traffic; stale messages from a dead rank's
+  /// generation are flushed (and accounted as discarded) by the
+  /// recovery driver before the next generation starts.
+  std::uint64_t generation = 0;
   std::vector<double> payload;
 };
 
@@ -77,12 +93,28 @@ struct WorldOptions {
 };
 
 class Communicator;
+struct RecoveryOptions;
+struct RecoveryContext;
+struct RecoveryReport;
 
 /// A set of ranks sharing mailboxes. Create one World per collective
 /// job; `run` spawns one thread per rank.
+///
+/// Elastic membership: run_elastic (recovery.cpp) re-runs the body over
+/// *generations*. Each generation spawns threads for the current active
+/// set only; a rank killed by an armed `rank.kill` spec joins the failed
+/// set, stale traffic from its generation is flushed with discard
+/// accounting, and — depending on the RecoveryPolicy — the survivors
+/// re-form a smaller communicator (shrink) or a replacement thread takes
+/// the dead rank's slot (respawn). Communicators therefore carry a
+/// *virtual* rank (index into the active set) distinct from the
+/// *physical* rank (mailbox/stats identity), so the P x P comm matrix
+/// keeps its shape across membership changes. In generation 0 the two
+/// coincide and the wire behavior is byte-identical to a plain run().
 class World {
  public:
-  /// Creates a world of `ranks` mailboxes. Throws for ranks == 0.
+  /// Creates a world of `ranks` mailboxes. Throws std::invalid_argument
+  /// for ranks == 0 or any non-positive WorldOptions policy knob.
   explicit World(int ranks) : World(ranks, WorldOptions{}) {}
   World(int ranks, const WorldOptions& options);
 
@@ -93,8 +125,21 @@ class World {
   /// and joins. Exceptions from any rank poison the world (waking every
   /// blocked peer with CommError) and are rethrown after all ranks
   /// unblock; a root-cause exception wins over the secondary CommErrors
-  /// it triggered.
+  /// it triggered. With several concurrent root causes the lowest
+  /// physical rank's wins — per-rank exception slots make the pick
+  /// deterministic, not first-to-lock.
   void run(const std::function<void(Communicator&)>& body);
+
+  /// Elastic run (defined in recovery.cpp): like run(), but on a rank
+  /// death the world recovers per `opts.policy` instead of aborting —
+  /// flush stale traffic, agree on the failed set, re-form the active
+  /// set, and re-run `body` in a new generation. The body receives a
+  /// RecoveryContext naming the generation and the agreed failed set.
+  /// Non-recoverable root causes (anything but RankKilled) and the
+  /// abort policy preserve run()'s rethrow semantics exactly.
+  RecoveryReport run_elastic(
+      const RecoveryOptions& opts,
+      const std::function<void(Communicator&, const RecoveryContext&)>& body);
 
   /// True once any rank has thrown; blocked operations observe this and
   /// throw CommError instead of waiting forever.
@@ -102,12 +147,43 @@ class World {
     return poisoned_.load(std::memory_order_acquire);
   }
 
+  /// True once a rank has been killed in the *current* generation (the
+  /// newly-failed set). send()'s retry backoff polls this together with
+  /// poisoned() so a sender in a dying world aborts its ladder
+  /// immediately instead of sleeping out the full exponential schedule;
+  /// ranks that failed in *earlier* generations don't trip it, or every
+  /// recovered-generation send would abort on sight.
+  bool has_failed_ranks() const noexcept {
+    return failed_count_.load(std::memory_order_acquire) >
+           failed_baseline_.load(std::memory_order_acquire);
+  }
+
+  /// Sorted physical ranks that have failed so far (cumulative across
+  /// the generations of the current elastic session).
+  std::vector<int> failed_ranks() const;
+
+  /// Current membership generation (0 = initial / plain runs).
+  std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   /// Comm matrix of the most recent run (empty when collection is off or
   /// no run has completed). Populated on *every* teardown path — the
   /// per-rank blocks are merged after the joins and before run()
   /// rethrows, so a poisoned world still reports the traffic that led up
-  /// to the failure.
+  /// to the failure. After run_elastic this is the cumulative matrix
+  /// over every generation, including the dead rank's partial row and
+  /// the flushed-traffic discard counters, so conserved() still closes.
   const CommMatrix& comm_stats() const noexcept { return last_stats_; }
+
+  /// Comm matrix of the final generation alone (the fault-free recovery
+  /// re-run). Unlike the cumulative matrix — whose generation-0 split
+  /// depends on how far each survivor raced before observing the death —
+  /// this one is a pure function of the seed and the surviving set, so
+  /// chaos CI can diff it across identical runs.
+  const CommMatrix& final_generation_stats() const noexcept {
+    return final_generation_stats_;
+  }
 
  private:
   friend class Communicator;
@@ -134,7 +210,15 @@ class World {
         std::memory_order_acquire);
   }
 
-  // Barrier support: generation-counted central barrier.
+  /// Failure detector, called by the owning thread at the top of every
+  /// comm operation: advances the rank's operation epoch and fires any
+  /// armed rank.kill spec matching (world size, rank, epoch). Kills fire
+  /// in generation 0 only — fail-stop means a rank dies once; its
+  /// replacement must not inherit the death sentence.
+  void heartbeat(int phys_rank);
+
+  // Barrier support: generation-counted central barrier sized to the
+  // active set.
   void barrier_wait();
 
   /// Rank r's private counter block, or nullptr when collection is off.
@@ -145,15 +229,50 @@ class World {
                            : &blocks_[static_cast<std::size_t>(rank)];
   }
 
+  /// Spawns one thread per *active* rank, runs `body`, joins, merges
+  /// stats into last_stats_, and files each rank's exception (if any)
+  /// into its per-rank slot. Does not rethrow — callers pick the root
+  /// cause deterministically via root_cause().
+  void run_generation(const std::function<void(Communicator&)>& body);
+
+  /// Lowest-physical-rank root cause of the last generation: a
+  /// non-CommError beats any CommError; nullptr when every rank
+  /// completed. Deterministic under concurrent multi-rank failure.
+  std::exception_ptr root_cause() const;
+
+  /// Resets the elastic session to generation 0 with every rank active.
+  void reset_elastic_state();
+
+  /// Zeroes the per-channel sequence counters and per-rank op epochs so
+  /// a recovery generation's fault draws are keyed exactly like a fresh
+  /// run of the surviving set — the property that makes the final
+  /// generation's comm matrix seed-deterministic even with comm.* fault
+  /// sites armed. Never called on the plain run() path: reused Worlds
+  /// keep their monotone sequence counters across runs, as before.
+  void reset_wire_sequencing() noexcept;
+
+  /// Drains every mailbox, accounting each stale message as discarded
+  /// traffic on its (source, dest) edge in `into`. Driver-thread only
+  /// (no rank threads may be running).
+  void flush_stale_messages(CommMatrix& into);
+
   int ranks_;
   WorldOptions options_;
   std::vector<Mailbox> mailboxes_;
   std::vector<RankCommBlock> blocks_;
   CommMatrix last_stats_;
+  CommMatrix final_generation_stats_;
+  std::vector<int> active_;  ///< physical ranks of the current generation
+  std::vector<std::exception_ptr> errors_;  ///< per-physical-rank slots
   std::unique_ptr<std::atomic<bool>[]> exited_;
+  std::unique_ptr<std::atomic<bool>[]> failed_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> channel_seq_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> op_epoch_;
   std::atomic<bool> poisoned_{false};
   std::atomic<int> exited_count_{0};
+  std::atomic<int> failed_count_{0};
+  std::atomic<int> failed_baseline_{0};  ///< failed_count_ at gen start
+  std::atomic<std::uint64_t> generation_{0};
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;
@@ -161,10 +280,35 @@ class World {
 };
 
 /// Per-rank handle; valid only inside World::run's body.
+///
+/// Ranks are *virtual*: rank() is this rank's index into the world's
+/// active set, which is what algorithms address (send/recv/collectives
+/// all take virtual ranks). phys() is the underlying mailbox/stats
+/// identity; the two differ only after an elastic shrink. In plain runs
+/// and generation 0 they coincide.
 class Communicator {
  public:
   int rank() const noexcept { return rank_; }
-  int size() const noexcept { return world_->size(); }
+  int size() const noexcept { return size_; }
+
+  /// Physical rank: the mailbox/comm-matrix row this rank owns. Stable
+  /// across generations; what failed_ranks() and rank.kill specs name.
+  int phys() const noexcept { return phys_; }
+
+  /// The owning World's full physical rank count (>= size()). Equal to
+  /// size() exactly when the virtual->physical mapping is the identity
+  /// (plain runs, generation 0, respawn generations) — the predicate
+  /// resilient algorithms use to decide whether physically-keyed caches
+  /// still line up with virtual grid positions.
+  int world_size() const noexcept;
+
+  /// A handle restricted to the first `count` virtual ranks — same
+  /// mailboxes, same stats, smaller size(). Lets an algorithm that
+  /// needs an exact rank count (e.g. a g x g SUMMA grid) run inside a
+  /// larger world: ranks >= count simply never touch the sub handle.
+  /// Throws std::invalid_argument unless 0 < count <= size() and this
+  /// rank is inside the prefix.
+  Communicator sub(int count) const;
 
   /// Blocking tagged send (buffered: returns once the payload is copied
   /// into the destination mailbox). Counts message bytes via trace.
@@ -199,10 +343,18 @@ class Communicator {
 
  private:
   friend class World;
-  Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+  Communicator(World& world, int rank, int phys, int size)
+      : world_(&world), rank_(rank), phys_(phys), size_(size) {}
+
+  /// Physical rank behind virtual rank `v` in the current generation.
+  int phys_of(int v) const;
+  /// Virtual rank of physical rank `p` in the current generation.
+  int virt_of(int p) const;
 
   World* world_;
-  int rank_;
+  int rank_;  ///< virtual rank (index into the active set)
+  int phys_;  ///< physical rank (mailbox/stats identity)
+  int size_;  ///< virtual ranks visible through this handle
 };
 
 }  // namespace capow::dist

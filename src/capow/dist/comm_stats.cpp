@@ -12,6 +12,8 @@ EdgeStats& EdgeStats::operator+=(const EdgeStats& o) noexcept {
   recv_messages += o.recv_messages;
   recv_bytes += o.recv_bytes;
   send_block_ns += o.send_block_ns;
+  discarded_messages += o.discarded_messages;
+  discarded_bytes += o.discarded_bytes;
   return *this;
 }
 
@@ -106,7 +108,8 @@ std::uint64_t CommMatrix::max_rank_bytes() const noexcept {
 
 bool CommMatrix::conserved() const noexcept {
   for (const EdgeStats& e : edges_) {
-    if (e.messages != e.recv_messages || e.payload_bytes != e.recv_bytes) {
+    if (e.messages != e.recv_messages + e.discarded_messages ||
+        e.payload_bytes != e.recv_bytes + e.discarded_bytes) {
       return false;
     }
   }

@@ -38,10 +38,21 @@ struct EdgeStats {
   std::uint64_t recv_messages = 0;  ///< messages dst matched from src
   std::uint64_t recv_bytes = 0;     ///< payload bytes dst received
   std::uint64_t send_block_ns = 0;  ///< sender backoff + injected delay
+  /// Stale deliveries flushed by elastic recovery: messages a dead (or
+  /// unwinding) rank's generation posted that no survivor consumed.
+  /// Recorded by the recovery driver between generations, so the
+  /// conservation invariant still closes with a dead rank's partial row
+  /// retained: delivered == received + discarded.
+  std::uint64_t discarded_messages = 0;
+  std::uint64_t discarded_bytes = 0;
 
   EdgeStats& operator+=(const EdgeStats& o) noexcept;
 
-  /// Equality over the seed-deterministic counters (times excluded).
+  /// Equality over the seed-deterministic counters. Times are excluded,
+  /// and so are the discard counters: how far each survivor progressed
+  /// before observing a rank death is scheduling-dependent, so the
+  /// stale-traffic split (received vs discarded) varies run to run even
+  /// though their sum — and every fault draw — does not.
   bool deterministic_equal(const EdgeStats& o) const noexcept;
 };
 
@@ -85,8 +96,11 @@ class CommMatrix {
   std::uint64_t max_rank_bytes() const noexcept;
 
   /// Conservation: every edge's delivered counters equal its received
-  /// counters (nothing posted was left unconsumed). Holds for runs that
-  /// completed normally; a poisoned world legitimately violates it.
+  /// counters plus the stale deliveries recovery flushed (nothing posted
+  /// was silently lost). Holds for runs that completed normally and for
+  /// elastic runs that recovered (the dead rank's partial row is
+  /// retained, its unconsumed traffic accounted as discarded); a
+  /// poisoned world that aborted mid-flight legitimately violates it.
   bool conserved() const noexcept;
 
   /// Element-wise accumulate (used to merge matrices across repeated

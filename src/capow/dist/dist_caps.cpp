@@ -317,4 +317,17 @@ void dist_block_gemm(Communicator& comm, ConstMatrixView a,
   }
 }
 
+void dist_caps_multiply_resilient(Communicator& comm,
+                                  const RecoveryContext& ctx,
+                                  ConstMatrixView a, ConstMatrixView b,
+                                  MatrixView c, const DistCapsOptions& opts) {
+  CAPOW_TSPAN_ARGS2("dist_caps.resilient", "dist", "rank", comm.rank(),
+                    "generation", static_cast<std::int64_t>(ctx.generation));
+  // The round-robin split already adapts to comm.size(), and the root's
+  // operand views are process-shared, so a recovered generation — even
+  // one whose physical rank 0 died — is simply a fresh deterministic
+  // solve on the current membership.
+  dist_caps_multiply(comm, a, b, c, opts);
+}
+
 }  // namespace capow::dist

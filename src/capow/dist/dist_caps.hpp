@@ -14,6 +14,7 @@
 
 #include "capow/capsalg/caps.hpp"
 #include "capow/dist/comm.hpp"
+#include "capow/dist/recovery.hpp"
 #include "capow/linalg/matrix.hpp"
 
 namespace capow::dist {
@@ -46,5 +47,25 @@ void dist_caps_multiply(Communicator& comm, linalg::ConstMatrixView a,
 /// rows with the dense base kernel, root gathers. Collective.
 void dist_block_gemm(Communicator& comm, linalg::ConstMatrixView a,
                      linalg::ConstMatrixView b, linalg::MatrixView c);
+
+/// Elastic dist-CAPS: the body to run under World::run_elastic.
+/// dist_caps_multiply already adapts to any communicator size (the
+/// seven sub-products round-robin over however many ranks exist), so
+/// recovery needs no operand reconstruction: a recovered generation is
+/// a clean deterministic re-run on the new membership — the CAPS
+/// analogue of restarting the BFS level. Because ranks are in-process
+/// threads sharing the root's operand views, *any* physical rank can
+/// serve as virtual root 0, which is what makes even root death
+/// recoverable. Respawn re-runs bit-identically (same rank count, same
+/// split schedule); shrink recomputes correctly on the survivors with a
+/// different work distribution. The `ctx` is unused beyond the span
+/// annotation — the signature exists so call sites treat both resilient
+/// kernels uniformly.
+void dist_caps_multiply_resilient(Communicator& comm,
+                                  const RecoveryContext& ctx,
+                                  linalg::ConstMatrixView a,
+                                  linalg::ConstMatrixView b,
+                                  linalg::MatrixView c,
+                                  const DistCapsOptions& opts = {});
 
 }  // namespace capow::dist

@@ -423,4 +423,228 @@ void multiply_25d(Communicator& comm, const GridSpec& grid,
   multiply_25d(comm, grid, a, b, c, abft::AbftConfig{});
 }
 
+namespace {
+
+constexpr int kPanelReplica = 3100;  // + owner grid rank
+constexpr int kPanelRestore = 3200;  // + owner grid rank
+
+/// [a | b | a_sum | b_sum] — the wire form a slot travels in, both for
+/// generation-0 replication and for the restore to a replacement rank.
+std::vector<double> slot_payload(const PanelSlot& slot) {
+  std::vector<double> payload;
+  payload.reserve(slot.a.size() + slot.b.size() + 2);
+  payload.insert(payload.end(), slot.a.begin(), slot.a.end());
+  payload.insert(payload.end(), slot.b.begin(), slot.b.end());
+  payload.push_back(slot.a_sum);
+  payload.push_back(slot.b_sum);
+  return payload;
+}
+
+/// Inverse of slot_payload, verifying both checksum words *bitwise*
+/// against a fresh recomputation — a reconstruction that is not the
+/// exact replicated bytes is rejected, never silently used.
+PanelSlot slot_from_payload(std::span<const double> payload, std::size_t nb,
+                            const char* what) {
+  const std::size_t panel = nb * nb;
+  if (payload.size() != 2 * panel + 2) {
+    throw abft::AbftError(std::string("abft: ") + what +
+                          " panel payload has wrong size");
+  }
+  PanelSlot slot;
+  slot.nb = nb;
+  slot.a.assign(payload.begin(), payload.begin() + panel);
+  slot.b.assign(payload.begin() + panel, payload.begin() + 2 * panel);
+  slot.a_sum = payload[2 * panel];
+  slot.b_sum = payload[2 * panel + 1];
+  const double a_got = abft::payload_checksum(slot.a.data(), slot.a.size());
+  const double b_got = abft::payload_checksum(slot.b.data(), slot.b.size());
+  if (std::memcmp(&slot.a_sum, &a_got, sizeof(double)) != 0 ||
+      std::memcmp(&slot.b_sum, &b_got, sizeof(double)) != 0) {
+    abft::record_detected();
+    throw abft::AbftError(std::string("abft: ") + what +
+                          " panel checksum mismatch");
+  }
+  slot.valid = true;
+  return slot;
+}
+
+PanelSlot make_slot(ConstMatrixView a_own, ConstMatrixView b_own) {
+  PanelSlot slot;
+  slot.nb = a_own.rows();
+  slot.a = flatten(a_own);
+  slot.b = flatten(b_own);
+  slot.a_sum = abft::payload_checksum(slot.a.data(), slot.a.size());
+  slot.b_sum = abft::payload_checksum(slot.b.data(), slot.b.size());
+  slot.valid = true;
+  return slot;
+}
+
+bool contains_rank(const std::vector<int>& ranks, int r) {
+  for (int x : ranks) {
+    if (x == r) return true;
+  }
+  return false;
+}
+
+/// Can this recovered generation skip the re-scatter and rebuild from
+/// the cache? Every input (shared cache state after the generation-0
+/// join, the agreed failed set, the grid geometry, the identity of the
+/// virtual->physical mapping) is identical on every rank and — because
+/// recv outcomes are dataflow-deterministic — identical across
+/// identical runs, so all ranks of all runs take the same branch.
+bool use_cached_panels(const PanelCacheSet& cache, const RecoveryContext& ctx,
+                       bool identity_mapping, int grid_ranks,
+                       std::size_t nb) {
+  if (!cache.enabled || !ctx.recovered() || ctx.failed_ranks.empty()) {
+    return false;
+  }
+  // Physical-rank-keyed slots only line up with virtual grid positions
+  // when the mapping is the identity (respawn); a shrunk world re-maps.
+  if (!identity_mapping) return false;
+  if (cache.own.size() < static_cast<std::size_t>(grid_ranks) ||
+      cache.replica.size() < static_cast<std::size_t>(grid_ranks)) {
+    return false;
+  }
+  for (int r = 0; r < grid_ranks; ++r) {
+    if (!contains_rank(ctx.failed_ranks, r)) {
+      const PanelSlot& own = cache.own[static_cast<std::size_t>(r)];
+      if (!own.valid || own.nb != nb) return false;
+    } else {
+      // The dead rank's panels live with its buddy — who must itself be
+      // alive and must have completed the replication recv in time.
+      const int holder = (r + 1) % grid_ranks;
+      if (holder == r || contains_rank(ctx.failed_ranks, holder)) {
+        return false;
+      }
+      const PanelSlot& rep = cache.replica[static_cast<std::size_t>(r)];
+      if (!rep.valid || rep.nb != nb) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void summa_multiply_resilient(Communicator& comm, const RecoveryContext& ctx,
+                              PanelCacheSet& cache, ConstMatrixView a,
+                              ConstMatrixView b, MatrixView c,
+                              const abft::AbftConfig& cfg) {
+  // Dimension negotiation runs over the *full* communicator (idle
+  // spares included) so a bad root call aborts every rank identically.
+  std::vector<double> dims(1, 0.0);
+  if (comm.rank() == 0 && a.square() && b.square() && c.square() &&
+      a.rows() == b.rows() && a.rows() == c.rows() && a.rows() > 0) {
+    dims[0] = static_cast<double>(a.rows());
+  }
+  comm.broadcast(0, dims);
+  if (dims[0] == 0.0) {
+    throw std::invalid_argument(
+        "summa_multiply_resilient: root operands must be square, equal, "
+        "and nonempty");
+  }
+  const std::size_t n = static_cast<std::size_t>(dims[0]);
+
+  // Largest grid the current membership can field: g*g ranks with n
+  // divisible by g (g = 1 always qualifies, so any world size works —
+  // which is exactly what lets a shrunk generation re-run the job).
+  int g = 1;
+  for (int cand = 2; cand * cand <= comm.size(); ++cand) {
+    if (n % static_cast<std::size_t>(cand) == 0) g = cand;
+  }
+  const int grid_ranks = g * g;
+  CAPOW_TSPAN_ARGS3("summa.resilient", "dist", "rank", comm.rank(), "grid",
+                    g, "generation",
+                    static_cast<std::int64_t>(ctx.generation));
+  if (comm.rank() >= grid_ranks) return;  // idle spare this generation
+  Communicator grid_comm = comm.sub(grid_ranks);
+
+  const GridSpec grid{g, g, 1};
+  const std::size_t nb = n / static_cast<std::size_t>(g);
+  const RankCoord me = coord_of(grid_comm.rank(), grid);
+  const bool identity_mapping = comm.size() == comm.world_size();
+  const bool cached =
+      use_cached_panels(cache, ctx, identity_mapping, grid_ranks, nb);
+  // Replication makes sense only while the cache can be used later:
+  // physical-keyed slots from a non-identity generation never match.
+  const bool replicate = cache.enabled && identity_mapping &&
+                         ctx.generation == 0 && grid_ranks > 1 &&
+                         cache.own.size() >= static_cast<std::size_t>(
+                                                 grid_ranks) &&
+                         cache.replica.size() >= static_cast<std::size_t>(
+                                                     grid_ranks);
+
+  // A resilient run that skipped end-to-end verification would be a
+  // contradiction; promote an unset mode to correct.
+  abft::AbftConfig rcfg = cfg;
+  if (abft::resolve_mode(rcfg) == abft::AbftMode::kOff) {
+    rcfg.mode = abft::AbftMode::kCorrect;
+  }
+
+  AbftState st;
+  guarded_collective(grid_comm, a, b, c, rcfg, st, "resilient summa", [&] {
+    const int r = grid_comm.rank();
+    Matrix a_own(nb, nb), b_own(nb, nb);
+    if (!cached) {
+      a_own = scatter_blocks(grid_comm, grid, st, a, nb, kScatterA);
+      b_own = scatter_blocks(grid_comm, grid, st, b, nb, kScatterB);
+      // Buddy replication: each rank ships its checksummed panels one
+      // rank clockwise. Only the first ABFT attempt replicates — a
+      // retry re-scatters the same operands, so the cache is already
+      // exact (and both sides branch on st.salt, staying matched).
+      if (replicate && st.salt == 0) {
+        CAPOW_TSPAN_ARGS1("summa.replicate_panels", "dist", "rank", r);
+        PanelSlot mine = make_slot(a_own.view(), b_own.view());
+        const int buddy = (r + 1) % grid_ranks;
+        const int owner = (r - 1 + grid_ranks) % grid_ranks;
+        grid_comm.send(buddy, kPanelReplica + r, slot_payload(mine));
+        const Message m = grid_comm.recv(owner, kPanelReplica + owner);
+        cache.replica[static_cast<std::size_t>(owner)] =
+            slot_from_payload(m.payload, nb, "replicated");
+        cache.own[static_cast<std::size_t>(r)] = std::move(mine);
+      }
+    } else {
+      // Reconstruction: buddies restore the dead ranks' panels over the
+      // wire (deterministic order: ascending victim), survivors reload
+      // their own cached copies, and nobody re-touches the root
+      // operands — the scatter is skipped entirely.
+      CAPOW_TSPAN_ARGS2("summa.restore_panels", "dist", "rank", r,
+                        "failed", static_cast<std::int64_t>(
+                                      ctx.failed_ranks.size()));
+      for (int v : ctx.failed_ranks) {
+        if (v >= grid_ranks) continue;  // dead idle spare: nothing lost
+        const int holder = (v + 1) % grid_ranks;
+        if (r == holder) {
+          grid_comm.send(
+              v, kPanelRestore + v,
+              slot_payload(cache.replica[static_cast<std::size_t>(v)]));
+        } else if (r == v) {
+          const Message m = grid_comm.recv(holder, kPanelRestore + v);
+          const PanelSlot got = slot_from_payload(m.payload, nb, "restored");
+          unflatten(got.a, a_own.view());
+          unflatten(got.b, b_own.view());
+        }
+      }
+      if (!contains_rank(ctx.failed_ranks, r)) {
+        const PanelSlot& own = cache.own[static_cast<std::size_t>(r)];
+        unflatten(own.a, a_own.view());
+        unflatten(own.b, b_own.view());
+      }
+    }
+
+    Matrix c_acc = Matrix::zeros(nb);
+    Matrix a_panel(nb, nb), b_panel(nb, nb);
+    for (int step = 0; step < g; ++step) {
+      summa_step(grid_comm, grid, st, me, step, a_own.view(), b_own.view(),
+                 a_panel, b_panel, c_acc.view());
+    }
+    gather_blocks(grid_comm, grid, st, c_acc.view(), c, nb);
+  });
+}
+
+void summa_multiply_resilient(Communicator& comm, const RecoveryContext& ctx,
+                              PanelCacheSet& cache, ConstMatrixView a,
+                              ConstMatrixView b, MatrixView c) {
+  summa_multiply_resilient(comm, ctx, cache, a, b, c, abft::AbftConfig{});
+}
+
 }  // namespace capow::dist

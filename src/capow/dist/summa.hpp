@@ -14,8 +14,12 @@
 // the eq8 bench compares.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "capow/abft/abft.hpp"
 #include "capow/dist/comm.hpp"
+#include "capow/dist/recovery.hpp"
 #include "capow/linalg/matrix.hpp"
 
 namespace capow::dist {
@@ -66,5 +70,62 @@ void multiply_25d(Communicator& comm, const GridSpec& grid,
 void multiply_25d(Communicator& comm, const GridSpec& grid,
                   linalg::ConstMatrixView a, linalg::ConstMatrixView b,
                   linalg::MatrixView c, const abft::AbftConfig& cfg);
+
+/// One rank's checksummed operand panels, cached for reconstruction.
+/// `a`/`b` are bit-exact flattened copies of the nb x nb blocks the
+/// scatter assigned; `a_sum`/`b_sum` the abft::payload_checksum words
+/// computed at store time and compared *bitwise* at restore time — the
+/// reconstruction is accepted only when the replica is the exact bytes
+/// that were replicated, which is what makes a respawned run's output
+/// bit-identical to the fault-free one.
+struct PanelSlot {
+  bool valid = false;
+  std::size_t nb = 0;
+  std::vector<double> a, b;
+  double a_sum = 0.0, b_sum = 0.0;
+};
+
+/// Driver-owned panel replication cache for summa_multiply_resilient.
+/// Outlives generations (the caller holds it across run_elastic's
+/// re-runs). Indexed by *physical* rank; the single-writer discipline
+/// mirrors RankCommBlock: during a generation, own[r] is written only
+/// by rank r's thread and replica[o] only by o's buddy's thread, and
+/// the generation join is the happens-before edge to the readers.
+struct PanelCacheSet {
+  /// Arm buddy replication (set by the driver when the respawn policy
+  /// is in play; replication traffic is real comm and costs bandwidth,
+  /// so shrink/abort runs leave it off).
+  bool enabled = false;
+  std::vector<PanelSlot> own;
+  std::vector<PanelSlot> replica;
+
+  PanelCacheSet() = default;
+  explicit PanelCacheSet(int ranks)
+      : own(static_cast<std::size_t>(ranks)),
+        replica(static_cast<std::size_t>(ranks)) {}
+};
+
+/// Elastic SUMMA: the body to run under World::run_elastic. Adapts to
+/// whatever communicator it is handed instead of demanding an exact
+/// rank count: picks the largest g with g*g <= comm.size() and
+/// n % g == 0, runs SUMMA on the first g*g virtual ranks (comm.sub),
+/// and idles the spares. With `cache.enabled`, generation 0 buddy-
+/// replicates each grid rank's scattered panels to rank (r+1) % g*g;
+/// a recovered respawn generation then skips the re-scatter, restores
+/// dead ranks' panels from their buddies (bitwise checksum-verified),
+/// and recomputes — bit-identical to the fault-free run because the
+/// panels are exact copies feeding the identical gemm sequence. When
+/// the cache cannot cover the failed set (adjacent victims, changed
+/// grid, shrink remapping) it falls back to a full re-scatter. The
+/// whole product is guarded end-to-end by abft::AbftGuard; an unset
+/// cfg.mode is promoted to kCorrect (a resilient run that skipped
+/// verification would be a contradiction).
+void summa_multiply_resilient(Communicator& comm, const RecoveryContext& ctx,
+                              PanelCacheSet& cache, linalg::ConstMatrixView a,
+                              linalg::ConstMatrixView b, linalg::MatrixView c);
+void summa_multiply_resilient(Communicator& comm, const RecoveryContext& ctx,
+                              PanelCacheSet& cache, linalg::ConstMatrixView a,
+                              linalg::ConstMatrixView b, linalg::MatrixView c,
+                              const abft::AbftConfig& cfg);
 
 }  // namespace capow::dist

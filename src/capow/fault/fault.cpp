@@ -30,7 +30,10 @@ std::atomic<FaultInjector*> g_active{nullptr};
 // to its Site and its FaultPlan probability field. site_name(),
 // probability(), spec(), parse(), and the unknown-key error message all
 // derive from it, so a site added here is automatically parseable,
-// printable, and consistently named everywhere.
+// printable, and consistently named everywhere. rank.kill is the one
+// site without a probability field (its value is a deterministic
+// victim/world/epoch triple, not a draw), so its member pointer is null
+// and parse()/spec() handle its value grammar specially.
 struct SiteSpec {
   const char* name;
   Site site;
@@ -47,6 +50,7 @@ constexpr SiteSpec kSites[kSiteCount] = {
     {"run.stall", Site::kRunStall, &FaultPlan::run_stall},
     {"mem.flip", Site::kMemFlip, &FaultPlan::mem_flip},
     {"compute.flip", Site::kComputeFlip, &FaultPlan::compute_flip},
+    {"rank.kill", Site::kRankKill, nullptr},
 };
 
 constexpr bool sites_in_enum_order() {
@@ -64,7 +68,7 @@ constexpr const char* kEventNames[kEventCount] = {
     "rapl_retries",      "rapl_degraded_reads", "rapl_wraps",
     "task_stalls",       "runs_retried",      "runs_degraded",
     "runs_failed",       "run_timeouts",      "mem_flips",
-    "compute_flips",
+    "compute_flips",     "rank_kills",
 };
 
 // Non-site spec keys (magnitudes, seed) appended to the unknown-key
@@ -121,6 +125,57 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+long long parse_integer(const std::string& key_name, const std::string& tok) {
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (tok.empty() || end != tok.c_str() + tok.size()) {
+    throw std::invalid_argument("fault spec: bad value '" + tok +
+                                "' for key '" + key_name + "'");
+  }
+  return v;
+}
+
+// `rank.kill=V/P[@E]`: victim rank V of a P-rank world, killed at its
+// E-th comm operation (default 1). Having P in the grammar is what lets
+// V >= P be rejected here, at parse time, instead of silently never
+// firing — a chaos spec naming an impossible victim is a typo, not a
+// no-op.
+RankKillSpec parse_rank_kill(const std::string& value) {
+  const std::size_t slash = value.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument(
+        "fault spec: rank.kill expects victim/world[@epoch], got '" + value +
+        "'");
+  }
+  const std::size_t at = value.find('@', slash + 1);
+  RankKillSpec spec;
+  spec.victim = static_cast<int>(
+      parse_integer("rank.kill", value.substr(0, slash)));
+  spec.world = static_cast<int>(parse_integer(
+      "rank.kill",
+      value.substr(slash + 1, at == std::string::npos ? std::string::npos
+                                                      : at - slash - 1)));
+  if (at != std::string::npos) {
+    const long long e = parse_integer("rank.kill", value.substr(at + 1));
+    if (e < 1) {
+      throw std::invalid_argument(
+          "fault spec: rank.kill epoch must be >= 1, got '" + value + "'");
+    }
+    spec.epoch = static_cast<std::uint64_t>(e);
+  }
+  if (spec.world < 1) {
+    throw std::invalid_argument(
+        "fault spec: rank.kill world size must be >= 1, got '" + value + "'");
+  }
+  if (spec.victim < 0 || spec.victim >= spec.world) {
+    throw std::invalid_argument(
+        "fault spec: rank.kill victim must name a rank < world size, got '" +
+        value + "' (victim " + std::to_string(spec.victim) + " of " +
+        std::to_string(spec.world) + " ranks)");
+  }
+  return spec;
+}
+
 }  // namespace
 
 const char* site_name(Site s) noexcept {
@@ -138,14 +193,15 @@ std::uint64_t FaultCounters::total() const noexcept {
 }
 
 double FaultPlan::probability(Site s) const noexcept {
-  return this->*kSites[static_cast<std::size_t>(s)].probability;
+  const auto member = kSites[static_cast<std::size_t>(s)].probability;
+  return member == nullptr ? 0.0 : this->*member;
 }
 
 bool FaultPlan::any() const noexcept {
   for (const SiteSpec& s : kSites) {
-    if (this->*s.probability > 0.0) return true;
+    if (s.probability != nullptr && this->*s.probability > 0.0) return true;
   }
-  return rapl_wrap;
+  return rapl_wrap || !rank_kills.empty();
 }
 
 std::string FaultPlan::spec() const {
@@ -157,7 +213,7 @@ std::string FaultPlan::spec() const {
     out += v;
   };
   for (const SiteSpec& s : kSites) {
-    if (this->*s.probability > 0.0) {
+    if (s.probability != nullptr && this->*s.probability > 0.0) {
       add(s.name, fmt_double(this->*s.probability));
     }
     // Magnitude/flag keys print right after the site they qualify.
@@ -173,6 +229,14 @@ std::string FaultPlan::spec() const {
         break;
       case Site::kRunStall:
         if (run_stall_ms != 1.0) add("run.stall_ms", fmt_double(run_stall_ms));
+        break;
+      case Site::kRankKill:
+        for (const RankKillSpec& k : rank_kills) {
+          std::string v = std::to_string(k.victim) + "/" +
+                          std::to_string(k.world);
+          if (k.epoch != 1) v += "@" + std::to_string(k.epoch);
+          add("rank.kill", v);
+        }
         break;
       default:
         break;
@@ -218,6 +282,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.task_stall_ms = parse_duration(k, v);
     } else if (k == "run.stall_ms") {
       plan.run_stall_ms = parse_duration(k, v);
+    } else if (k == "rank.kill") {
+      // Repeated keys accumulate: a multi-victim chaos schedule is a
+      // list of kills, not a single overwritable value.
+      plan.rank_kills.push_back(parse_rank_kill(v));
     } else {
       const SiteSpec* match = nullptr;
       for (const SiteSpec& s : kSites) {

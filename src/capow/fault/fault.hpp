@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace capow::fault {
 
@@ -42,8 +43,9 @@ enum class Site {
   kRunStall,      ///< whole experiment run hangs for plan.run_stall_ms
   kMemFlip,       ///< silent bit-flip in a result/operand held in memory
   kComputeFlip,   ///< silent corruption of data feeding a computation
+  kRankKill,      ///< a dist rank dies fail-stop at a fixed comm epoch
 };
-inline constexpr std::size_t kSiteCount = 9;
+inline constexpr std::size_t kSiteCount = 10;
 
 /// Spec key of a site ("comm.drop", "rapl.fail", ...).
 const char* site_name(Site s) noexcept;
@@ -69,8 +71,9 @@ enum class Event {
   kRunTimeout,       ///< run attempts killed by the watchdog
   kMemFlip,          ///< injected silent memory bit-flips
   kComputeFlip,      ///< injected silent compute-input corruptions
+  kRankKill,         ///< dist ranks terminated fail-stop by the injector
 };
-inline constexpr std::size_t kEventCount = 16;
+inline constexpr std::size_t kEventCount = 17;
 
 /// Metric/report name of an event ("comm_drops", "rapl_retries", ...).
 const char* event_name(Event e) noexcept;
@@ -84,6 +87,22 @@ struct FaultCounters {
   }
   std::uint64_t total() const noexcept;
   bool operator==(const FaultCounters&) const = default;
+};
+
+/// One deterministic rank-death order: rank `victim` of a `world`-rank
+/// dist::World dies fail-stop at its `epoch`-th communication operation
+/// (1-based: send/recv/barrier entries count). Unlike the probability
+/// sites this is not a draw — the kill is part of the spec itself, so a
+/// chaos run's failure schedule is readable directly from the plan.
+/// World size is part of the grammar (`rank.kill=V/P[@E]`) so a victim
+/// >= world size is rejected at parse time, and the kill arms only in
+/// worlds of exactly `world` ranks.
+struct RankKillSpec {
+  int victim = 0;
+  int world = 0;
+  std::uint64_t epoch = 1;
+
+  bool operator==(const RankKillSpec&) const = default;
 };
 
 /// A parsed fault specification: per-site probabilities plus the seed
@@ -109,6 +128,11 @@ struct FaultPlan {
   double mem_flip = 0.0;      ///< P(silent flip) per result element
   double compute_flip = 0.0;  ///< P(silent flip) per compute input element
 
+  /// Deterministic rank deaths (`rank.kill=V/P[@E]`). Repeated
+  /// `rank.kill=` keys accumulate, enabling multi-victim chaos runs;
+  /// every other key keeps last-one-wins semantics.
+  std::vector<RankKillSpec> rank_kills;
+
   /// Probability configured for `site`.
   double probability(Site s) const noexcept;
 
@@ -133,8 +157,10 @@ struct FaultPlan {
   /// Parses a spec string. Grammar: comma-separated `key=value` pairs;
   /// keys are the site names plus `comm.delay_ms`, `rapl.wrap`,
   /// `task.stall_ms`, `run.stall_ms`, and `seed`. Probabilities must
-  /// lie in [0, 1]; durations must be >= 0. Throws
-  /// std::invalid_argument on unknown keys or malformed values.
+  /// lie in [0, 1]; durations must be >= 0. `rank.kill` takes `V/P[@E]`
+  /// (victim rank, world size, optional 1-based comm epoch) and rejects
+  /// V >= P at parse time. Throws std::invalid_argument on unknown keys
+  /// or malformed values.
   static FaultPlan parse(const std::string& spec);
 
   /// Plan from the CAPOW_FAULTS environment variable, or nullopt when

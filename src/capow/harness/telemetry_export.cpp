@@ -9,6 +9,7 @@
 #include "capow/blas/cost_model.hpp"
 #include "capow/blas/microkernel.hpp"
 #include "capow/blas/workspace.hpp"
+#include "capow/dist/recovery.hpp"
 #include "capow/fault/fault.hpp"
 #include "capow/profile/ep_phases.hpp"
 #include "capow/sim/executor.hpp"
@@ -339,6 +340,20 @@ void export_metrics(ExperimentRunner& runner, std::ostream& os) {
       reg.sample({{"kind", fault::event_name(static_cast<fault::Event>(i))}},
                  static_cast<double>(counters.by_event[i]));
     }
+  }
+
+  // Elastic-recovery totals (absent until a rank actually died, so
+  // scrapes from failure-free runs stay byte-identical). Deterministic
+  // for a fixed kill schedule — the CI chaos-matrix leg diffs them
+  // across reruns.
+  if (dist::rank_failures_total() > 0 || dist::recoveries_total() > 0) {
+    reg.family("capow_dist_rank_failures_total",
+               "Dist ranks that died fail-stop during elastic runs",
+               "counter");
+    reg.sample({}, static_cast<double>(dist::rank_failures_total()));
+    reg.family("capow_dist_recoveries_total",
+               "Elastic membership recoveries completed", "counter");
+    reg.sample({}, static_cast<double>(dist::recoveries_total()));
   }
 
   // ABFT checksum/recovery totals (absent when no guarded multiply ran,

@@ -93,12 +93,74 @@ TEST(FaultPlan, UnknownKeyErrorListsValidSites) {
     for (const char* key :
          {"comm.drop", "comm.delay", "comm.corrupt", "rapl.fail",
           "task.stall", "run.fail", "run.stall", "mem.flip", "compute.flip",
-          "comm.delay_ms", "rapl.wrap", "task.stall_ms", "run.stall_ms",
-          "seed"}) {
+          "rank.kill", "comm.delay_ms", "rapl.wrap", "task.stall_ms",
+          "run.stall_ms", "seed"}) {
       EXPECT_NE(msg.find(key), std::string::npos)
           << "missing '" << key << "' in: " << msg;
     }
   }
+}
+
+TEST(FaultPlan, ParsesRankKill) {
+  const FaultPlan plan = FaultPlan::parse("rank.kill=2/4@5,seed=42");
+  ASSERT_EQ(plan.rank_kills.size(), 1u);
+  EXPECT_EQ(plan.rank_kills[0].victim, 2);
+  EXPECT_EQ(plan.rank_kills[0].world, 4);
+  EXPECT_EQ(plan.rank_kills[0].epoch, 5u);
+  EXPECT_TRUE(plan.any());
+  // rank.kill is a schedule, not a probability: it must not put the
+  // comm sites into their randomized path.
+  EXPECT_FALSE(plan.any_comm());
+  EXPECT_DOUBLE_EQ(plan.probability(Site::kRankKill), 0.0);
+}
+
+TEST(FaultPlan, RankKillEpochDefaultsToFirstOperation) {
+  const FaultPlan plan = FaultPlan::parse("rank.kill=0/2");
+  ASSERT_EQ(plan.rank_kills.size(), 1u);
+  EXPECT_EQ(plan.rank_kills[0].epoch, 1u);
+}
+
+TEST(FaultPlan, RankKillAccumulatesRepeatedKeys) {
+  // Multi-victim chaos schedules repeat the key; each occurrence is one
+  // more kill, not an overwrite.
+  const FaultPlan plan =
+      FaultPlan::parse("rank.kill=1/4@3,rank.kill=2/4@7,seed=9");
+  ASSERT_EQ(plan.rank_kills.size(), 2u);
+  EXPECT_EQ(plan.rank_kills[0], (RankKillSpec{1, 4, 3}));
+  EXPECT_EQ(plan.rank_kills[1], (RankKillSpec{2, 4, 7}));
+}
+
+TEST(FaultPlan, RankKillSpecRoundTrips) {
+  const FaultPlan plan =
+      FaultPlan::parse("rank.kill=1/4@3,rank.kill=0/2,seed=13");
+  const FaultPlan again = FaultPlan::parse(plan.spec());
+  EXPECT_EQ(again.rank_kills, plan.rank_kills);
+  EXPECT_EQ(again.spec(), plan.spec());
+}
+
+TEST(FaultPlan, RankKillRejectsImpossibleVictimAtParseTime) {
+  // A victim >= world size would silently never fire; the grammar
+  // carries the world size precisely so this typo dies at parse time.
+  EXPECT_THROW(FaultPlan::parse("rank.kill=4/4"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("rank.kill=7/4@2"), std::invalid_argument);
+  try {
+    FaultPlan::parse("rank.kill=4/4");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("victim"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("world size"), std::string::npos) << msg;
+  }
+}
+
+TEST(FaultPlan, RankKillRejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("rank.kill=2"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("rank.kill=-1/4"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("rank.kill=0/0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("rank.kill=1/4@0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("rank.kill=a/4"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("rank.kill=1/b"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("rank.kill=1/4@x"), std::invalid_argument);
 }
 
 TEST(FaultPlan, RejectsMalformedSpecs) {
