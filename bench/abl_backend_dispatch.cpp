@@ -1,0 +1,140 @@
+// ABL10 — overhead of the backend dispatch seam. PR 8 routed every
+// matmul() through BackendRegistry::dispatch + BackendScope before the
+// algorithm runs; the seam is only admissible if the facade stays
+// indistinguishable from calling the kernel directly. Target: < 1%
+// added runtime at n=1024 for matmul(backend=cpu) vs a direct
+// blas::gemm call, and nanosecond-scale costs for the dispatch
+// decision itself (native and fallback paths).
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "capow/api/matmul.hpp"
+#include "capow/backend/backend.hpp"
+#include "capow/blas/blocked_gemm.hpp"
+#include "capow/linalg/random.hpp"
+
+namespace {
+
+using namespace capow;
+
+double time_direct_seconds(std::size_t n, int reps) {
+  auto a = linalg::random_square(n, 1);
+  auto b = linalg::random_square(n, 2);
+  linalg::Matrix c(n, n);
+  blas::gemm(a.view(), b.view(), c.view());  // warm-up (arena + caches)
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    blas::gemm(a.view(), b.view(), c.view());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() /
+         static_cast<double>(reps);
+}
+
+double time_facade_seconds(std::size_t n, int reps) {
+  auto a = linalg::random_square(n, 1);
+  auto b = linalg::random_square(n, 2);
+  linalg::Matrix c(n, n);
+  MatmulOptions opts;
+  opts.backend = backend::BackendId::kCpu;
+  matmul(a.view(), b.view(), c.view(), opts);  // warm-up
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    matmul(a.view(), b.view(), c.view(), opts);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() /
+         static_cast<double>(reps);
+}
+
+void print_reproduction() {
+  bench::banner("ABL 10", "backend dispatch-seam overhead");
+  std::printf(
+      "\nmatmul() now resolves a backend, consults the registry for a\n"
+      "fallback decision, and installs a device guard before the kernel\n"
+      "runs. All of that is per-call constant work, so it must vanish\n"
+      "against an n=1024 GEMM (~2.1 GFLOP).\n");
+
+  const std::size_t n = 1024;
+  const int reps = 3;
+  const double direct = time_direct_seconds(n, reps);
+  const double facade = time_facade_seconds(n, reps);
+  const double overhead_pct =
+      direct > 0.0 ? (facade / direct - 1.0) * 100.0 : 0.0;
+
+  std::printf("\nDGEMM n=%zu, %d reps:\n", n, reps);
+  harness::TextTable table({"path", "seconds/run", "overhead"});
+  table.add_row({"blas::gemm (direct)", harness::fmt(direct, 6), "-"});
+  table.add_row({"matmul backend=cpu", harness::fmt(facade, 6),
+                 harness::fmt(overhead_pct, 2) + "%"});
+  std::printf("%s", table.str().c_str());
+  std::printf("\ntarget: < 1%% through the seam at n=1024.\n");
+}
+
+// The facade pair at full size — the numbers behind the target above.
+void BM_DirectGemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = linalg::random_square(n, 1);
+  auto b = linalg::random_square(n, 2);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    blas::gemm(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.view().row(0));
+  }
+}
+BENCHMARK(BM_DirectGemm)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_MatmulCpuBackend(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = linalg::random_square(n, 1);
+  auto b = linalg::random_square(n, 2);
+  linalg::Matrix c(n, n);
+  MatmulOptions opts;
+  opts.backend = backend::BackendId::kCpu;
+  for (auto _ : state) {
+    matmul(a.view(), b.view(), c.view(), opts);
+    benchmark::DoNotOptimize(c.view().row(0));
+  }
+}
+BENCHMARK(BM_MatmulCpuBackend)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// The decision itself, isolated: native placement is a capability check
+// plus a table read.
+void BM_DispatchNative(benchmark::State& state) {
+  backend::BackendRegistry& reg = backend::BackendRegistry::instance();
+  for (auto _ : state) {
+    auto dec =
+        reg.dispatch(backend::BackendId::kCpu, core::AlgorithmId::kOpenBlas);
+    benchmark::DoNotOptimize(dec);
+  }
+}
+BENCHMARK(BM_DispatchNative);
+
+// Fallback placement adds the counter bump and the telemetry instant —
+// still nanoseconds, and only paid by ops the device lacks.
+void BM_DispatchFallback(benchmark::State& state) {
+  backend::BackendRegistry& reg = backend::BackendRegistry::instance();
+  for (auto _ : state) {
+    auto dec = reg.dispatch(backend::BackendId::kSimAccel,
+                            core::AlgorithmId::kCaps);
+    benchmark::DoNotOptimize(dec);
+  }
+  reg.reset_fallbacks();  // keep the bench loop out of the process total
+}
+BENCHMARK(BM_DispatchFallback);
+
+// Backend resolution (explicit > CAPOW_BACKEND > host): the env lookup
+// is parsed once per process, so this is a branch and a load.
+void BM_ResolveBackend(benchmark::State& state) {
+  for (auto _ : state) {
+    auto id = backend::resolve_backend(std::nullopt);
+    benchmark::DoNotOptimize(id);
+  }
+}
+BENCHMARK(BM_ResolveBackend);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return capow::bench::bench_main(argc, argv, print_reproduction);
+}

@@ -1,5 +1,9 @@
 #include "capow/api/matmul.hpp"
 
+#include <stdexcept>
+#include <string>
+
+#include "capow/blas/blocked_gemm.hpp"
 #include "capow/telemetry/telemetry.hpp"
 
 namespace capow {
@@ -27,9 +31,49 @@ blas::GemmOptions gemm_options(const MatmulOptions& opts) {
   return g;
 }
 
+std::string tile_str(std::size_t mr, std::size_t nr) {
+  return std::to_string(mr) + "x" + std::to_string(nr);
+}
+
+/// "generic=4x4, avx2=4x8, fma=6x8" — every registered kernel with the
+/// register tile that selects it, for validation error messages.
+std::string kernel_tile_listing() {
+  std::string s;
+  for (const blas::MicroKernel& k : blas::kernel_registry()) {
+    if (!s.empty()) s += ", ";
+    s += k.name;
+    s += "=";
+    s += tile_str(k.mr, k.nr);
+  }
+  return s;
+}
+
 }  // namespace
 
+void validate_options(const MatmulOptions& opts) {
+  if (!opts.blocking) return;
+  const blas::BlockingParams& bl = *opts.blocking;
+  const blas::MicroKernel* pinned = blas::find_kernel_for_tile(bl.mr, bl.nr);
+  if (pinned == nullptr) {
+    throw std::invalid_argument(
+        "matmul: blocking requests a " + tile_str(bl.mr, bl.nr) +
+        " register tile, which matches no registered microkernel (valid "
+        "kernel=tile combinations: " +
+        kernel_tile_listing() + ")");
+  }
+  if (opts.kernel && *opts.kernel != pinned->id) {
+    const blas::MicroKernel* requested = blas::find_kernel(*opts.kernel);
+    throw std::invalid_argument(
+        std::string("matmul: explicit kernel '") +
+        (requested != nullptr ? requested->name : "?") +
+        "' conflicts with the blocking parameters, whose " +
+        tile_str(bl.mr, bl.nr) + " tile pins kernel '" + pinned->name +
+        "' (valid kernel=tile combinations: " + kernel_tile_listing() + ")");
+  }
+}
+
 const blas::MicroKernel* matmul_kernel(const MatmulOptions& opts) {
+  validate_options(opts);
   switch (opts.algorithm) {
     case core::AlgorithmId::kOpenBlas:
       return &blas::resolve_kernel(gemm_options(opts));
@@ -48,30 +92,52 @@ const blas::MicroKernel* matmul_kernel(const MatmulOptions& opts) {
 
 void matmul(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
             linalg::MatrixView c, const MatmulOptions& opts) {
-  blas::WorkspaceArena& arena = opts.arena != nullptr
-                                    ? *opts.arena
-                                    : blas::WorkspaceArena::process_arena();
+  validate_options(opts);
+
+  // Fallback-aware device dispatch: explicit backend > CAPOW_BACKEND >
+  // host. An op the requested device lacks runs on the host instead
+  // (counted, never an error).
+  const backend::DispatchDecision dispatch =
+      backend::BackendRegistry::instance().dispatch(
+          backend::resolve_backend(opts.backend), opts.algorithm);
+  backend::Backend& device = *dispatch.chosen;
+
+  // The deprecated explicit arena still wins over the device pool.
+  blas::WorkspaceArena& arena =
+      opts.arena != nullptr ? *opts.arena : device.arena();
+
+  // Device guard: nested null-arena callers (recursion levels, ABFT
+  // internals) lease from the dispatched device's memory, and telemetry
+  // below the seam can ask which device it is on.
+  backend::BackendScope device_guard(device);
+  blas::ArenaScope arena_guard(arena);
+
   [[maybe_unused]] const blas::MicroKernel* kern = matmul_kernel(opts);
-  // Span args: the resolved kernel id (-1 = BOTS base kernel) and the
-  // algorithm id, so trace consumers can attribute each multiply.
-  CAPOW_TSPAN_ARGS2("matmul", "api", "algorithm",
+  // Span args: the resolved kernel id (-1 = BOTS base kernel), the
+  // algorithm id and the dispatched backend id, so trace consumers can
+  // attribute each multiply to the device that ran it.
+  CAPOW_TSPAN_ARGS3("matmul", "api", "algorithm",
                     static_cast<int>(opts.algorithm), "kernel",
-                    kern != nullptr ? static_cast<int>(kern->id) : -1);
+                    kern != nullptr ? static_cast<int>(kern->id) : -1,
+                    "backend", static_cast<int>(device.id()));
 #if CAPOW_TELEMETRY_ENABLED
   const blas::ArenaStats before = arena.stats();
 #endif
 
   switch (opts.algorithm) {
-    case core::AlgorithmId::kOpenBlas:
+    case core::AlgorithmId::kOpenBlas: {
+      blas::GemmOptions g = gemm_options(opts);
+      g.arena = &arena;
       // abft::guarded_gemm is the checksum wrapper for the blocked path
       // (it falls straight through to blas::gemm when the mode resolves
       // to off, so the default path is untouched).
       if (abft::resolve_mode(opts.abft) != abft::AbftMode::kOff) {
-        abft::guarded_gemm(a, b, c, gemm_options(opts), opts.abft);
+        abft::guarded_gemm(a, b, c, g, opts.abft);
       } else {
-        blas::gemm(a, b, c, gemm_options(opts));
+        blas::gemm(a, b, c, g);
       }
       break;
+    }
     case core::AlgorithmId::kStrassen: {
       strassen::StrassenOptions s = opts.strassen;
       if (s.arena == nullptr) s.arena = &arena;

@@ -2,24 +2,29 @@
 // multiplication algorithms.
 //
 // Every call site (harness, benches, examples, tools) goes through this
-// facade; the per-algorithm entrypoints (blas::blocked_gemm,
-// strassen::strassen_multiply, capsalg::caps_multiply) survive only as
-// deprecated shims. One options struct carries everything the paper's
+// facade; the per-algorithm entrypoints are blas::gemm,
+// strassen::multiply and capsalg::multiply (the PR-3 deprecated shims
+// are gone). One options struct carries everything the paper's
 // experiments vary: the algorithm (core::AlgorithmId registry), the
-// register microkernel (explicit > CAPOW_KERNEL env > fastest
-// supported), blocking/cutoff tuning, the thread pool, and the
-// workspace arena the hot paths lease their buffers from.
+// *backend* the call dispatches onto (capow::backend seam — device
+// identity, kernel registry, device arena, power plane), the register
+// microkernel (explicit > CAPOW_KERNEL env > fastest supported),
+// blocking/cutoff tuning, and the thread pool.
 //
 // The facade also owns the per-call observability: a "matmul" telemetry
-// span tagged with the resolved algorithm/kernel, plus arena hit/miss
-// counter samples, so JSONL exports can attribute every measurement to
-// the exact kernel variant and buffer-reuse behaviour that produced it.
+// span tagged with the resolved algorithm/kernel/backend, plus arena
+// hit/miss counter samples, so JSONL exports can attribute every
+// measurement to the exact kernel variant, device and buffer-reuse
+// behaviour that produced it.
 #pragma once
 
 #include <optional>
 
 #include "capow/abft/abft.hpp"
-#include "capow/blas/blocked_gemm.hpp"
+#include "capow/backend/backend.hpp"
+#include "capow/blas/blocking.hpp"
+#include "capow/blas/microkernel.hpp"
+#include "capow/blas/workspace.hpp"
 #include "capow/capsalg/caps.hpp"
 #include "capow/core/algorithms.hpp"
 #include "capow/linalg/matrix.hpp"
@@ -34,7 +39,17 @@ struct MatmulOptions {
   /// Which of the paper's algorithms runs (registry: core/algorithms.hpp).
   core::AlgorithmId algorithm = core::AlgorithmId::kOpenBlas;
 
-  /// Register-microkernel override. Precedence, for every algorithm:
+  /// The device class to dispatch onto. Unset resolves through the
+  /// CAPOW_BACKEND environment variable, then the host CPU. An op the
+  /// chosen backend does not support falls back to the host (graceful,
+  /// counted by capow_backend_fallbacks_total — never an error). The
+  /// backend subsumes the `kernel`/`arena`/`machine` trio below: it
+  /// supplies the kernel registry, the device memory pool and the
+  /// machine model in one handle.
+  std::optional<backend::BackendId> backend;
+
+  /// DEPRECATED alias (subsumed by `backend`; one release of grace):
+  /// register-microkernel override. Precedence, for every algorithm:
   /// this field > the per-algorithm option (blocking tile / base_kernel)
   /// > the CAPOW_KERNEL environment variable > the algorithm default
   /// (blocked GEMM: fastest supported; Strassen/CAPS: the BOTS-style
@@ -44,14 +59,18 @@ struct MatmulOptions {
   /// Worker pool; null runs serially.
   tasking::ThreadPool* pool = nullptr;
 
-  /// Workspace pool for packed panels and recursion temporaries; null
-  /// uses blas::WorkspaceArena::process_arena().
+  /// DEPRECATED alias (subsumed by `backend`; one release of grace):
+  /// explicit workspace pool for packed panels and recursion
+  /// temporaries. Null leases from the dispatched backend's arena
+  /// (host: blas::WorkspaceArena::process_arena(), unchanged).
   blas::WorkspaceArena* arena = nullptr;
 
   /// Blocked-GEMM path: explicit blocking parameters. The (mr, nr) tile
   /// must match a registered kernel, which it then pins.
   std::optional<blas::BlockingParams> blocking;
-  /// Blocked-GEMM path: choose blocking for this machine's caches.
+  /// DEPRECATED alias (subsumed by `backend`; one release of grace):
+  /// choose blocked-GEMM blocking for this machine's caches. Null uses
+  /// the dispatched backend's device spec where one is needed.
   std::optional<machine::MachineSpec> machine;
 
   /// Strassen path tuning (cutoff, winograd, spawn depth).
@@ -69,10 +88,21 @@ struct MatmulOptions {
   abft::AbftConfig abft{};
 };
 
-/// C = A * B via the selected algorithm. Validation, padding and
-/// instrumentation follow the selected algorithm's contract; all three
-/// count logical traffic through capow::trace identically to their
-/// closed-form cost models.
+/// Rejects inconsistent options up front, before any dispatch work:
+///   * a `blocking` tile whose (mr, nr) matches no registered kernel,
+///   * an explicit `kernel` that disagrees with the tile `blocking` pins.
+/// Throws std::invalid_argument whose message lists the registered
+/// kernel/tile combinations. matmul() calls this on entry; experiment
+/// drivers can call it early to fail before allocating operands.
+void validate_options(const MatmulOptions& opts);
+
+/// C = A * B via the selected algorithm on the resolved backend.
+/// Validation, padding and instrumentation follow the selected
+/// algorithm's contract; all three count logical traffic through
+/// capow::trace identically to their closed-form cost models.
+/// Arithmetic always executes with host kernels (results are
+/// bit-identical across backends); the backend decides memory placement
+/// and telemetry attribution.
 void matmul(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
             linalg::MatrixView c, const MatmulOptions& opts = {});
 

@@ -1,0 +1,45 @@
+#include "capow/backend/memory.hpp"
+
+#include "capow/backend/backend.hpp"
+
+namespace capow::backend {
+
+AllocatorRegistry::AllocatorRegistry() {
+  // The host "device memory" is the process arena itself — pre-seam
+  // callers and cpu-dispatched callers pool in the same place, which is
+  // what keeps backend=cpu allocation-identical to the old path. The
+  // accelerator gets a private pool modeling separate device memory;
+  // leaked for the same reason process_arena() is.
+  arenas_[static_cast<int>(BackendId::kCpu)] =
+      &blas::WorkspaceArena::process_arena();
+  arenas_[static_cast<int>(BackendId::kSimAccel)] =
+      new blas::WorkspaceArena();
+}
+
+AllocatorRegistry& AllocatorRegistry::instance() {
+  static AllocatorRegistry* registry = new AllocatorRegistry();
+  return *registry;
+}
+
+blas::WorkspaceArena& AllocatorRegistry::arena_for(BackendId id) noexcept {
+  const int i = static_cast<int>(id);
+  if (i < 0 || i >= static_cast<int>(kAllocatorCount)) {
+    return blas::WorkspaceArena::process_arena();
+  }
+  return *arenas_[i];
+}
+
+std::array<blas::ArenaStats, kAllocatorCount> AllocatorRegistry::stats()
+    const {
+  std::array<blas::ArenaStats, kAllocatorCount> out{};
+  for (std::size_t i = 0; i < kAllocatorCount; ++i) {
+    out[i] = arenas_[i]->stats();
+  }
+  return out;
+}
+
+void AllocatorRegistry::trim_all() {
+  for (blas::WorkspaceArena* arena : arenas_) arena->trim();
+}
+
+}  // namespace capow::backend

@@ -1,0 +1,42 @@
+// Per-device memory: the allocator registry behind Backend::arena().
+//
+// Each registered device class owns exactly one WorkspaceArena — its
+// "device memory pool". The host backend's entry aliases the process
+// arena (so dispatching on `cpu` is allocation-identical to the
+// pre-seam code path); every other device gets a private arena with the
+// same pooling/size-class behaviour, modeling physically separate
+// device memory. Arenas are never destroyed (the process_arena
+// rationale: checkouts on detached threads must stay valid at exit).
+#pragma once
+
+#include <array>
+
+#include "capow/blas/workspace.hpp"
+
+namespace capow::backend {
+
+enum class BackendId : int;
+inline constexpr std::size_t kAllocatorCount = 2;  // == kBackendCount
+
+/// Maps each BackendId to its device arena.
+class AllocatorRegistry {
+ public:
+  static AllocatorRegistry& instance();
+
+  /// The arena backing `id`'s device memory. The host entry IS
+  /// blas::WorkspaceArena::process_arena().
+  blas::WorkspaceArena& arena_for(BackendId id) noexcept;
+
+  /// Snapshot of every device arena's counters, indexed by BackendId —
+  /// telemetry's view of per-device pooling behaviour.
+  std::array<blas::ArenaStats, kAllocatorCount> stats() const;
+
+  /// Frees idle pooled buffers in every device arena.
+  void trim_all();
+
+ private:
+  AllocatorRegistry();
+  std::array<blas::WorkspaceArena*, kAllocatorCount> arenas_{};
+};
+
+}  // namespace capow::backend

@@ -40,6 +40,22 @@ void block_multiply(const MicroKernel& k, const double* packed_a,
   trace::count_flops(2ull * mc_cur * nc_cur * kc_cur);
 }
 
+// Every registered kernel with the register tile that selects it
+// ("generic=4x4, avx2=4x8, fma=6x8") — so tile/kernel mismatch errors
+// tell the caller what the valid combinations are.
+std::string kernel_tile_listing() {
+  std::string s;
+  for (const MicroKernel& k : kernel_registry()) {
+    if (!s.empty()) s += ", ";
+    s += k.name;
+    s += "=";
+    s += std::to_string(k.mr);
+    s += "x";
+    s += std::to_string(k.nr);
+  }
+  return s;
+}
+
 }  // namespace
 
 const MicroKernel& resolve_kernel(const GemmOptions& opts) {
@@ -48,13 +64,21 @@ const MicroKernel& resolve_kernel(const GemmOptions& opts) {
         find_kernel_for_tile(opts.blocking->mr, opts.blocking->nr);
     if (k == nullptr) {
       throw std::invalid_argument(
-          "blocked_gemm: no registered microkernel matches the requested "
-          "mr x nr tile");
+          "blocked_gemm: no registered microkernel matches the requested " +
+          std::to_string(opts.blocking->mr) + "x" +
+          std::to_string(opts.blocking->nr) +
+          " tile (valid kernel=tile combinations: " + kernel_tile_listing() +
+          ")");
     }
     if (opts.kernel && *opts.kernel != k->id) {
       throw std::invalid_argument(
           "blocked_gemm: requested kernel disagrees with the blocking "
-          "parameters' mr x nr tile");
+          "parameters' " +
+          std::to_string(opts.blocking->mr) + "x" +
+          std::to_string(opts.blocking->nr) + " tile, which pins kernel '" +
+          k->name +
+          "' (valid kernel=tile combinations: " + kernel_tile_listing() +
+          ")");
     }
     if (!k->supported()) {
       throw std::runtime_error(std::string("blocked_gemm: kernel '") +
@@ -77,8 +101,7 @@ void gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
   check_gemm_shapes(a, b, c);
   const MicroKernel& kern = resolve_kernel(opts);
   const BlockingParams bp = resolve_blocking(opts);
-  WorkspaceArena& arena =
-      opts.arena != nullptr ? *opts.arena : WorkspaceArena::process_arena();
+  WorkspaceArena& arena = opts.arena != nullptr ? *opts.arena : active_arena();
   tasking::ThreadPool* pool = opts.pool;
 
   const std::size_t m = a.rows();
@@ -171,31 +194,6 @@ void small_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
   trace::count_flops(2ull * m * n * k);
   trace::count_dram_read((m * k + k * n) * sizeof(double));
   trace::count_dram_write(m * n * sizeof(double));
-}
-
-void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
-                  linalg::MatrixView c, const BlockingParams& bp,
-                  tasking::ThreadPool* pool) {
-  GemmOptions opts;
-  opts.blocking = bp;
-  opts.pool = pool;
-  gemm(a, b, c, opts);
-}
-
-void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
-                  linalg::MatrixView c, const machine::MachineSpec& spec,
-                  tasking::ThreadPool* pool) {
-  GemmOptions opts;
-  opts.machine = spec;
-  opts.pool = pool;
-  gemm(a, b, c, opts);
-}
-
-void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
-                  linalg::MatrixView c, tasking::ThreadPool* pool) {
-  GemmOptions opts;
-  opts.pool = pool;
-  gemm(a, b, c, opts);
 }
 
 }  // namespace capow::blas

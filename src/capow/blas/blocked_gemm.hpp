@@ -39,7 +39,9 @@ struct GemmOptions {
   std::optional<BlockingParams> blocking;
   std::optional<MicroKernelId> kernel;
   std::optional<machine::MachineSpec> machine;
-  /// Packing-buffer pool; null uses WorkspaceArena::process_arena().
+  /// Packing-buffer pool; null leases from blas::active_arena() (the
+  /// thread's ambient arena — the dispatched backend's device pool, or
+  /// the process arena outside any backend scope).
   WorkspaceArena* arena = nullptr;
   /// Null runs serially.
   tasking::ThreadPool* pool = nullptr;
@@ -77,24 +79,5 @@ BlockingParams resolve_blocking(const GemmOptions& opts);
 void small_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
                 linalg::MatrixView c, const MicroKernel& kernel,
                 WorkspaceArena& arena, bool accumulate = false);
-
-/// C = A * B with explicit blocking parameters.
-/// `pool` may be null (serial execution). Shapes are validated.
-[[deprecated("use capow::matmul() or blas::gemm(GemmOptions)")]]
-void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
-                  linalg::MatrixView c, const BlockingParams& bp,
-                  tasking::ThreadPool* pool = nullptr);
-
-/// C = A * B with blocking chosen for `spec` via select_blocking().
-[[deprecated("use capow::matmul() or blas::gemm(GemmOptions)")]]
-void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
-                  linalg::MatrixView c, const machine::MachineSpec& spec,
-                  tasking::ThreadPool* pool = nullptr);
-
-/// C = A * B with default blocking.
-[[deprecated("use capow::matmul() or blas::gemm(GemmOptions)")]]
-void blocked_gemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
-                  linalg::MatrixView c,
-                  tasking::ThreadPool* pool = nullptr);
 
 }  // namespace capow::blas

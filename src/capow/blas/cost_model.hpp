@@ -25,13 +25,13 @@ inline constexpr double kTunedGemmEfficiency = 0.42;
 /// Total flops of an m x n x k multiply-accumulate sweep (2mnk).
 double gemm_flops(std::size_t m, std::size_t n, std::size_t k);
 
-/// Logical streaming traffic of blocked_gemm() in bytes — the same
+/// Logical streaming traffic of blas::gemm() in bytes — the same
 /// quantity the instrumentation counts: the initial C zero-fill, every
 /// A/B pack read, and every C tile read+write.
 double blocked_gemm_traffic_bytes(std::size_t m, std::size_t n,
                                   std::size_t k, const BlockingParams& bp);
 
-/// Number of parallel_for joins blocked_gemm() performs with >1 worker.
+/// Number of parallel_for joins blas::gemm() performs with >1 worker.
 std::uint64_t blocked_gemm_sync_count(std::size_t n, std::size_t k,
                                       const BlockingParams& bp);
 

@@ -2,7 +2,7 @@
 //
 // The paper's "OpenBLAS tuned" baseline (Algorithm 1) is only meaningful
 // if the local multiply runs as fast as the hardware allows. This module
-// provides the mr x nr register kernels that blocked_gemm (and, when
+// provides the mr x nr register kernels that blas::gemm (and, when
 // requested, the Strassen/CAPS dense base case) executes over packed
 // operand stripes:
 //

@@ -123,6 +123,25 @@ class WorkspaceArena {
   ArenaStats stats_;
 };
 
+/// The calling thread's ambient arena: the pool a null-`arena` caller
+/// leases from. Defaults to WorkspaceArena::process_arena(); a device
+/// dispatch layer above blas installs its own pool via ArenaScope so
+/// every nested lease lands in the dispatched device's memory without
+/// threading a pointer through each recursion level.
+WorkspaceArena& active_arena() noexcept;
+
+/// RAII override of the calling thread's ambient arena.
+class ArenaScope {
+ public:
+  explicit ArenaScope(WorkspaceArena& arena) noexcept;
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  WorkspaceArena* prev_;
+};
+
 /// Matrix-shaped lease: rows x cols over arena storage. Like
 /// Matrix(rows, cols), contents are indeterminate (here: whatever the
 /// previous lease left) — write before reading.

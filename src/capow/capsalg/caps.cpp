@@ -461,13 +461,12 @@ void multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
   }
 
   // Explicit option first, then the CAPOW_KERNEL environment override
-  // (applied here so the deprecated shim and the facade agree), else
-  // the BOTS loop kernel.
+  // (applied here so direct callers and the facade agree), else the
+  // BOTS loop kernel.
   const std::optional<blas::MicroKernelId> base =
       opts.base_kernel ? opts.base_kernel : blas::env_kernel_override();
   Ctx ctx{opts, pool,
-          opts.arena != nullptr ? opts.arena
-                                : &blas::WorkspaceArena::process_arena(),
+          opts.arena != nullptr ? opts.arena : &blas::active_arena(),
           base ? blas::find_kernel(*base) : nullptr};
   if (base && !ctx.base_kernel->supported()) {
     throw std::runtime_error(
@@ -553,12 +552,6 @@ void multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
     stats->base_products =
         ctx.base_products.load(std::memory_order_relaxed);
   }
-}
-
-void caps_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
-                   const CapsOptions& opts, tasking::ThreadPool* pool,
-                   CapsStats* stats) {
-  multiply(a, b, c, opts, pool, stats);
 }
 
 }  // namespace capow::capsalg

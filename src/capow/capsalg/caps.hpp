@@ -44,8 +44,9 @@ struct CapsOptions {
   std::size_t dfs_parallel_threshold = 256;
   /// Pool backing the BFS/DFS buffers (physical storage only — the
   /// CapsStats peak-buffer accounting still charges logical sizes, so
-  /// the cost-model cross-check stays exact); null uses
-  /// blas::WorkspaceArena::process_arena().
+  /// the cost-model cross-check stays exact); null leases from
+  /// blas::active_arena() (the dispatched backend's device pool, or the
+  /// process arena outside any backend scope).
   blas::WorkspaceArena* arena = nullptr;
   /// When set, the dense base case runs through the packed registry
   /// microkernel (blas::small_gemm) instead of the BOTS-style kernel.
@@ -73,12 +74,5 @@ void multiply(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
               linalg::MatrixView c, const CapsOptions& opts = {},
               tasking::ThreadPool* pool = nullptr,
               CapsStats* stats = nullptr);
-
-/// Legacy name for multiply().
-[[deprecated("use capow::matmul() or capsalg::multiply()")]]
-void caps_multiply(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
-                   linalg::MatrixView c, const CapsOptions& opts = {},
-                   tasking::ThreadPool* pool = nullptr,
-                   CapsStats* stats = nullptr);
 
 }  // namespace capow::capsalg

@@ -27,13 +27,13 @@ struct CapsCostOptions {
   std::size_t dfs_parallel_threshold = 256;
 };
 
-/// Total flops caps_multiply() executes for dimension n.
+/// Total flops capsalg::multiply() executes for dimension n.
 double caps_total_flops(std::size_t n, const CapsCostOptions& opts);
 
 /// Total logical traffic (bytes) the instrumentation counts.
 double caps_total_traffic_bytes(std::size_t n, const CapsCostOptions& opts);
 
-/// Peak tracked buffer bytes caps_multiply() allocates (the BFS
+/// Peak tracked buffer bytes capsalg::multiply() allocates (the BFS
 /// memory-for-communication trade), assuming serial buffer lifetime
 /// along one BFS spine: 21 quadrant buffers per live BFS level plus the
 /// DFS transient set.

@@ -48,12 +48,12 @@ struct StrassenCostOptions {
   bool untied_task_interleaving = true;
 };
 
-/// Total flops strassen_multiply() executes for dimension n (including
+/// Total flops strassen::multiply() executes for dimension n (including
 /// zero-padding effects when n is not base*2^k).
 double strassen_total_flops(std::size_t n, const StrassenCostOptions& opts);
 
 /// Total logical traffic (bytes) the instrumentation counts for
-/// strassen_multiply() at dimension n, including padding copies.
+/// strassen::multiply() at dimension n, including padding copies.
 double strassen_total_traffic_bytes(std::size_t n,
                                     const StrassenCostOptions& opts);
 

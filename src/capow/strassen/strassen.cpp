@@ -362,7 +362,7 @@ void validate_square_inputs(ConstMatrixView a, ConstMatrixView b,
   if (!a.square() || !b.square() || !c.square() || a.rows() != b.rows() ||
       a.rows() != c.rows()) {
     throw std::invalid_argument(
-        "strassen_multiply: operands must be square with equal dimension");
+        "strassen::multiply: operands must be square with equal dimension");
   }
 }
 
@@ -388,13 +388,12 @@ void multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
     throw std::invalid_argument("strassen::multiply: base_cutoff == 0");
   }
   // Explicit option first, then the CAPOW_KERNEL environment override
-  // (applied here so the deprecated shim and the facade agree), else
-  // the BOTS loop kernel.
+  // (applied here so direct callers and the facade agree), else the
+  // BOTS loop kernel.
   const std::optional<blas::MicroKernelId> base =
       opts.base_kernel ? opts.base_kernel : blas::env_kernel_override();
   Ctx ctx{opts, pool,
-          opts.arena != nullptr ? opts.arena
-                                : &blas::WorkspaceArena::process_arena(),
+          opts.arena != nullptr ? opts.arena : &blas::active_arena(),
           base ? blas::find_kernel(*base) : nullptr};
   if (base && !ctx.base_kernel->supported()) {
     throw std::runtime_error(
@@ -470,12 +469,6 @@ void multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
     }
     abft::record_retried();
   }
-}
-
-void strassen_multiply(ConstMatrixView a, ConstMatrixView b, MatrixView c,
-                       const StrassenOptions& opts,
-                       tasking::ThreadPool* pool) {
-  multiply(a, b, c, opts, pool);
 }
 
 }  // namespace capow::strassen

@@ -40,9 +40,10 @@ struct StrassenOptions {
   /// tasks comfortably feeds any SMP-scale pool.
   std::size_t task_spawn_depth = 3;
   /// Pool backing every quadrant temporary (operand sums, the seven
-  /// product buffers, padding copies); null uses
-  /// blas::WorkspaceArena::process_arena(). After one warm-up multiply
-  /// the recursion performs no heap allocation.
+  /// product buffers, padding copies); null leases from
+  /// blas::active_arena() (the dispatched backend's device pool, or the
+  /// process arena outside any backend scope). After one warm-up
+  /// multiply the recursion performs no heap allocation.
   blas::WorkspaceArena* arena = nullptr;
   /// When set, the dense base case runs through the packed registry
   /// microkernel (blas::small_gemm) instead of the BOTS-style unrolled
@@ -69,13 +70,7 @@ void multiply(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
               linalg::MatrixView c, const StrassenOptions& opts = {},
               tasking::ThreadPool* pool = nullptr);
 
-/// Legacy name for multiply().
-[[deprecated("use capow::matmul() or strassen::multiply()")]]
-void strassen_multiply(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
-                       linalg::MatrixView c, const StrassenOptions& opts = {},
-                       tasking::ThreadPool* pool = nullptr);
-
-/// Number of recursion levels strassen_multiply executes for dimension n
+/// Number of recursion levels multiply() executes for dimension n
 /// (0 when n <= cutoff): levels until the padded dimension reaches the
 /// base case.
 std::size_t recursion_levels(std::size_t n, std::size_t base_cutoff);

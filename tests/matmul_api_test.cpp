@@ -1,8 +1,9 @@
 // Tests for the capow::matmul() facade, the shared algorithm registry,
-// and the deprecated legacy entry points it replaces.
+// and the backend-pinned equivalence the redesign guarantees.
 #include <gtest/gtest.h>
 
 #include "capow/api/matmul.hpp"
+#include "capow/blas/blocked_gemm.hpp"
 #include "capow/blas/gemm_ref.hpp"
 #include "capow/core/algorithms.hpp"
 #include "capow/linalg/ops.hpp"
@@ -126,54 +127,122 @@ TEST(MatmulFacade, ParallelPoolThreadsThrough) {
 }
 
 // ---------------------------------------------------------------------
-// Legacy-shim equivalence. The deprecated entry points must produce
-// bitwise-identical results to the facade on the paper's shapes —
-// they are now thin wrappers over the same implementation.
+// Backend-pinned equivalence. Pinning backend=cpu must be bit-identical
+// to both the direct per-algorithm entry points and the default facade
+// path, on the same shapes/seeds the PR-3 shim-equivalence tests used —
+// the device seam adds dispatch, not arithmetic.
 // ---------------------------------------------------------------------
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
-TEST(LegacyShims, BlockedGemmMatchesFacadeBitwise) {
+TEST(BackendEquivalence, CpuBackendMatchesDirectGemmBitwise) {
   for (std::size_t n : {64u, 512u}) {
     Matrix a = random_matrix(n, n, n), b = random_matrix(n, n, n + 1);
-    Matrix legacy(n, n), facade(n, n);
-    blas::blocked_gemm(a.view(), b.view(), legacy.view());
-    matmul(a.view(), b.view(), facade.view());
-    EXPECT_TRUE(allclose(facade.view(), legacy.view(), 0.0, 0.0))
+    Matrix direct(n, n), facade(n, n);
+    blas::gemm(a.view(), b.view(), direct.view());
+    MatmulOptions opts;
+    opts.backend = backend::BackendId::kCpu;
+    matmul(a.view(), b.view(), facade.view(), opts);
+    EXPECT_TRUE(allclose(facade.view(), direct.view(), 0.0, 0.0))
         << "n=" << n;
   }
 }
 
-TEST(LegacyShims, StrassenMatchesFacadeBitwise) {
+TEST(BackendEquivalence, CpuBackendMatchesStrassenBitwise) {
   const std::size_t n = 256;
   Matrix a = random_matrix(n, n, 31), b = random_matrix(n, n, 32);
-  Matrix legacy(n, n), facade(n, n);
+  Matrix direct(n, n), facade(n, n);
   strassen::StrassenOptions sopts;
   sopts.base_cutoff = 32;
-  strassen::strassen_multiply(a.view(), b.view(), legacy.view(), sopts);
+  strassen::multiply(a.view(), b.view(), direct.view(), sopts);
   MatmulOptions opts;
   opts.algorithm = AlgorithmId::kStrassen;
   opts.strassen = sopts;
+  opts.backend = backend::BackendId::kCpu;
   matmul(a.view(), b.view(), facade.view(), opts);
-  EXPECT_TRUE(allclose(facade.view(), legacy.view(), 0.0, 0.0));
+  EXPECT_TRUE(allclose(facade.view(), direct.view(), 0.0, 0.0));
 }
 
-TEST(LegacyShims, CapsMatchesFacadeBitwise) {
+TEST(BackendEquivalence, CpuBackendMatchesCapsBitwise) {
   const std::size_t n = 128;
   Matrix a = random_matrix(n, n, 41), b = random_matrix(n, n, 42);
-  Matrix legacy(n, n), facade(n, n);
+  Matrix direct(n, n), facade(n, n);
   capsalg::CapsOptions copts;
   copts.base_cutoff = 16;
   copts.bfs_cutoff_depth = 1;
-  capsalg::caps_multiply(a.view(), b.view(), legacy.view(), copts);
+  capsalg::multiply(a.view(), b.view(), direct.view(), copts);
   MatmulOptions opts;
   opts.algorithm = AlgorithmId::kCaps;
   opts.caps = copts;
+  opts.backend = backend::BackendId::kCpu;
   matmul(a.view(), b.view(), facade.view(), opts);
-  EXPECT_TRUE(allclose(facade.view(), legacy.view(), 0.0, 0.0));
+  EXPECT_TRUE(allclose(facade.view(), direct.view(), 0.0, 0.0));
 }
 
-#pragma GCC diagnostic pop
+TEST(BackendEquivalence, ExplicitCpuMatchesDefaultResolutionBitwise) {
+  const std::size_t n = 96;
+  Matrix a = random_matrix(n, n, 5), b = random_matrix(n, n, 6);
+  Matrix by_default(n, n), pinned(n, n);
+  matmul(a.view(), b.view(), by_default.view());
+  MatmulOptions opts;
+  opts.backend = backend::BackendId::kCpu;
+  matmul(a.view(), b.view(), pinned.view(), opts);
+  EXPECT_TRUE(allclose(pinned.view(), by_default.view(), 0.0, 0.0));
+}
+
+// ---------------------------------------------------------------------
+// Resolve-time options validation: inconsistent kernel/blocking
+// requests fail up front with the valid combinations in the message.
+// ---------------------------------------------------------------------
+
+TEST(MatmulValidation, UnknownBlockingTileRejectedWithListing) {
+  MatmulOptions opts;
+  opts.blocking = blas::BlockingParams{};
+  opts.blocking->mr = 5;
+  opts.blocking->nr = 3;
+  try {
+    Matrix a(8, 8), b(8, 8), c(8, 8);
+    matmul(a.view(), b.view(), c.view(), opts);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("5x3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("generic=4x4"), std::string::npos) << msg;
+  }
+}
+
+TEST(MatmulValidation, ConflictingKernelAndTileRejectedWithListing) {
+  MatmulOptions opts;
+  const blas::MicroKernel* generic =
+      blas::find_kernel(blas::MicroKernelId::kGeneric);
+  ASSERT_NE(generic, nullptr);
+  opts.blocking = blas::default_blocking_for(*generic);
+  opts.kernel = blas::MicroKernelId::kFma;  // 6x8 tile, not 4x4
+  try {
+    validate_options(opts);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("generic"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fma"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("6x8"), std::string::npos) << msg;
+  }
+}
+
+TEST(MatmulValidation, ConsistentPinnedTileAccepted) {
+  const blas::MicroKernel* generic =
+      blas::find_kernel(blas::MicroKernelId::kGeneric);
+  ASSERT_NE(generic, nullptr);
+  MatmulOptions opts;
+  opts.blocking = blas::default_blocking_for(*generic);
+  opts.kernel = blas::MicroKernelId::kGeneric;
+  EXPECT_NO_THROW(validate_options(opts));
+
+  const std::size_t n = 48;
+  Matrix a = random_matrix(n, n, 9), b = random_matrix(n, n, 10);
+  Matrix expect(n, n), got(n, n);
+  blas::gemm_reference(a.view(), b.view(), expect.view());
+  matmul(a.view(), b.view(), got.view(), opts);
+  EXPECT_TRUE(allclose(got.view(), expect.view(), 1e-11, 1e-11));
+}
 
 }  // namespace
 }  // namespace capow

@@ -38,6 +38,16 @@
 //     --comm-trace=FILE                with --comm: Chrome trace with
 //                                      one lane per rank and send->recv
 //                                      flow arrows (live runs only)
+//     --backends                       heterogeneous EP study: dispatch
+//                                      every algorithm onto each
+//                                      registered backend (cpu,
+//                                      sim_accel) through the fallback-
+//                                      aware registry and print per-
+//                                      backend EP/S rows plus the
+//                                      per-device Eq (9) crossover
+//                                      comparison (skips the experiment
+//                                      matrix; honors --sizes,
+//                                      --threads, --csv)
 //     --help
 #include <cstdio>
 #include <cstdlib>
@@ -49,8 +59,10 @@
 #include <vector>
 
 #include "capow/abft/abft.hpp"
+#include "capow/backend/backend.hpp"
 #include "capow/core/ep_model.hpp"
 #include "capow/fault/fault.hpp"
+#include "capow/harness/backend_study.hpp"
 #include "capow/harness/comm_audit.hpp"
 #include "capow/harness/experiment.hpp"
 #include "capow/harness/table.hpp"
@@ -111,7 +123,7 @@ void print_usage(const char* argv0) {
       "          [--profile=FILE] [--flamegraph=FILE]\n"
       "          [--flamegraph-weight=mj|ns] [--ep-phases=FILE]\n"
       "          [--faults=SPEC] [--checkpoint=FILE] [--resume=FILE]\n"
-      "          [--comm] [--comm-trace=FILE]\n",
+      "          [--comm] [--comm-trace=FILE] [--backends]\n",
       argv0);
 }
 
@@ -252,12 +264,45 @@ int run_comm_report(const machine::MachineSpec& spec, bool csv,
   return 0;
 }
 
+/// Heterogeneous EP study mode (--backends): the paper's Eq (1)/(5)
+/// measurements and the Eq (9) crossover, evaluated per registered
+/// device class through the fallback-aware BackendRegistry.
+int run_backend_report(const harness::BackendStudyConfig& cfg, bool csv) {
+  if (!csv) {
+    std::printf("capow heterogeneous EP study — %zu backend(s)\n",
+                backend::BackendRegistry::instance().all().size());
+    for (backend::Backend* b : backend::BackendRegistry::instance().all()) {
+      if (b == nullptr) continue;
+      const machine::MachineSpec& spec = b->device_spec();
+      std::printf("  %-9s %s: peak %.1f GF/s, memory %.1f GB/s\n",
+                  b->name(), b->description(), spec.peak_flops() / 1e9,
+                  spec.memory.bandwidth_bytes_per_s / 1e9);
+    }
+  }
+  const std::vector<harness::BackendStudyRow> rows =
+      harness::run_backend_study(cfg);
+  emit(harness::backend_ep_table(rows), csv,
+       "per-backend energy performance (Eq 1 / Eq 5)");
+  emit(harness::backend_crossover_table(harness::backend_crossover_rows()),
+       csv, "per-device Strassen crossover (Eq 9)");
+  const std::uint64_t fallbacks =
+      backend::BackendRegistry::instance().fallbacks_total();
+  if (!csv && fallbacks > 0) {
+    std::printf(
+        "\n%llu dispatch(es) fell back to the host backend "
+        "(capow_backend_fallbacks_total)\n",
+        static_cast<unsigned long long>(fallbacks));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   harness::ExperimentConfig cfg;
   bool csv = false;
   bool comm_mode = false;
+  bool backends_mode = false;
   std::string trace_path, jsonl_path, metrics_path;
   std::string profile_path, flamegraph_path, ep_phases_path;
   std::string comm_trace_path;
@@ -268,6 +313,12 @@ int main(int argc, char** argv) {
     fault_plan = fault::FaultPlan::from_env();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bad CAPOW_FAULTS: %s\n", e.what());
+    return 1;
+  }
+  try {
+    backend::env_backend_override();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad CAPOW_BACKEND: %s\n", e.what());
     return 1;
   }
 
@@ -321,6 +372,8 @@ int main(int argc, char** argv) {
         comm_trace_path = v15;
       } else if (arg == "--comm") {
         comm_mode = true;
+      } else if (arg == "--backends") {
+        backends_mode = true;
       } else if (arg == "--csv") {
         csv = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -351,6 +404,12 @@ int main(int argc, char** argv) {
   if (comm_mode) {
     return run_comm_report(cfg.machine, csv, cfg.checkpoint_path, cfg.resume,
                            metrics_path, comm_trace_path, injector.get());
+  }
+  if (backends_mode) {
+    harness::BackendStudyConfig bcfg;
+    bcfg.sizes = cfg.sizes;
+    bcfg.threads = cfg.thread_counts;
+    return run_backend_report(bcfg, csv);
   }
   if (!comm_trace_path.empty()) {
     std::fprintf(stderr, "--comm-trace requires --comm\n");
