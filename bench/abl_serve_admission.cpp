@@ -1,0 +1,165 @@
+// ABL — what capowd's admission control costs, and what it buys.
+//
+// The serve layer is only admissible under the same contract as every
+// other robustness layer: the unloaded path must be free. serve_one()
+// with an idle bucket forwards to capow::matmul() bit-identically, so
+// the admission tax (memoized prediction + token-bucket debit + a
+// decision record) has to vanish against the multiply it guards. The
+// reproduction section prices that tax end to end, then re-runs the
+// ISSUE's fixed-seed overload study to show the other side of the
+// trade: under a 50 mW contract against a few-watt open-loop trace the
+// ladder sheds only best-effort traffic, the guaranteed tier keeps its
+// SLO, and the achieved watts land inside the budget.
+#include <chrono>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "capow/api/matmul.hpp"
+#include "capow/linalg/random.hpp"
+#include "capow/serve/server.hpp"
+
+namespace {
+
+using namespace capow;
+
+// Direct matmul vs the full serve_one() admission path, interleaved
+// best-of so OS jitter cannot masquerade as admission overhead.
+void time_serve_pair(int reps, double* direct_s, double* served_s,
+                     bool* identical) {
+  const std::size_t n = 256;
+  const auto a = linalg::random_matrix(n, n, 1);
+  const auto b = linalg::random_matrix(n, n, 2);
+  linalg::Matrix via_direct(n, n);
+  linalg::Matrix via_serve(n, n);
+
+  MatmulOptions mo;
+  mo.algorithm = core::AlgorithmId::kOpenBlas;
+  mo.abft.mode = abft::AbftMode::kOff;
+
+  serve::Server server{serve::ServeOptions{}};
+  serve::Request req;
+  req.id = 1;
+  req.n = n;
+  req.tier = serve::QosTier::kGuaranteed;
+  req.algorithm = core::AlgorithmId::kOpenBlas;
+
+  matmul(a.view(), b.view(), via_direct.view(), mo);
+  server.serve_one(req, a.view(), b.view(), via_serve.view());
+
+  *direct_s = 1e300;
+  *served_s = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    matmul(a.view(), b.view(), via_direct.view(), mo);
+    auto t1 = std::chrono::steady_clock::now();
+    const double d = std::chrono::duration<double>(t1 - t0).count();
+    if (d < *direct_s) *direct_s = d;
+
+    t0 = std::chrono::steady_clock::now();
+    server.serve_one(req, a.view(), b.view(), via_serve.view());
+    t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (s < *served_s) *served_s = s;
+  }
+  *identical = std::memcmp(via_direct.data(), via_serve.data(),
+                           n * n * sizeof(double)) == 0;
+}
+
+void print_reproduction() {
+  bench::banner("ABL serve", "capowd admission control: cost and effect");
+
+  const int reps = 20;
+  double direct_s = 0.0, served_s = 0.0;
+  bool identical = false;
+  time_serve_pair(reps, &direct_s, &served_s, &identical);
+  const double overhead_pct =
+      direct_s > 0.0 ? (served_s / direct_s - 1.0) * 100.0 : 0.0;
+
+  std::printf("\nunloaded path, n=256 OpenBLAS, interleaved best of %d:\n",
+              reps);
+  harness::TextTable tax({"path", "seconds/run", "overhead"});
+  tax.add_row({"capow::matmul direct", harness::fmt(direct_s, 6), "-"});
+  tax.add_row({"serve_one (idle bucket)", harness::fmt(served_s, 6),
+               harness::fmt(overhead_pct, 2) + "%"});
+  std::printf("%s", tax.str().c_str());
+  std::printf("result bit-identical to the direct call: %s\n",
+              identical ? "yes" : "NO — transparency contract violated");
+
+  // The ISSUE's overload study: a few-watt seeded trace against a
+  // 50 mW contract. Virtual-time engine, so this re-runs in
+  // milliseconds regardless of the trace's 20 s horizon.
+  serve::LoadGenOptions lg;
+  lg.seed = 7;
+  serve::ServeOptions so;
+  so.budget.budget_w = 0.05;
+  serve::Server server(so);
+  const serve::ServeReport report = server.run(serve::generate_trace(lg));
+
+  std::printf("\noverload study (seed %llu, budget %.2f W):\n",
+              static_cast<unsigned long long>(lg.seed),
+              so.budget.budget_w);
+  harness::TextTable study(
+      {"tier", "submitted", "completed", "shed", "p99_s"});
+  for (std::size_t i = 0; i < serve::kTierCount; ++i) {
+    const auto& t = report.tiers[i];
+    study.add_row(
+        {serve::tier_name(static_cast<serve::QosTier>(i)),
+         std::to_string(t.submitted), std::to_string(t.completed),
+         std::to_string(t.rejected_for(serve::RejectReason::kShedding)),
+         harness::fmt(t.p99_s, 4)});
+  }
+  std::printf("%s", study.str().c_str());
+  std::printf("achieved %.4f W vs budget %.2f W; SLO %s, budget %s\n",
+              report.achieved_w, report.budget_w,
+              report.slo_met ? "met" : "MISSED",
+              report.budget_met ? "met" : "BLOWN");
+}
+
+// One admission-path model evaluation after warm-up: the memoized
+// lookup every repeated shape pays.
+void BM_PredictMemoized(benchmark::State& state) {
+  serve::CostPredictor predictor(machine::haswell_e3_1225(), 4);
+  predictor.predict(core::AlgorithmId::kOpenBlas, 224);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        predictor.predict(core::AlgorithmId::kOpenBlas, 224));
+  }
+}
+BENCHMARK(BM_PredictMemoized);
+
+// A debit/refund round trip on the token bucket — the arithmetic core
+// of every admission decision.
+void BM_BucketDebitRefund(benchmark::State& state) {
+  serve::EnergyBudgetOptions opts;
+  opts.budget_w = 10.0;
+  serve::EnergyBudget bucket(opts);
+  for (auto _ : state) {
+    bucket.try_debit(0.5, serve::QosTier::kBestEffort);
+    bucket.refund(0.5);
+    benchmark::DoNotOptimize(bucket.fill_j());
+  }
+}
+BENCHMARK(BM_BucketDebitRefund);
+
+// The whole virtual-time engine over the overload trace: decisions per
+// second of the discrete-event core.
+void BM_ServeEngineOverloadTrace(benchmark::State& state) {
+  serve::LoadGenOptions lg;
+  lg.seed = 7;
+  const auto trace = serve::generate_trace(lg);
+  serve::ServeOptions so;
+  so.budget.budget_w = 0.05;
+  serve::Server server(so);
+  std::size_t decisions = 0;
+  for (auto _ : state) {
+    decisions += server.run(trace).decisions.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
+}
+BENCHMARK(BM_ServeEngineOverloadTrace);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return capow::bench::bench_main(argc, argv, print_reproduction);
+}

@@ -51,6 +51,8 @@ constexpr SiteSpec kSites[kSiteCount] = {
     {"mem.flip", Site::kMemFlip, &FaultPlan::mem_flip},
     {"compute.flip", Site::kComputeFlip, &FaultPlan::compute_flip},
     {"rank.kill", Site::kRankKill, nullptr},
+    {"serve.burst", Site::kServeBurst, &FaultPlan::serve_burst},
+    {"serve.stall", Site::kServeStall, &FaultPlan::serve_stall},
 };
 
 constexpr bool sites_in_enum_order() {
@@ -68,13 +70,16 @@ constexpr const char* kEventNames[kEventCount] = {
     "rapl_retries",      "rapl_degraded_reads", "rapl_wraps",
     "task_stalls",       "runs_retried",      "runs_degraded",
     "runs_failed",       "run_timeouts",      "mem_flips",
-    "compute_flips",     "rank_kills",
+    "compute_flips",     "rank_kills",        "serve_bursts",
+    "serve_stalls",
 };
 
 // Non-site spec keys (magnitudes, seed) appended to the unknown-key
 // error so the full grammar is discoverable from the message alone.
 constexpr const char* kExtraKeys[] = {
-    "comm.delay_ms", "rapl.wrap", "task.stall_ms", "run.stall_ms", "seed",
+    "comm.delay_ms",      "rapl.wrap",      "task.stall_ms",
+    "run.stall_ms",       "serve.burst_copies", "serve.stall_ms",
+    "seed",
 };
 
 std::string valid_keys() {
@@ -230,6 +235,16 @@ std::string FaultPlan::spec() const {
       case Site::kRunStall:
         if (run_stall_ms != 1.0) add("run.stall_ms", fmt_double(run_stall_ms));
         break;
+      case Site::kServeBurst:
+        if (serve_burst_copies != 3.0) {
+          add("serve.burst_copies", fmt_double(serve_burst_copies));
+        }
+        break;
+      case Site::kServeStall:
+        if (serve_stall_ms != 1.0) {
+          add("serve.stall_ms", fmt_double(serve_stall_ms));
+        }
+        break;
       case Site::kRankKill:
         for (const RankKillSpec& k : rank_kills) {
           std::string v = std::to_string(k.victim) + "/" +
@@ -282,6 +297,15 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.task_stall_ms = parse_duration(k, v);
     } else if (k == "run.stall_ms") {
       plan.run_stall_ms = parse_duration(k, v);
+    } else if (k == "serve.burst_copies") {
+      const double copies = parse_number(k, v);
+      if (copies < 1.0) {
+        throw std::invalid_argument(
+            "fault spec: serve.burst_copies must be >= 1, got '" + v + "'");
+      }
+      plan.serve_burst_copies = copies;
+    } else if (k == "serve.stall_ms") {
+      plan.serve_stall_ms = parse_duration(k, v);
     } else if (k == "rank.kill") {
       // Repeated keys accumulate: a multi-victim chaos schedule is a
       // list of kills, not a single overwritable value.

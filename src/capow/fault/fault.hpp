@@ -44,8 +44,10 @@ enum class Site {
   kMemFlip,       ///< silent bit-flip in a result/operand held in memory
   kComputeFlip,   ///< silent corruption of data feeding a computation
   kRankKill,      ///< a dist rank dies fail-stop at a fixed comm epoch
+  kServeBurst,    ///< a capowd arrival is amplified into a request burst
+  kServeStall,    ///< a dispatched capowd request stalls in its worker
 };
-inline constexpr std::size_t kSiteCount = 10;
+inline constexpr std::size_t kSiteCount = 12;
 
 /// Spec key of a site ("comm.drop", "rapl.fail", ...).
 const char* site_name(Site s) noexcept;
@@ -72,8 +74,10 @@ enum class Event {
   kMemFlip,          ///< injected silent memory bit-flips
   kComputeFlip,      ///< injected silent compute-input corruptions
   kRankKill,         ///< dist ranks terminated fail-stop by the injector
+  kServeBurst,       ///< serve arrivals amplified into bursts
+  kServeStall,       ///< serve requests stalled inside their worker
 };
-inline constexpr std::size_t kEventCount = 17;
+inline constexpr std::size_t kEventCount = 19;
 
 /// Metric/report name of an event ("comm_drops", "rapl_retries", ...).
 const char* event_name(Event e) noexcept;
@@ -128,6 +132,11 @@ struct FaultPlan {
   double mem_flip = 0.0;      ///< P(silent flip) per result element
   double compute_flip = 0.0;  ///< P(silent flip) per compute input element
 
+  double serve_burst = 0.0;        ///< P(burst) per capowd arrival
+  double serve_burst_copies = 3.0; ///< extra copies injected per burst
+  double serve_stall = 0.0;        ///< P(stall) per dispatched request
+  double serve_stall_ms = 1.0;     ///< worker stall duration
+
   /// Deterministic rank deaths (`rank.kill=V/P[@E]`). Repeated
   /// `rank.kill=` keys accumulate, enabling multi-victim chaos runs;
   /// every other key keeps last-one-wins semantics.
@@ -156,7 +165,8 @@ struct FaultPlan {
 
   /// Parses a spec string. Grammar: comma-separated `key=value` pairs;
   /// keys are the site names plus `comm.delay_ms`, `rapl.wrap`,
-  /// `task.stall_ms`, `run.stall_ms`, and `seed`. Probabilities must
+  /// `task.stall_ms`, `run.stall_ms`, `serve.burst_copies`,
+  /// `serve.stall_ms`, and `seed`. Probabilities must
   /// lie in [0, 1]; durations must be >= 0. `rank.kill` takes `V/P[@E]`
   /// (victim rank, world size, optional 1-based comm epoch) and rejects
   /// V >= P at parse time. Throws std::invalid_argument on unknown keys

@@ -175,6 +175,13 @@ std::string checkpoint_line(const ResultRecord& r) {
   if (r.recovery_ns > 0) {
     out += ",\"recovery_ns\":" + std::to_string(r.recovery_ns);
   }
+  // RAPL measurement-health fields follow the same only-when-set rule.
+  if (r.rapl_wraps > 0) {
+    out += ",\"rapl_wraps\":" + std::to_string(r.rapl_wraps);
+  }
+  if (r.rapl_retries > 0) {
+    out += ",\"rapl_retries\":" + std::to_string(r.rapl_retries);
+  }
   out += "}";
   return out;
 }
@@ -247,6 +254,14 @@ std::optional<ResultRecord> parse_checkpoint_line(const std::string& line) {
   if (find_value(line, "recovery_ns", tok)) {
     if (!parse_u64(tok, u)) return std::nullopt;
     r.recovery_ns = static_cast<std::uint64_t>(u);
+  }
+  if (find_value(line, "rapl_wraps", tok)) {
+    if (!parse_u64(tok, u)) return std::nullopt;
+    r.rapl_wraps = static_cast<std::uint64_t>(u);
+  }
+  if (find_value(line, "rapl_retries", tok)) {
+    if (!parse_u64(tok, u)) return std::nullopt;
+    r.rapl_retries = static_cast<std::uint64_t>(u);
   }
   return r;
 }

@@ -157,6 +157,8 @@ ResultRecord measure_one(const ExperimentConfig& config, Algorithm a,
   degraded = events.degraded();
 
   ResultRecord r;
+  r.rapl_wraps = events.wraps();
+  r.rapl_retries = events.retries();
   r.algorithm = a;
   r.n = n;
   r.threads = threads;

@@ -102,6 +102,13 @@ struct ResultRecord {
   /// Wall time the elastic runtime spent in recovery transitions.
   /// Diagnostic: excluded from deterministic run-to-run comparison.
   std::uint64_t recovery_ns = 0;
+  /// RAPL measurement health for this record's final attempt: 32-bit
+  /// counter wraps the reader folded and transient-read retries it
+  /// absorbed. Nonzero retries with status below kDegraded mean the
+  /// retry budget hid every injected rapl.fail. Checkpoint lines carry
+  /// these only when nonzero (byte-compatible with older checkpoints).
+  std::uint64_t rapl_wraps = 0;
+  std::uint64_t rapl_retries = 0;
 };
 
 /// Runs the evaluation matrix and answers the paper's table/figure

@@ -300,6 +300,39 @@ void export_metrics(ExperimentRunner& runner, std::ostream& os) {
                static_cast<double>(r.attempts));
   }
 
+  // RAPL measurement health, first-class: a degraded power read must be
+  // visible on a dashboard, not buried in a run status. The gauge is
+  // always exported (0 on clean runs, and the matrix is fixed, so clean
+  // scrapes stay byte-stable); the wrap/retry counters follow the
+  // conditional-family convention — they appear only once the readers
+  // actually wrapped or retried, keeping pre-fault scrapes identical.
+  reg.family("capow_rapl_degraded",
+             "1 when the configuration's final attempt served stale RAPL "
+             "values after exhausting its read retries",
+             "gauge");
+  std::uint64_t wraps_total = 0;
+  std::uint64_t retries_total = 0;
+  for (const auto& r : records) {
+    reg.sample({{"algorithm", algorithm_name(r.algorithm)},
+                {"n", std::to_string(r.n)},
+                {"threads", std::to_string(r.threads)}},
+               r.status == RunStatus::kDegraded ? 1.0 : 0.0);
+    wraps_total += r.rapl_wraps;
+    retries_total += r.rapl_retries;
+  }
+  if (wraps_total > 0) {
+    reg.family("capow_rapl_wraps_total",
+               "32-bit RAPL counter wraps folded by the readers",
+               "counter");
+    reg.sample({}, static_cast<double>(wraps_total));
+  }
+  if (retries_total > 0) {
+    reg.family("capow_rapl_retries_total",
+               "Transient RAPL read failures absorbed by the retry budget",
+               "counter");
+    reg.sample({}, static_cast<double>(retries_total));
+  }
+
   // Which microkernel each algorithm resolves under the current
   // CAPOW_KERNEL setting. Info-style gauge (value 1, identity in the
   // label) — deterministic per environment, so clean scrapes stay

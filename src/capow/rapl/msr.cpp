@@ -130,6 +130,7 @@ RaplReader::RaplReader(const SimulatedMsrDevice& dev)
 void RaplReader::reset() {
   degraded_ = false;
   wraps_ = 0;
+  retries_ = 0;
   for (std::size_t i = 0; i < machine::kPowerPlaneCount; ++i) {
     accumulated_j_[i] = 0.0;
     std::uint32_t raw = 0;
@@ -163,6 +164,7 @@ bool RaplReader::try_read_raw(machine::PowerPlane plane, std::uint32_t& out) {
       return true;
     } catch (const TransientReadError&) {
       if (attempt < kRaplReadRetries) {
+        ++retries_;
         if (auto* inj = fault::FaultInjector::active()) {
           inj->record(fault::Event::kRaplRetry);
         }

@@ -126,6 +126,12 @@ class RaplReader {
   /// 32-bit counter wraps folded into deltas since construction/reset.
   std::uint64_t wraps() const noexcept { return wraps_; }
 
+  /// Transient-failure retries performed since construction/reset —
+  /// the measurement-health signal one step before degraded(): a
+  /// nonzero retry count with degraded() still false means the retry
+  /// budget absorbed every fault.
+  std::uint64_t retries() const noexcept { return retries_; }
+
  private:
   std::uint32_t read_raw(machine::PowerPlane plane) const;
   /// Retrying read; false when the retry budget is exhausted.
@@ -135,6 +141,7 @@ class RaplReader {
   double unit_j_;
   bool degraded_ = false;
   std::uint64_t wraps_ = 0;
+  std::uint64_t retries_ = 0;
   std::uint32_t last_raw_[machine::kPowerPlaneCount] = {0, 0, 0};
   /// False until the plane's baseline counter has been latched; a plane
   /// whose reset() read failed re-bases on its first successful read so

@@ -63,6 +63,13 @@ class EventSet {
   /// rather than discarding it.
   bool degraded() const noexcept { return reader_.degraded(); }
 
+  /// Counter wraps the underlying reader folded since start().
+  std::uint64_t wraps() const noexcept { return reader_.wraps(); }
+
+  /// Transient-failure retries the underlying reader absorbed since
+  /// start() (see RaplReader::retries()).
+  std::uint64_t retries() const noexcept { return reader_.retries(); }
+
  private:
   const SimulatedMsrDevice* dev_;
   RaplReader reader_;

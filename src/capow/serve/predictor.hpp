@@ -1,0 +1,72 @@
+// Cost prediction for admission control and algorithm choice.
+//
+// capowd admits by *predicted joules*, so its predictions must come
+// from the models the rest of the repo already validates: the
+// per-algorithm closed-form cost profiles (blas/strassen/capsalg
+// cost_model.hpp) run through the roofline-with-contention simulator
+// (sim::simulate). One prediction per (algorithm, n) is exact,
+// deterministic, and cheap — and memoized here because a load trace
+// re-uses a small set of shapes thousands of times.
+//
+// Algorithm choice implements the paper's decision procedure, not a
+// heuristic: under normal operation the scheduler picks the minimum
+// predicted *time*, considering Strassen/CAPS only at dimensions above
+// the Eq (9) crossover n = 480*y/z (below it the recursive algorithms
+// lose to blocked GEMM on this machine balance — the paper's Table II
+// result). Under the ladder's eco rung the objective flips to minimum
+// predicted package *joules* across all three algorithms: degradation
+// trades latency for energy using the same model that set the budget.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+
+#include "capow/core/algorithms.hpp"
+#include "capow/machine/machine.hpp"
+
+namespace capow::serve {
+
+/// One memoized model evaluation.
+struct Prediction {
+  double seconds = 0.0;    ///< predicted wall time
+  double package_j = 0.0;  ///< predicted PACKAGE-plane energy
+};
+
+/// The scheduler's pick plus the prediction that justified it.
+struct AlgorithmChoice {
+  core::AlgorithmId algorithm = core::AlgorithmId::kOpenBlas;
+  Prediction prediction;
+};
+
+/// Memoizing cost predictor for square n x n matmuls with `threads`
+/// workers on one machine model. Not thread-safe (engine-thread only).
+class CostPredictor {
+ public:
+  CostPredictor(machine::MachineSpec spec, unsigned threads);
+
+  /// Model evaluation for one algorithm at dimension n (memoized).
+  /// Throws std::invalid_argument for n == 0.
+  const Prediction& predict(core::AlgorithmId algorithm, std::size_t n);
+
+  /// Scheduler choice: minimum predicted seconds with the Eq (9)
+  /// crossover gate when `eco` is false; minimum predicted package
+  /// joules over all algorithms when true. Ties break toward the lower
+  /// AlgorithmId (registry order) for determinism.
+  AlgorithmChoice choose(std::size_t n, bool eco);
+
+  /// The Eq (9) crossover dimension for this machine at the tuned GEMM
+  /// efficiency — the gate normal-mode choice applies to Strassen/CAPS.
+  double crossover_n() const noexcept { return crossover_n_; }
+
+  const machine::MachineSpec& spec() const noexcept { return spec_; }
+  unsigned threads() const noexcept { return threads_; }
+
+ private:
+  machine::MachineSpec spec_;
+  unsigned threads_;
+  double crossover_n_;
+  std::map<std::pair<int, std::size_t>, Prediction> cache_;
+};
+
+}  // namespace capow::serve

@@ -1,0 +1,40 @@
+#include "capow/serve/queue.hpp"
+
+#include <utility>
+
+namespace capow::serve {
+
+bool TierQueue::push(QueuedRequest qr) {
+  auto& q = lane(qr.request.tier);
+  if (q.size() >= capacity_) return false;
+  q.push_back(std::move(qr));
+  return true;
+}
+
+std::optional<QueuedRequest> TierQueue::pop() {
+  for (auto& q : lanes_) {
+    if (!q.empty()) {
+      QueuedRequest qr = std::move(q.front());
+      q.pop_front();
+      return qr;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<QueuedRequest> TierQueue::take_expired(double t_s) {
+  std::vector<QueuedRequest> expired;
+  for (auto& q : lanes_) {
+    for (auto it = q.begin(); it != q.end();) {
+      if (it->has_deadline() && it->deadline_t_s() <= t_s) {
+        expired.push_back(std::move(*it));
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return expired;
+}
+
+}  // namespace capow::serve

@@ -1,0 +1,88 @@
+// The bounded two-tier request queue of capowd.
+//
+// Boundedness is the point: an unbounded queue converts overload into
+// unbounded latency (every request eventually "succeeds", long after
+// its deadline), while a bounded queue converts it into typed
+// kQueueFull rejections at admission time. Capacity is per tier so
+// best-effort backlog can never crowd out guaranteed requests, and
+// dispatch order is strict priority (guaranteed first, FIFO within a
+// tier) — simple, starvation-free for the tier the SLO covers, and
+// deterministic.
+//
+// Entries carry everything admission decided (algorithm, ABFT mode,
+// predicted cost, debited joules) so dispatch never re-plans: a request
+// admitted under the eco rung keeps its eco algorithm even if the
+// ladder has recovered by dispatch time, keeping every decision
+// attributable to exactly one logged admission.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "capow/serve/predictor.hpp"
+#include "capow/serve/request.hpp"
+
+namespace capow::serve {
+
+/// A request as admission committed it to the queue.
+struct QueuedRequest {
+  Request request;
+  core::AlgorithmId algorithm = core::AlgorithmId::kOpenBlas;
+  abft::AbftMode abft = abft::AbftMode::kOff;
+  Prediction prediction;       ///< model cost admission debited against
+  double admit_t_s = 0.0;      ///< virtual admission time
+  DegradeLevel admit_level = DegradeLevel::kNone;
+
+  /// Absolute virtual deadline; +inf semantics via has_deadline().
+  bool has_deadline() const noexcept { return request.deadline_s > 0.0; }
+  double deadline_t_s() const noexcept {
+    return request.arrival_s + request.deadline_s;
+  }
+};
+
+/// Bounded per-tier FIFO with strict guaranteed-first dispatch.
+/// Not thread-safe: owned by the single-threaded serve engine.
+class TierQueue {
+ public:
+  explicit TierQueue(std::size_t capacity_per_tier) noexcept
+      : capacity_(capacity_per_tier) {}
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size(QosTier tier) const noexcept {
+    return lane(tier).size();
+  }
+  std::size_t total_size() const noexcept {
+    return lanes_[0].size() + lanes_[1].size();
+  }
+  bool full(QosTier tier) const noexcept {
+    return lane(tier).size() >= capacity_;
+  }
+  bool empty() const noexcept { return total_size() == 0; }
+
+  /// False (request not enqueued) when the tier lane is at capacity.
+  bool push(QueuedRequest qr);
+
+  /// Next request in dispatch order: guaranteed lane first, FIFO within
+  /// a lane. nullopt when both lanes are empty.
+  std::optional<QueuedRequest> pop();
+
+  /// Removes and returns the queued requests whose deadline is at or
+  /// before `t_s` (they can no longer be served; the engine logs them
+  /// expired and refunds their joules).
+  std::vector<QueuedRequest> take_expired(double t_s);
+
+ private:
+  std::deque<QueuedRequest>& lane(QosTier t) noexcept {
+    return lanes_[static_cast<std::size_t>(t)];
+  }
+  const std::deque<QueuedRequest>& lane(QosTier t) const noexcept {
+    return lanes_[static_cast<std::size_t>(t)];
+  }
+
+  std::size_t capacity_;
+  std::deque<QueuedRequest> lanes_[kTierCount];
+};
+
+}  // namespace capow::serve

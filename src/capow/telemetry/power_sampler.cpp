@@ -1,9 +1,11 @@
 #include "capow/telemetry/power_sampler.hpp"
 
 #include <algorithm>
+#include <climits>
 #include <cstdlib>
 #include <stdexcept>
 
+#include "capow/core/env.hpp"
 #include "capow/rapl/papi.hpp"
 #include "capow/telemetry/clock.hpp"
 #include "capow/telemetry/tracer.hpp"
@@ -14,11 +16,14 @@ std::chrono::microseconds PowerSampler::resolve_period(
     std::chrono::microseconds requested) noexcept {
   long long us = requested.count();
   if (requested == kDefaultPeriod) {
-    if (const char* env = std::getenv("CAPOW_POWER_PERIOD_US");
-        env != nullptr && env[0] != '\0') {
-      char* end = nullptr;
-      const long long v = std::strtoll(env, &end, 10);
-      if (end != env && *end == '\0' && v > 0) us = v;
+    // Lenient by contract (this resolver is noexcept and default-only):
+    // a malformed value is ignored, an out-of-range one is clamped
+    // below — but the token grammar itself is the shared strict one, so
+    // "2000" and "2000 " parse identically here and in the throwing
+    // CAPOW_SERVE_* knobs.
+    if (const auto v = core::env_integer_lenient("CAPOW_POWER_PERIOD_US", 1,
+                                                 LLONG_MAX)) {
+      us = *v;
     }
   }
   return std::chrono::microseconds(

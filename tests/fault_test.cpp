@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "capow/fault/fault.hpp"
+#include "capow/harness/experiment.hpp"
 
 namespace capow::fault {
 namespace {
@@ -395,6 +396,37 @@ TEST(FaultFlip, MaybeFlipIsDeterministicAndKeyedOnCoordinates) {
   EXPECT_EQ(maybe_flip(Site::kMemFlip, key(1, 2), clean.data(), 4, 4, 4),
             0u);
   EXPECT_EQ(clean, std::vector<double>(16, 2.0));
+}
+
+// The harness watchdog's retry path end-to-end. Seed 40 is chosen so
+// that run.stall fires on attempt 1 and stays quiet on attempt 2 for
+// every run_index in this 3-record matrix: each record's first attempt
+// stalls past the watchdog, is abandoned to its detached thread, and
+// the retry succeeds. It lives in this binary (not harness_test)
+// because the TSan CI leg runs fault_test — the watchdog/attempt-thread
+// handoff is exactly the race that leg exists to guard.
+TEST(HarnessWatchdog, StalledAttemptTimesOutThenRetrySucceeds) {
+  FaultInjector inj(
+      FaultPlan::parse("run.stall=0.5,run.stall_ms=2000,seed=40"));
+  FaultScope scope(inj);
+
+  harness::ExperimentConfig cfg;
+  cfg.sizes = {64};
+  cfg.thread_counts = {1};
+  cfg.quiesce_seconds = 0.0;
+  cfg.max_run_attempts = 3;
+  cfg.run_timeout_seconds = 0.5;
+  harness::ExperimentRunner runner(cfg);
+  const auto& results = runner.run();
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, harness::RunStatus::kRetried);
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_TRUE(r.error.empty()) << r.error;
+  }
+  EXPECT_EQ(inj.count(Event::kRunTimeout), 3u);
+  EXPECT_EQ(inj.count(Event::kRunRetry), 3u);
 }
 
 TEST(FaultKey, MixesAllCoordinates) {

@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "capow/core/env.hpp"
 #include "capow/harness/bench_diff.hpp"
 #include "capow/harness/table.hpp"
 
@@ -82,13 +83,11 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--tolerance=", 0) == 0) {
       try {
-        opts.tolerance = std::stod(std::string(arg.substr(12)));
-      } catch (const std::exception&) {
-        std::cerr << "capow-bench-diff: bad --tolerance value\n";
-        return 2;
-      }
-      if (opts.tolerance < 0.0) {
-        std::cerr << "capow-bench-diff: --tolerance must be >= 0\n";
+        // Strict shared grammar: "0.1abc" is an error, not 0.1.
+        opts.tolerance = capow::core::parse_double_in(
+            "--tolerance", std::string(arg.substr(12)), 0.0, 1e9);
+      } catch (const std::exception& e) {
+        std::cerr << "capow-bench-diff: " << e.what() << "\n";
         return 2;
       }
       continue;

@@ -33,12 +33,14 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "capow/blas/gemm_ref.hpp"
+#include "capow/core/env.hpp"
 #include "capow/dist/comm.hpp"
 #include "capow/dist/dist_caps.hpp"
 #include "capow/dist/recovery.hpp"
@@ -54,7 +56,7 @@ using namespace capow;
 
 void print_usage(const char* argv0) {
   std::printf(
-      "Usage: %s [options]\n"
+      "usage: %s [options]\n"
       "  --workload=summa|dist_caps   distributed kernel (default summa)\n"
       "  --policy=abort|shrink|respawn  recovery policy (default respawn)\n"
       "  --faults=SPEC                fault spec (or env CAPOW_FAULTS),\n"
@@ -347,13 +349,14 @@ int main(int argc, char** argv) {
       } else if (const char* v3 = value_of("--faults=")) {
         cfg.faults_spec = v3;
       } else if (const char* v4 = value_of("--ranks=")) {
-        cfg.ranks = std::atoi(v4);
-        if (cfg.ranks <= 0) throw std::invalid_argument("bad --ranks");
+        cfg.ranks = static_cast<int>(
+            core::parse_integer_in("--ranks", v4, 1, 4096));
       } else if (const char* v5 = value_of("--n=")) {
-        cfg.n = static_cast<std::size_t>(std::atoll(v5));
-        if (cfg.n == 0) throw std::invalid_argument("bad --n");
+        cfg.n = static_cast<std::size_t>(
+            core::parse_integer_in("--n", v5, 1, 1 << 20));
       } else if (const char* v6 = value_of("--seed=")) {
-        cfg.seed = static_cast<std::uint64_t>(std::atoll(v6));
+        cfg.seed = static_cast<std::uint64_t>(core::parse_integer_in(
+            "--seed", v6, 0, std::numeric_limits<long long>::max()));
       } else if (const char* v7 = value_of("--jsonl=")) {
         cfg.jsonl_path = v7;
       } else {

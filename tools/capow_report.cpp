@@ -48,11 +48,34 @@
 //                                      comparison (skips the experiment
 //                                      matrix; honors --sizes,
 //                                      --threads, --csv)
+//     --serve                          overload-safety study: run the
+//                                      capowd service engine on a
+//                                      seeded arrival trace and print
+//                                      per-tier outcomes/latencies plus
+//                                      the SLO and energy-budget
+//                                      verdicts (skips the experiment
+//                                      matrix; honors --machine, --csv,
+//                                      --metrics, --faults and the
+//                                      CAPOW_SERVE_* env knobs)
+//     --serve-seed=N                   with --serve: trace seed
+//     --serve-duration=S               with --serve: trace horizon
+//     --serve-rate=HZ                  with --serve: mean arrival rate
+//     --serve-budget-w=W               with --serve: power budget
+//                                      (overrides CAPOW_SERVE_BUDGET_W;
+//                                      0 = unlimited)
+//     --serve-log=FILE                 with --serve: write the decision
+//                                      log (the byte-reproducible
+//                                      determinism surface CI diffs)
 //     --help
+//
+// Exit status: 0 on success, 1 on runtime failure, 2 on a usage error
+// (unknown flag, malformed value).
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -60,6 +83,7 @@
 
 #include "capow/abft/abft.hpp"
 #include "capow/backend/backend.hpp"
+#include "capow/core/env.hpp"
 #include "capow/core/ep_model.hpp"
 #include "capow/fault/fault.hpp"
 #include "capow/harness/backend_study.hpp"
@@ -67,6 +91,8 @@
 #include "capow/harness/experiment.hpp"
 #include "capow/harness/table.hpp"
 #include "capow/harness/telemetry_export.hpp"
+#include "capow/serve/loadgen.hpp"
+#include "capow/serve/server.hpp"
 #include "capow/telemetry/export.hpp"
 #include "capow/telemetry/tracer.hpp"
 
@@ -123,7 +149,10 @@ void print_usage(const char* argv0) {
       "          [--profile=FILE] [--flamegraph=FILE]\n"
       "          [--flamegraph-weight=mj|ns] [--ep-phases=FILE]\n"
       "          [--faults=SPEC] [--checkpoint=FILE] [--resume=FILE]\n"
-      "          [--comm] [--comm-trace=FILE] [--backends]\n",
+      "          [--comm] [--comm-trace=FILE] [--backends]\n"
+      "          [--serve] [--serve-seed=N] [--serve-duration=S]\n"
+      "          [--serve-rate=HZ] [--serve-budget-w=W]\n"
+      "          [--serve-log=FILE]\n",
       argv0);
 }
 
@@ -296,6 +325,132 @@ int run_backend_report(const harness::BackendStudyConfig& cfg, bool csv) {
   return 0;
 }
 
+/// Overload-safety study mode (--serve): generate the seeded arrival
+/// trace, run the capowd engine on its virtual clock, and print the
+/// per-tier outcome/latency table plus the SLO and energy-budget
+/// verdicts. For a fixed (seed, options, fault plan) the decision log
+/// written by --serve-log is byte-reproducible — the serve-smoke CI job
+/// runs the same configuration twice and diffs the two files.
+int run_serve_report(const serve::LoadGenOptions& lg,
+                     const serve::ServeOptions& so, bool csv,
+                     const std::string& metrics_path,
+                     const std::string& serve_log_path,
+                     const fault::FaultInjector* injector) {
+  std::vector<serve::Request> trace;
+  serve::ServeReport report;
+  try {
+    trace = serve::generate_trace(lg);
+    serve::Server server(so);
+    report = server.run(trace);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve run failed: %s\n", e.what());
+    return 1;
+  }
+
+  if (!serve_log_path.empty()) {
+    write_file(serve_log_path, "serve-log", [&](std::ostream& os) {
+      os << report.decision_log();
+    });
+  }
+  if (!metrics_path.empty()) {
+    write_file(metrics_path, "metrics", [&](std::ostream& os) {
+      telemetry::MetricsRegistry registry;
+      serve::export_serve_metrics(report, registry);
+      registry.write(os);
+    });
+  }
+
+  if (!csv) {
+    std::printf("capow serve report — %s\n", so.machine.name.c_str());
+    std::printf(
+        "trace: seed=%llu duration=%.1fs rate=%.1f/s burst x%.1f over "
+        "[%.1fs, %.1fs); %zu arrival(s)\n",
+        static_cast<unsigned long long>(lg.seed), lg.duration_s, lg.rate_hz,
+        lg.burst_factor, lg.burst_start_s, lg.burst_start_s + lg.burst_len_s,
+        trace.size());
+    if (so.budget.budget_w > 0.0) {
+      const double capacity_j = so.budget.capacity_j > 0.0
+                                    ? so.budget.capacity_j
+                                    : 2.0 * so.budget.budget_w;
+      std::printf("budget: %.2f W (capacity %.1f J, reserve %.0f%%)\n",
+                  so.budget.budget_w, capacity_j,
+                  so.budget.reserve_fraction * 100.0);
+    } else {
+      std::printf("budget: unlimited (admission by queue bound only)\n");
+    }
+  }
+
+  {
+    harness::TextTable t({"tier", "submitted", "admitted", "completed",
+                          "expired", "cancelled", "rej_queue", "rej_budget",
+                          "rej_shed", "rej_size", "p50_s", "p99_s",
+                          "joules"});
+    for (std::size_t i = 0; i < serve::kTierCount; ++i) {
+      const auto tier = static_cast<serve::QosTier>(i);
+      const serve::TierStats& ts = report.tier(tier);
+      t.add_row({serve::tier_name(tier), std::to_string(ts.submitted),
+                 std::to_string(ts.admitted), std::to_string(ts.completed),
+                 std::to_string(ts.expired), std::to_string(ts.cancelled),
+                 std::to_string(
+                     ts.rejected_for(serve::RejectReason::kQueueFull)),
+                 std::to_string(
+                     ts.rejected_for(serve::RejectReason::kEnergyBudget)),
+                 std::to_string(
+                     ts.rejected_for(serve::RejectReason::kShedding)),
+                 std::to_string(
+                     ts.rejected_for(serve::RejectReason::kOversized)),
+                 harness::fmt(ts.p50_s, 4), harness::fmt(ts.p99_s, 4),
+                 harness::fmt(ts.joules, 3)});
+    }
+    emit(t, csv, "per-tier outcomes and virtual latency");
+  }
+
+  {
+    harness::TextTable t({"service metric", "value"});
+    t.add_row({"virtual duration (s)", harness::fmt(report.duration_s, 3)});
+    t.add_row({"predicted joules", harness::fmt(report.predicted_joules, 3)});
+    t.add_row(
+        {"measured joules (RAPL)", harness::fmt(report.measured_joules, 3)});
+    t.add_row({"achieved watts", harness::fmt(report.achieved_w, 3)});
+    t.add_row({"budget watts", report.budget_w > 0.0
+                                   ? harness::fmt(report.budget_w, 3)
+                                   : std::string("unlimited")});
+    t.add_row(
+        {"final bucket fill", harness::fmt(report.final_fill_ratio, 3)});
+    t.add_row({"degrade transitions",
+               std::to_string(report.degrade_transitions)});
+    for (std::size_t l = 1; l < serve::kDegradeLevelCount; ++l) {
+      t.add_row({std::string("entries into ") +
+                     serve::degrade_level_name(
+                         static_cast<serve::DegradeLevel>(l)),
+                 std::to_string(report.degrade_entries[l])});
+    }
+    t.add_row({"bursts injected", std::to_string(report.bursts)});
+    t.add_row({"stalls injected", std::to_string(report.stalls)});
+    t.add_row(
+        {"rapl degraded", report.rapl_degraded ? "yes" : "no"});
+    emit(t, csv, "service summary");
+  }
+
+  if (injector != nullptr) {
+    const fault::FaultCounters counters = injector->counters();
+    harness::TextTable t({"fault event", "count"});
+    for (std::size_t i = 0; i < fault::kEventCount; ++i) {
+      t.add_row({fault::event_name(static_cast<fault::Event>(i)),
+                 std::to_string(counters.by_event[i])});
+    }
+    emit(t, csv,
+         ("fault events (spec: " + injector->plan().spec() + ")").c_str());
+  }
+
+  // The verdict lines CI asserts: plain text in both output modes.
+  std::printf("SLO verdict (guaranteed p99 <= %.2fs): %s\n",
+              so.guaranteed_p99_slo_s, report.slo_met ? "PASS" : "FAIL");
+  std::printf("energy budget verdict: %s\n",
+              report.budget_met ? "PASS" : "FAIL");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -303,9 +458,13 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool comm_mode = false;
   bool backends_mode = false;
+  bool serve_mode = false;
   std::string trace_path, jsonl_path, metrics_path;
   std::string profile_path, flamegraph_path, ep_phases_path;
   std::string comm_trace_path;
+  std::string serve_log_path;
+  serve::LoadGenOptions load_opts;
+  double serve_budget_w = -1.0;  // < 0: flag absent, env/default applies
   profile::FoldedWeight flamegraph_weight =
       profile::FoldedWeight::kMillijoules;
   std::optional<fault::FaultPlan> fault_plan;
@@ -313,13 +472,13 @@ int main(int argc, char** argv) {
     fault_plan = fault::FaultPlan::from_env();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bad CAPOW_FAULTS: %s\n", e.what());
-    return 1;
+    return 2;
   }
   try {
     backend::env_backend_override();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bad CAPOW_BACKEND: %s\n", e.what());
-    return 1;
+    return 2;
   }
 
   for (int i = 1; i < argc; ++i) {
@@ -339,7 +498,8 @@ int main(int argc, char** argv) {
           cfg.thread_counts.push_back(static_cast<unsigned>(t));
         }
       } else if (const char* v4 = value_of("--quiesce=")) {
-        cfg.quiesce_seconds = std::strtod(v4, nullptr);
+        cfg.quiesce_seconds = core::parse_double_in("--quiesce", v4, 0.0,
+                                                    86400.0);
       } else if (const char* v5 = value_of("--trace=")) {
         trace_path = v5;
       } else if (const char* v6 = value_of("--jsonl=")) {
@@ -370,6 +530,23 @@ int main(int argc, char** argv) {
         cfg.resume = true;
       } else if (const char* v15 = value_of("--comm-trace=")) {
         comm_trace_path = v15;
+      } else if (const char* v16 = value_of("--serve-seed=")) {
+        load_opts.seed = static_cast<std::uint64_t>(
+            core::parse_integer_in("--serve-seed", v16, 0,
+                                   std::numeric_limits<long long>::max()));
+      } else if (const char* v17 = value_of("--serve-duration=")) {
+        load_opts.duration_s =
+            core::parse_double_in("--serve-duration", v17, 1e-6, 1e9);
+      } else if (const char* v18 = value_of("--serve-rate=")) {
+        load_opts.rate_hz =
+            core::parse_double_in("--serve-rate", v18, 1e-6, 1e9);
+      } else if (const char* v19 = value_of("--serve-budget-w=")) {
+        serve_budget_w =
+            core::parse_double_in("--serve-budget-w", v19, 0.0, 1e9);
+      } else if (const char* v20 = value_of("--serve-log=")) {
+        serve_log_path = v20;
+      } else if (arg == "--serve") {
+        serve_mode = true;
       } else if (arg == "--comm") {
         comm_mode = true;
       } else if (arg == "--backends") {
@@ -382,12 +559,12 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
         print_usage(argv[0]);
-        return 1;
+        return 2;
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "bad argument '%s': %s\n", arg.c_str(),
                    e.what());
-      return 1;
+      return 2;
     }
   }
 
@@ -401,6 +578,24 @@ int main(int argc, char** argv) {
     fault_scope = std::make_unique<fault::FaultScope>(*injector);
   }
 
+  if (serve_mode) {
+    serve::ServeOptions sopts;
+    try {
+      // Env knobs first, explicit flags override them.
+      sopts = serve::ServeOptions::from_env();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    sopts.machine = cfg.machine;
+    if (serve_budget_w >= 0.0) sopts.budget.budget_w = serve_budget_w;
+    return run_serve_report(load_opts, sopts, csv, metrics_path,
+                            serve_log_path, injector.get());
+  }
+  if (!serve_log_path.empty()) {
+    std::fprintf(stderr, "--serve-log requires --serve\n");
+    return 2;
+  }
   if (comm_mode) {
     return run_comm_report(cfg.machine, csv, cfg.checkpoint_path, cfg.resume,
                            metrics_path, comm_trace_path, injector.get());
@@ -413,7 +608,7 @@ int main(int argc, char** argv) {
   }
   if (!comm_trace_path.empty()) {
     std::fprintf(stderr, "--comm-trace requires --comm\n");
-    return 1;
+    return 2;
   }
 
   harness::ExperimentRunner runner(cfg);
